@@ -1,0 +1,96 @@
+// DSM scale-out bench (extension beyond the single-node paper evaluation):
+// aggregate one-sided read throughput and compaction savings as nodes are
+// added. Each node has its own RNIC/translation cache and NIC message
+// budget, so both read capacity and compaction capacity scale linearly —
+// the property that makes node-local compaction (paper §3.1.2) the right
+// design for rack-scale DSM.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_context.h"
+
+using namespace corm;
+using namespace corm::bench;
+using namespace corm::dsm;
+using core::GlobalAddr;
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const size_t objects_per_node =
+      FlagU64(argc, argv, "objects_per_node", 500'000);
+
+  PrintTitle("DSM scale-out: aggregate capacity vs cluster size");
+  PrintRow({"nodes", "read_cap_Kreq/s", "rpc_cap_Kreq/s", "frag_GiB",
+            "compacted_GiB", "blocks_freed"},
+           17);
+  for (int nodes : {1, 2, 4, 8}) {
+    ClusterConfig config;
+    config.num_nodes = nodes;
+    config.node_config.num_workers = 2;
+    config.node_config.rnic_model = sim::RnicModel::kConnectX3;
+    Cluster cluster(config);
+    DsmContext ctx(&cluster);
+
+    // Load + fragment every node identically.
+    std::vector<GlobalAddr> doomed;
+    Rng rng(5);
+    for (int n = 0; n < nodes; ++n) {
+      auto addrs = cluster.node(n)->BulkAlloc(objects_per_node, 24);
+      CORM_CHECK(addrs.ok());
+      for (auto& addr : *addrs) {
+        if (rng.Chance(0.5)) doomed.push_back(addr);
+      }
+      CORM_CHECK(cluster.node(n)->BulkFree(doomed).ok());
+      doomed.clear();
+    }
+
+    // Sample per-node one-sided read cost under uniform access.
+    double read_cap = 0, rpc_cap = 0;
+    for (int n = 0; n < nodes; ++n) {
+      auto* node = cluster.node(n);
+      node->rnic()->ResetMttCache();
+      MttMissProbe probe(node->rnic());
+      auto* cctx = ctx.context(n);
+      std::vector<uint8_t> buf(24);
+      // Probe with bulk-pattern addresses reconstructed via directory-free
+      // sampling: reuse BulkAlloc pointers held by the node's own test API
+      // is not available here, so sample via fresh allocations.
+      std::vector<GlobalAddr> sample;
+      for (int i = 0; i < 4000; ++i) {
+        auto addr = cctx->Alloc(24);
+        CORM_CHECK(addr.ok());
+        sample.push_back(*addr);
+      }
+      Rng srng(n);
+      for (int i = 0; i < 20000; ++i) {
+        CORM_CHECK(cctx->DirectRead(sample[srng.Uniform(sample.size())],
+                                    buf.data(), 24)
+                       .ok());
+      }
+      const auto model = node->latency_model();
+      const double service = model.RnicReadServiceNs() +
+                             probe.MissRate() * model.MttCacheMissNs();
+      read_cap += 1e9 / service;
+      rpc_cap += static_cast<double>(node->config().nic_msg_rate) / 2.0;
+    }
+
+    const uint64_t frag_bytes = cluster.TotalActiveMemoryBytes();
+    auto reports = cluster.CompactAllIfFragmented();
+    CORM_CHECK(reports.ok());
+    size_t freed = 0;
+    for (const auto& r : *reports) freed += r.blocks_freed;
+    PrintRow({std::to_string(nodes), Kreq(read_cap), Kreq(rpc_cap),
+              Gib(frag_bytes), Gib(cluster.TotalActiveMemoryBytes()),
+              std::to_string(freed)},
+             17);
+  }
+  std::printf(
+      "\nexpectation: read and RPC capacity scale ~linearly with nodes (one\n"
+      "RNIC each); compaction stays node-local so its savings scale too,\n"
+      "and no cross-node coordination is ever needed (§3.1.2).\n");
+  return 0;
+}

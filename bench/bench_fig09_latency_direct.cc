@@ -1,0 +1,86 @@
+// Figure 9: median latency of CoRM operations through *direct* pointers,
+// vs the raw RPC and raw one-sided RDMA baselines, across object sizes
+// 8..2048 B. 4 KiB blocks, 8 workers, 10,000 objects per size class loaded
+// first (paper §4.1).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);  // report modeled latencies
+  const int samples = static_cast<int>(FlagU64(argc, argv, "samples", 2000));
+
+  core::CormConfig config;
+  config.num_workers = 8;
+  config.block_pages = 1;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  const auto model = node.latency_model();
+
+  std::printf("reference: TCP over IPoIB on the same link: %.1f us RTT\n",
+              model.TcpNs(8) / 1000.0);
+  PrintTitle("Figure 9 (left): Remote Alloc/Free median latency (us)");
+  PrintRow({"size", "Alloc", "Free", "RPC-baseline"});
+  std::vector<std::vector<GlobalAddr>> loaded;
+  for (uint32_t size = 8; size <= 2048; size *= 2) {
+    // Pre-load 10k objects of this class (the paper's working set).
+    auto addrs = node.BulkAlloc(10000, size);
+    CORM_CHECK(addrs.ok());
+    loaded.push_back(std::move(*addrs));
+
+    Histogram alloc_h, free_h;
+    for (int i = 0; i < samples; ++i) {
+      auto addr = ctx->Alloc(size);
+      CORM_CHECK(addr.ok());
+      alloc_h.Record(ctx->stats().last_op_ns);
+      CORM_CHECK(ctx->Free(&*addr).ok());
+      free_h.Record(ctx->stats().last_op_ns);
+    }
+    PrintRow({std::to_string(size), Us(alloc_h.Median()), Us(free_h.Median()),
+              Us(model.RpcNs(size))});
+  }
+
+  PrintTitle("Figure 9 (right): Remote Read/Write median latency (us)");
+  PrintRow({"size", "Read", "Write", "DirectRead", "RPC-baseline",
+            "RDMA-baseline"});
+  Rng rng(1);
+  size_t class_i = 0;
+  for (uint32_t size = 8; size <= 2048; size *= 2, ++class_i) {
+    auto& addrs = loaded[class_i];
+    std::vector<uint8_t> buf(size);
+    auto pick = [&](int) -> GlobalAddr& {
+      return addrs[rng.Uniform(addrs.size())];
+    };
+    Histogram read_h = SampleLatency(ctx.get(), samples, [&](int i) {
+      GlobalAddr a = pick(i);
+      CORM_CHECK(ctx->Read(&a, buf.data(), size).ok());
+    });
+    Histogram write_h = SampleLatency(ctx.get(), samples, [&](int i) {
+      GlobalAddr a = pick(i);
+      CORM_CHECK(ctx->Write(&a, buf.data(), size).ok());
+    });
+    Histogram direct_h = SampleLatency(ctx.get(), samples, [&](int i) {
+      CORM_CHECK(ctx->DirectRead(pick(i), buf.data(), size).ok());
+    });
+    PrintRow({std::to_string(size), Us(read_h.Median()), Us(write_h.Median()),
+              Us(direct_h.Median()), Us(model.RpcNs(size)),
+              Us(model.RdmaReadNs(size))});
+  }
+  std::printf(
+      "\nPaper shape: all RPC ops ~2.5-4us growing with size; Alloc/Free add\n"
+      "~0.5us over the RPC baseline; DirectRead tracks the raw RDMA read\n"
+      "(1.7us base) with a consistency-check overhead visible only for\n"
+      "large objects; TCP/IPoIB reference on this link would be ~17us.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 10: median latency of operations on *indirect* pointers (objects
+// relocated to a different offset by compaction), plus the cost of
+// ReleasePtr. Strategies compared for a failed DirectRead: fall back to an
+// RPC read vs ScanRead (read + scan the whole 4 KiB block).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+// Loads `count` objects of `size`, frees a random half, compacts, and
+// returns stale pointers to objects that were relocated (indirect).
+std::vector<GlobalAddr> MakeIndirect(CormNode* node, Context* ctx,
+                                     uint32_t size, size_t count) {
+  auto addrs = node->BulkAlloc(count, size);
+  CORM_CHECK(addrs.ok());
+  Rng rng(size);
+  std::vector<GlobalAddr> doomed, kept;
+  for (auto& addr : *addrs) {
+    (rng.Chance(0.5) ? doomed : kept).push_back(addr);
+  }
+  CORM_CHECK(node->BulkFree(doomed).ok());
+  auto report = node->Compact(*node->ClassForPayload(size));
+  CORM_CHECK(report.ok());
+  // Indirect = DirectRead through the stale pointer reports ObjectMoved.
+  std::vector<GlobalAddr> indirect;
+  std::vector<uint8_t> buf(size);
+  for (const auto& addr : kept) {
+    if (ctx->DirectRead(addr, buf.data(), size).IsObjectMoved()) {
+      indirect.push_back(addr);
+    }
+  }
+  return indirect;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const size_t count = FlagU64(argc, argv, "count", 2048);
+
+  core::CormConfig config;
+  config.num_workers = 8;
+  config.block_pages = 1;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  const auto model = node.latency_model();
+
+  PrintTitle("Figure 10 (left): read/write latency on moved objects (us)");
+  PrintRow({"size", "Read", "Write", "DR+RpcRead", "DR+ScanRead",
+            "RPC-baseline"},
+           14);
+  std::vector<std::vector<GlobalAddr>> indirect_per_size;
+  // 2000 B payload = the 2048 B slot class; a full 2048 B payload would
+  // need a >4 KiB slot, whose blocks hold one object and cannot merge.
+  const std::vector<uint32_t> sizes = {8, 16, 32, 64, 128, 256, 512, 1024,
+                                       2000};
+  for (uint32_t size : sizes) {
+    auto indirect = MakeIndirect(&node, ctx.get(), size, count);
+    if (indirect.empty()) {
+      PrintRow({std::to_string(size), "-", "-", "-", "-", "-"});
+      indirect_per_size.emplace_back();
+      continue;
+    }
+    std::vector<uint8_t> buf(size);
+    Rng rng(7);
+    auto stale = [&](int) { return indirect[rng.Uniform(indirect.size())]; };
+
+    Histogram read_h = SampleLatency(ctx.get(), 1500, [&](int i) {
+      GlobalAddr a = stale(i);  // fresh stale copy: server corrects anew
+      CORM_CHECK(ctx->Read(&a, buf.data(), size).ok());
+    });
+    Histogram write_h = SampleLatency(ctx.get(), 1500, [&](int i) {
+      GlobalAddr a = stale(i);
+      CORM_CHECK(ctx->Write(&a, buf.data(), size).ok());
+    });
+    // DirectRead fails (ObjectMoved) then falls back: measure both legs.
+    Histogram dr_rpc_h, dr_scan_h;
+    for (int i = 0; i < 1500; ++i) {
+      GlobalAddr a = stale(i);
+      const uint64_t before = ctx->stats().modeled_ns_total;
+      CORM_CHECK(ctx->ReadWithRecovery(&a, buf.data(), size,
+                                       Context::MovedFallback::kRpcRead)
+                     .ok());
+      dr_rpc_h.Record(ctx->stats().modeled_ns_total - before);
+      GlobalAddr b = stale(i);
+      const uint64_t before2 = ctx->stats().modeled_ns_total;
+      CORM_CHECK(ctx->ReadWithRecovery(&b, buf.data(), size,
+                                       Context::MovedFallback::kScanRead)
+                     .ok());
+      dr_scan_h.Record(ctx->stats().modeled_ns_total - before2);
+    }
+    PrintRow({std::to_string(size), Us(read_h.Median()), Us(write_h.Median()),
+              Us(dr_rpc_h.Median()), Us(dr_scan_h.Median()),
+              Us(model.RpcNs(size))});
+    indirect_per_size.push_back(std::move(indirect));
+  }
+
+  PrintTitle("Figure 10 (right): pointer release latency (us)");
+  PrintRow({"size", "ReleasePtr", "RPC-baseline"});
+  for (size_t class_i = 0; class_i < sizes.size(); ++class_i) {
+    const uint32_t size = sizes[class_i];
+    auto& indirect = indirect_per_size[class_i];
+    if (indirect.empty()) {
+      PrintRow({std::to_string(size), "-", "-"});
+      continue;
+    }
+    Histogram rel_h;
+    for (auto& addr : indirect) {
+      GlobalAddr a = addr;
+      CORM_CHECK(ctx->ReleasePtr(&a).ok());
+      rel_h.Record(ctx->stats().last_op_ns);
+    }
+    PrintRow({std::to_string(size), Us(rel_h.Median()), Us(model.RpcNs(16))});
+  }
+  std::printf(
+      "\nPaper shape: RPC read/write latencies are indistinguishable from\n"
+      "direct pointers; a failed DirectRead backed by ScanRead is cheaper\n"
+      "than the RPC fallback for 4 KiB blocks; ReleasePtr costs the RPC\n"
+      "baseline +0.3us independent of object size.\n");
+  return 0;
+}

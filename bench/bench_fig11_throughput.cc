@@ -1,0 +1,132 @@
+// Figure 11: read throughput of CoRM vs emulated FaRM vs the raw baselines,
+// for remote accesses (one-sided RDMA; per-client rate from modeled round
+// trips) and local accesses (real wall-clock: CoRM/FaRM API reads vs raw
+// memcpy).
+//
+// The paper loads 8 GiB per size class; we scale the working set down
+// (--mib flag, default 64 MiB per class) — the shape is unaffected because
+// per-op costs, not capacity, set the rates.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "baseline/farm_node.h"
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+double WallOpsPerSec(int n, const std::function<void(int)>& op) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) op(i);
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return n / sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const uint64_t mib_per_class = FlagU64(argc, argv, "mib", 32);
+  const int samples = static_cast<int>(FlagU64(argc, argv, "samples", 4000));
+
+  core::CormConfig corm_config;
+  corm_config.num_workers = 4;
+  corm_config.block_pages = 1;
+  CormNode corm(corm_config);
+  auto farm_config = baseline::FarmConfig();
+  farm_config.num_workers = 4;
+  farm_config.block_pages = 1;  // match the 4 KiB setup for the comparison
+  CormNode farm(farm_config);
+
+  auto corm_ctx = Context::Create(&corm);
+  auto farm_ctx = Context::Create(&farm);
+  const auto model = corm.latency_model();
+
+  PrintTitle("Figure 11 (left): remote read throughput, 1 client (Kreq/s)");
+  PrintRow({"size", "CoRM", "FaRM", "rawRDMA"});
+  Rng rng(3);
+  std::vector<uint8_t> buf(8192);
+  for (uint32_t size = 8; size <= 2048; size *= 2) {
+    const size_t count = mib_per_class * kMiB / std::max<uint32_t>(size, 64);
+    auto corm_addrs = corm.BulkAlloc(count, size);
+    auto farm_addrs = farm.BulkAlloc(count, size);
+    CORM_CHECK(corm_addrs.ok());
+    CORM_CHECK(farm_addrs.ok());
+
+    Histogram corm_h = SampleLatency(corm_ctx.get(), samples, [&](int) {
+      CORM_CHECK(corm_ctx
+                     ->DirectRead((*corm_addrs)[rng.Uniform(count)],
+                                  buf.data(), size)
+                     .ok());
+    });
+    Histogram farm_h = SampleLatency(farm_ctx.get(), samples, [&](int) {
+      CORM_CHECK(farm_ctx
+                     ->DirectRead((*farm_addrs)[rng.Uniform(count)],
+                                  buf.data(), size)
+                     .ok());
+    });
+    // Raw RDMA: a read of `size` bytes with no consistency check and the
+    // same memory locality (MTT behaviour folded into CoRM/FaRM numbers).
+    const double raw = 1e9 / model.RdmaReadNs(size);
+    PrintRow({std::to_string(size), Kreq(1e9 / corm_h.Mean()),
+              Kreq(1e9 / farm_h.Mean()), Kreq(raw)});
+    CORM_CHECK(corm.BulkFree(*corm_addrs).ok());
+    CORM_CHECK(farm.BulkFree(*farm_addrs).ok());
+  }
+
+  PrintTitle("Figure 11 (right): local read throughput, 1 core (Mreq/s)");
+  PrintRow({"size", "CoRM", "FaRM", "memcpy"});
+  Context::Options local_opts;
+  local_opts.local = true;
+  auto corm_local = Context::Create(&corm, local_opts);
+  auto farm_local = Context::Create(&farm, local_opts);
+  for (uint32_t size = 8; size <= 2048; size *= 2) {
+    const size_t count = 16 * kMiB / std::max<uint32_t>(size, 64);
+    auto corm_addrs = corm.BulkAlloc(count, size);
+    auto farm_addrs = farm.BulkAlloc(count, size);
+    CORM_CHECK(corm_addrs.ok());
+    CORM_CHECK(farm_addrs.ok());
+    const int n = 150000;
+    const double corm_rate = WallOpsPerSec(n, [&](int i) {
+      corm_local->DirectRead((*corm_addrs)[(i * 37) % count], buf.data(),
+                             size);
+    });
+    const double farm_rate = WallOpsPerSec(n, [&](int i) {
+      farm_local->DirectRead((*farm_addrs)[(i * 37) % count], buf.data(),
+                             size);
+    });
+    // memcpy baseline over a matching footprint.
+    std::vector<uint8_t> arena(16 * kMiB);
+    const size_t slots = arena.size() / std::max<uint32_t>(size, 64);
+    const double memcpy_rate = WallOpsPerSec(n, [&](int i) {
+      std::memcpy(buf.data(),
+                  arena.data() + ((i * 37) % slots) * std::max<uint32_t>(size, 64),
+                  size);
+    });
+    PrintRow({std::to_string(size), Fmt("%.2f", corm_rate / 1e6),
+              Fmt("%.2f", farm_rate / 1e6), Fmt("%.2f", memcpy_rate / 1e6)});
+    CORM_CHECK(corm.BulkFree(*corm_addrs).ok());
+    CORM_CHECK(farm.BulkFree(*farm_addrs).ok());
+  }
+  std::printf(
+      "\nPaper shape: remote — raw RDMA fastest (380 Kreq/s small objects);\n"
+      "CoRM == FaRM, within ~2%% of raw RDMA (consistency check only hurts\n"
+      "large objects). Local — FaRM <= 1.01x CoRM; both slower than memcpy\n"
+      "(paper: 1.33x via hardware MMU loads; here the gap is larger because\n"
+      "local reads translate through the *software* page table).\n");
+  return 0;
+}

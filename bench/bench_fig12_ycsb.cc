@@ -1,0 +1,109 @@
+// Figure 12: aggregate YCSB throughput under uniform and Zipf(0.99) key
+// distributions, read:write mixes 100:0 / 95:5 / 50:50, and 1..32 clients.
+// Reads use either RPC ("RPC" series) or one-sided RDMA ("RDMA" series);
+// writes always use RPC.
+//
+// Method: the paper's 8,000,000 x 32 B objects are loaded; per
+// configuration we sample the modeled round-trip of each op type and the
+// RNIC MTT miss rate, then apply the bottleneck model (bench_common.h):
+// clients are closed-loop (1 outstanding request), RPC ops saturate the
+// NIC's two-sided message rate, and one-sided reads saturate the RNIC read
+// engine whose service time grows with translation-cache misses — which is
+// how the Zipf-vs-uniform gap arises (paper §4.2.2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+#include "workload/ycsb.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const size_t num_objects = FlagU64(argc, argv, "objects", 8'000'000);
+  const int samples = static_cast<int>(FlagU64(argc, argv, "samples", 60'000));
+
+  core::CormConfig config;
+  config.num_workers = 8;
+  config.block_pages = 1;
+  config.rnic_model = sim::RnicModel::kConnectX3;  // the paper's cluster
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+
+  std::printf("loading %zu x 32 B objects...\n", num_objects);
+  auto addrs = node.BulkAlloc(num_objects, 24);  // 24 B payload -> 32 B slot
+  CORM_CHECK(addrs.ok());
+
+  struct Mix {
+    const char* name;
+    double read_fraction;
+  };
+  const Mix mixes[] = {{"100:0", 1.0}, {"95:5", 0.95}, {"50:50", 0.5}};
+  const int client_counts[] = {1, 2, 4, 8, 16, 32};
+
+  for (bool zipf : {false, true}) {
+    PrintTitle(std::string("Figure 12: aggregate throughput, Kreq/s — ") +
+               (zipf ? "Zipf 0.99" : "Uniform"));
+    std::vector<std::string> header = {"series"};
+    for (int c : client_counts) header.push_back(std::to_string(c) + "cl");
+    PrintRow(header);
+
+    for (bool rdma_reads : {false, true}) {
+      for (const Mix& mix : mixes) {
+        workload::YcsbConfig wconfig;
+        wconfig.num_keys = num_objects;
+        wconfig.zipf_theta = zipf ? 0.99 : 0.0;
+        wconfig.read_fraction = mix.read_fraction;
+        wconfig.seed = 11;
+        workload::YcsbGenerator gen(wconfig);
+
+        // Sample modeled op latencies and the MTT miss rate.
+        node.rnic()->ResetMttCache();
+        MttMissProbe probe(node.rnic());
+        std::vector<uint8_t> buf(64);
+        uint64_t total_ns = 0;
+        for (int i = 0; i < samples; ++i) {
+          auto op = gen.Next();
+          GlobalAddr addr = (*addrs)[op.key];
+          if (op.is_read && rdma_reads) {
+            CORM_CHECK(ctx->DirectRead(addr, buf.data(), 24).ok());
+          } else if (op.is_read) {
+            CORM_CHECK(ctx->Read(&addr, buf.data(), 24).ok());
+          } else {
+            CORM_CHECK(ctx->Write(&addr, buf.data(), 24).ok());
+          }
+          total_ns += ctx->stats().last_op_ns;
+        }
+
+        ThroughputModel tm;
+        tm.avg_op_ns = static_cast<double>(total_ns) / samples;
+        tm.rpc_fraction =
+            rdma_reads ? 1.0 - mix.read_fraction : 1.0;
+        tm.rdma_fraction = rdma_reads ? mix.read_fraction : 0.0;
+        tm.mtt_miss_rate = probe.MissRate();
+        tm.node = &node;
+
+        std::vector<std::string> row = {std::string(mix.name) +
+                                        (rdma_reads ? " RDMA" : " RPC")};
+        for (int clients : client_counts) {
+          row.push_back(Kreq(tm.OpsPerSec(clients)));
+        }
+        PrintRow(row);
+      }
+    }
+  }
+  std::printf(
+      "\nPaper shape: RPC series saturate ~700 Kreq/s beyond 4 clients;\n"
+      "RDMA 50:50 reaches ~1250 Kreq/s (2x RPC); read-only RDMA reaches\n"
+      "~1750 (uniform) and ~2200 Kreq/s (Zipf — better RNIC translation\n"
+      "cache locality).\n");
+  return 0;
+}

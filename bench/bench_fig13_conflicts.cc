@@ -1,0 +1,122 @@
+// Figure 13: rate of failed (invalid) DirectReads under read/write
+// contention — YCSB 50:50, Zipf skew 0.6..0.99, 8/16/32 clients.
+//
+// Method. A DirectRead of object o fails when it overlaps a write of o
+// that is mid-flight (lock held / version bytes partially updated). With
+// reads and writes both Zipf-distributed over N keys,
+//
+//     conflicts/s = T_r * T_w * (window_ns / 1e9) * S2,
+//     S2 = sum_i p_i^2   (probability two independent key draws collide)
+//
+// where T_r/T_w come from the Fig. 12 bottleneck model and window_ns is
+// the modeled write-lock hold time (LatencyModel::WriteLockHoldNs). A
+// wall-clock race on this single-CPU host would inflate the window by
+// scheduler latency, so the figure is computed analytically; the *torn/
+// locked detection mechanism itself* is exercised for real at the end of
+// this bench and in tests/concurrency_test.cc.
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+#include "workload/ycsb.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+// Collision mass sum p_i^2 of a Zipf(theta) distribution over n keys.
+double ZipfCollisionMass(uint64_t n, double theta) {
+  double h = 0, s2 = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    h += std::pow(static_cast<double>(i), -theta);
+  }
+  for (uint64_t i = 1; i <= n; ++i) {
+    const double p = std::pow(static_cast<double>(i), -theta) / h;
+    s2 += p * p;
+  }
+  return s2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const size_t num_objects = FlagU64(argc, argv, "objects", 8'000'000);
+
+  core::CormConfig config;
+  config.num_workers = 4;
+  config.rnic_model = sim::RnicModel::kConnectX3;
+  CormNode node(config);
+  const auto model = node.latency_model();
+  const double window_ns = model.WriteLockHoldNs(24);
+
+  // Per-configuration aggregate rate from the Fig. 12 bottleneck model
+  // (50:50 mix, DirectReads + RPC writes). Latency sample via a loaded
+  // node would repeat fig12; use its measured ballpark: avg op ~2.3 us.
+  PrintTitle("Figure 13: DirectRead failure rate, YCSB 50:50 (conflicts/s)");
+  PrintRow({"zipf_theta", "2cl", "4cl", "8cl", "16cl", "32cl", "frac@32"});
+  for (double theta : {0.6, 0.7, 0.8, 0.9, 0.99}) {
+    const double s2 = ZipfCollisionMass(num_objects, theta);
+    std::vector<std::string> row = {Fmt("%.2f", theta)};
+    double frac32 = 0;
+    for (int clients : {2, 4, 8, 16, 32}) {
+      ThroughputModel tm;
+      tm.avg_op_ns = 2300;
+      tm.rpc_fraction = 0.5;
+      tm.rdma_fraction = 0.5;
+      tm.mtt_miss_rate = theta >= 0.95 ? 0.05 : 0.4;
+      tm.node = &node;
+      const double total = tm.OpsPerSec(clients);
+      const double t_r = total * 0.5, t_w = total * 0.5;
+      const double conflicts = t_r * t_w * (window_ns / 1e9) * s2;
+      row.push_back(Fmt("%.2f", conflicts));
+      if (clients == 32) frac32 = conflicts / t_r;
+    }
+    row.push_back(Fmt("%.2e", frac32));
+    PrintRow(row);
+  }
+
+  // --- Mechanism validation: a real reader/writer race on one hot key. ---
+  std::printf("\nmechanism check (real race on a hot object):\n");
+  auto addrs = node.BulkAlloc(64, 24);
+  CORM_CHECK(addrs.ok());
+  sim::SetSimTimeScale(0.5);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observed{0};
+  std::thread writer([&] {
+    auto ctx = Context::Create(&node);
+    std::vector<uint8_t> buf(24, 1);
+    GlobalAddr addr = (*addrs)[0];
+    while (!stop.load()) ctx->Write(&addr, buf.data(), 24).ok();
+  });
+  {
+    auto ctx = Context::Create(&node);
+    std::vector<uint8_t> buf(24);
+    for (int i = 0; i < 30000; ++i) {
+      Status st = ctx->DirectRead((*addrs)[0], buf.data(), 24);
+      if (st.IsObjectLocked() || st.IsTornRead()) observed.fetch_add(1);
+    }
+  }
+  stop.store(true);
+  writer.join();
+  sim::SetSimTimeScale(0.0);
+  std::printf("invalid DirectReads observed while hammering one object: "
+              "%llu / 30000 (must be > 0: the detection works)\n",
+              static_cast<unsigned long long>(observed.load()));
+  std::printf(
+      "\nPaper shape: conflicts grow with skew and client count; even at\n"
+      "theta=0.99 with 32 clients ~659 conflicts/s (<0.1%% of the request\n"
+      "rate).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 14: DirectRead throughput under fragmentation — YCSB 100:0, 8
+// clients, Zipf skew sweep. "No fragmentation": 8 M x 32 B objects.
+// "High fragmentation": 16 M objects with 50% randomly deallocated (same
+// live set size, twice the page footprint -> more RNIC translation-cache
+// misses). Also reports the fragmented setting *after* CoRM compaction,
+// which recovers the unfragmented throughput — the paper's headline 1.25x.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+#include "workload/ycsb.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+// Measures the modeled DirectRead throughput for 8 clients with the given
+// live objects and skew.
+double MeasureKreqs(CormNode* node, const std::vector<GlobalAddr>& live,
+                    double theta, int samples) {
+  auto ctx = Context::Create(node);
+  node->rnic()->ResetMttCache();
+  MttMissProbe probe(node->rnic());
+  workload::YcsbConfig wconfig;
+  wconfig.num_keys = live.size();
+  wconfig.zipf_theta = theta;
+  wconfig.seed = 5;
+  workload::YcsbGenerator gen(wconfig);
+  std::vector<uint8_t> buf(64);
+  uint64_t total_ns = 0;
+  for (int i = 0; i < samples; ++i) {
+    GlobalAddr addr = live[gen.Next().key];
+    Status st = ctx->ReadWithRecovery(&addr, buf.data(), 24);
+    CORM_CHECK(st.ok()) << st;
+    total_ns += ctx->stats().last_op_ns;
+  }
+  ThroughputModel tm;
+  tm.avg_op_ns = static_cast<double>(total_ns) / samples;
+  tm.rdma_fraction = 1.0;
+  tm.mtt_miss_rate = probe.MissRate();
+  tm.node = node;
+  return tm.OpsPerSec(8) / 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const size_t base_objects = FlagU64(argc, argv, "objects", 8'000'000);
+  const int samples = static_cast<int>(FlagU64(argc, argv, "samples", 60'000));
+
+  core::CormConfig config;
+  config.num_workers = 4;
+  config.rnic_model = sim::RnicModel::kConnectX3;
+
+  // Setting A: no fragmentation — base_objects live, densely packed.
+  CormNode dense(config);
+  auto dense_addrs = dense.BulkAlloc(base_objects, 24);
+  CORM_CHECK(dense_addrs.ok());
+
+  // Setting B: high fragmentation — 2x objects, 50% randomly freed.
+  CormNode frag(config);
+  auto frag_all = frag.BulkAlloc(2 * base_objects, 24);
+  CORM_CHECK(frag_all.ok());
+  Rng rng(17);
+  std::vector<GlobalAddr> doomed, frag_live;
+  for (auto& addr : *frag_all) {
+    (rng.Chance(0.5) ? doomed : frag_live).push_back(addr);
+  }
+  CORM_CHECK(frag.BulkFree(doomed).ok());
+  std::printf("dense: %s active; fragmented: %s active for the same live set\n",
+              Gib(dense.ActiveMemoryBytes()).c_str(),
+              Gib(frag.ActiveMemoryBytes()).c_str());
+
+  PrintTitle("Figure 14: DirectRead throughput (Kreq/s), 100:0, 8 clients");
+  PrintRow({"zipf_theta", "NoFrag", "HighFrag", "ratio"});
+  std::vector<double> thetas = {0.6, 0.7, 0.8, 0.9, 0.99};
+  for (double theta : thetas) {
+    const double no_frag = MeasureKreqs(&dense, *dense_addrs, theta, samples);
+    const double high_frag = MeasureKreqs(&frag, frag_live, theta, samples);
+    PrintRow({Fmt("%.2f", theta), Fmt("%.0f", no_frag),
+              Fmt("%.0f", high_frag), Fmt("%.2fx", no_frag / high_frag)});
+  }
+
+  // Extension: compaction recovers the dense layout (the paper's §4.2.4
+  // motivation for CoRM).
+  auto report = frag.CompactIfFragmented();
+  CORM_CHECK(report.ok());
+  std::printf("\nafter CoRM compaction (%s active):\n",
+              Gib(frag.ActiveMemoryBytes()).c_str());
+  PrintRow({"zipf_theta", "Compacted"});
+  for (double theta : thetas) {
+    PrintRow({Fmt("%.2f", theta),
+              Fmt("%.0f", MeasureKreqs(&frag, frag_live, theta, samples))});
+  }
+  std::printf(
+      "\nPaper shape: unfragmented memory is ~1.25x faster for moderate\n"
+      "skew; at theta=0.99 both settings converge (hot keys fit the RNIC\n"
+      "translation cache either way).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 15: latencies of the two compaction stages.
+//   left:   block-collection time vs worker count (Intel vs AMD model);
+//   center: compaction time vs number of 4 KiB blocks, per RNIC strategy;
+//   right:  compaction time of one block vs block size (pages).
+// As in the paper, each worker holds a single 32 B object so every thread
+// donates exactly one block and all merges are conflict-free.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::CormNode;
+
+namespace {
+
+// Builds a node with `workers` workers, one 24 B-payload object per worker
+// (one block each), and returns the compaction report.
+core::CompactionReport CompactOneObjectPerWorker(core::CormConfig config) {  // NOLINT
+  CormNode node(config);
+  auto addrs = node.BulkAlloc(config.num_workers, 24);
+  CORM_CHECK(addrs.ok());
+  auto class_idx = node.ClassForPayload(24);
+  auto report = node.Compact(*class_idx);
+  CORM_CHECK(report.ok()) << report.status();
+  return *report;
+}
+
+}  // namespace
+
+int main() {
+  sim::SetSimTimeScale(0.0);
+
+  PrintTitle("Figure 15 (left): collection time vs threads (us)");
+  PrintRow({"threads", "Intel", "AMD"});
+  for (int threads : {2, 4, 8, 16}) {
+    core::CormConfig config;
+    config.num_workers = threads;
+    config.cpu_model = sim::CpuModel::kIntelXeon;
+    auto intel = CompactOneObjectPerWorker(config);
+    config.cpu_model = sim::CpuModel::kAmdEpyc;
+    auto amd = CompactOneObjectPerWorker(config);
+    PrintRow({std::to_string(threads), Us(intel.collection_ns),
+              Us(amd.collection_ns)});
+  }
+
+  PrintTitle(
+      "Figure 15 (center): compaction time vs #blocks, 4 KiB blocks (us)");
+  PrintRow({"blocks", "ConnectX-3", "ConnectX-5", "CX-5+ODP"});
+  for (int blocks : {2, 4, 8, 16}) {
+    std::vector<std::string> row = {std::to_string(blocks)};
+    struct Strat {
+      sim::RnicModel rnic;
+      sim::RemapStrategy strategy;
+    };
+    for (const Strat& strat :
+         {Strat{sim::RnicModel::kConnectX3, sim::RemapStrategy::kReregMr},
+          Strat{sim::RnicModel::kConnectX5, sim::RemapStrategy::kReregMr},
+          Strat{sim::RnicModel::kConnectX5,
+                sim::RemapStrategy::kOdpPrefetch}}) {
+      core::CormConfig config;
+      config.num_workers = blocks;  // one single-object block per worker
+      config.rnic_model = strat.rnic;
+      config.remap_strategy = strat.strategy;
+      auto report = CompactOneObjectPerWorker(config);
+      CORM_CHECK_EQ(report.blocks_freed, static_cast<size_t>(blocks - 1));
+      row.push_back(Us(report.compaction_ns));
+    }
+    PrintRow(row);
+  }
+
+  PrintTitle(
+      "Figure 15 (right): compaction time of ONE block vs block size (us)");
+  PrintRow({"pages", "ConnectX-3", "ConnectX-5", "CX-5+ODP"});
+  for (size_t pages : {1, 4, 16, 64, 256}) {
+    std::vector<std::string> row = {std::to_string(pages)};
+    struct Strat {
+      sim::RnicModel rnic;
+      sim::RemapStrategy strategy;
+    };
+    for (const Strat& strat :
+         {Strat{sim::RnicModel::kConnectX3, sim::RemapStrategy::kReregMr},
+          Strat{sim::RnicModel::kConnectX5, sim::RemapStrategy::kReregMr},
+          Strat{sim::RnicModel::kConnectX5,
+                sim::RemapStrategy::kOdpPrefetch}}) {
+      core::CormConfig config;
+      config.num_workers = 2;  // one merge: two single-object blocks
+      config.block_pages = pages;
+      config.rnic_model = strat.rnic;
+      config.remap_strategy = strat.strategy;
+      auto report = CompactOneObjectPerWorker(config);
+      CORM_CHECK_EQ(report.blocks_freed, 1u);
+      row.push_back(Us(report.compaction_ns));
+    }
+    PrintRow(row);
+  }
+  PrintTitle(
+      "Figure 15 (extension): 1 MiB block compaction with 2 MiB huge pages");
+  PrintRow({"backing", "ConnectX-3", "ConnectX-5", "CX-5+ODP"});
+  for (bool huge : {false, true}) {
+    std::vector<std::string> row = {huge ? "2MiB huge pages" : "4KiB pages"};
+    struct Strat {
+      sim::RnicModel rnic;
+      sim::RemapStrategy strategy;
+    };
+    for (const Strat& strat :
+         {Strat{sim::RnicModel::kConnectX3, sim::RemapStrategy::kReregMr},
+          Strat{sim::RnicModel::kConnectX5, sim::RemapStrategy::kReregMr},
+          Strat{sim::RnicModel::kConnectX5,
+                sim::RemapStrategy::kOdpPrefetch}}) {
+      core::CormConfig config;
+      config.num_workers = 2;
+      config.block_pages = 256;  // 1 MiB blocks
+      config.huge_pages = huge;
+      config.rnic_model = strat.rnic;
+      config.remap_strategy = strat.strategy;
+      auto report = CompactOneObjectPerWorker(config);
+      row.push_back(Us(report.compaction_ns));
+    }
+    PrintRow(row);
+  }
+  std::printf(
+      "\nPaper shape: collection ~10us@2 threads to ~31us@16 on Intel, ~5x\n"
+      "faster on AMD at low counts; compaction grows linearly with blocks\n"
+      "(~100us/block on CX-3, dominated by the 70us rereg; ~7us rereg on\n"
+      "CX-5; ODP cheapest) and linearly with pages per block (12ms for a\n"
+      "1 MiB block on CX-3).\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Figure 16: client read throughput before / during / after a large
+// compaction, for both server-side pointer-correction strategies. This is
+// the one bench that runs in *real time* (SimTimeScale = 1): an RPC-reading
+// client and a DirectRead client race an actual compaction of thousands of
+// blocks; throughput is bucketed per 250 ms.
+//
+// (top)    corrections via thread messaging; RDMA client backs failed
+//          DirectReads with ScanRead;
+// (bottom) corrections via block scanning; RDMA client backs failed
+//          DirectReads with an RPC read.
+//
+// Note: the host is a single CPU, so absolute rates are far below the
+// paper's testbed; the *shape* — the dip during compaction, the RPC stall
+// under thread messaging while the owner compacts, and RDMA's faster
+// recovery with ScanRead — is the reproduced result.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+
+using namespace corm;
+using namespace corm::bench;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+constexpr int kBucketMs = 250;
+
+struct Series {
+  std::vector<uint64_t> ops_per_bucket;
+};
+
+void RunExperiment(core::RpcCorrectionStrategy strategy,
+                   Context::MovedFallback fallback, size_t num_objects,
+                   int run_seconds, int compact_at_s) {
+  core::CormConfig config;
+  config.num_workers = 2;
+  config.rpc_correction = strategy;
+  config.compaction_max_blocks = SIZE_MAX;  // one long unbounded run (§4.3.2)
+  CormNode node(config);
+
+  sim::SetSimTimeScale(0.0);  // load fast
+  auto addrs = node.BulkAlloc(num_objects, 24);
+  CORM_CHECK(addrs.ok());
+  Rng rng(23);
+  std::vector<GlobalAddr> doomed, survivors;
+  for (auto& addr : *addrs) {
+    (rng.Chance(0.75) ? doomed : survivors).push_back(addr);
+  }
+  CORM_CHECK(node.BulkFree(doomed).ok());
+  sim::SetSimTimeScale(1.0);  // real-time phase
+
+  const int buckets = run_seconds * 1000 / kBucketMs;
+  Series rpc_series{std::vector<uint64_t>(buckets, 0)};
+  Series rdma_series{std::vector<uint64_t>(buckets, 0)};
+  std::atomic<bool> stop{false};
+  const auto start = std::chrono::steady_clock::now();
+  auto bucket_of = [&] {
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return std::min<int>(static_cast<int>(ms / kBucketMs), buckets - 1);
+  };
+
+  std::thread rpc_client([&] {
+    auto ctx = Context::Create(&node);
+    std::vector<GlobalAddr> ptrs = survivors;  // corrected in place
+    std::vector<uint8_t> buf(64);
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status st = ctx->Read(&ptrs[i], buf.data(), 24);
+      if (st.ok()) rpc_series.ops_per_bucket[bucket_of()]++;
+      i = (i + 1) % ptrs.size();
+    }
+  });
+  std::thread rdma_client([&] {
+    auto ctx = Context::Create(&node);
+    std::vector<GlobalAddr> ptrs = survivors;
+    std::vector<uint8_t> buf(64);
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status st = ctx->ReadWithRecovery(&ptrs[i], buf.data(), 24, fallback);
+      if (st.ok()) rdma_series.ops_per_bucket[bucket_of()]++;
+      i = (i + 1) % ptrs.size();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::seconds(compact_at_s));
+  const auto compact_start = std::chrono::steady_clock::now();
+  auto report = node.Compact(*node.ClassForPayload(24));
+  const double compact_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    compact_start)
+          .count();
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::seconds(run_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true);
+  rpc_client.join();
+  rdma_client.join();
+  sim::SetSimTimeScale(0.0);
+
+  CORM_CHECK(report.ok()) << report.status();
+  std::printf("compaction: %zu blocks collected, %zu freed, %zu objects "
+              "moved (%zu relocated), took %.2fs wall\n",
+              report->blocks_collected, report->blocks_freed,
+              report->objects_moved, report->objects_relocated, compact_sec);
+  PrintRow({"t_s", "RPC Kreq/s", "RDMA Kreq/s"});
+  const double per_sec = 1000.0 / kBucketMs;
+  for (int b = 0; b < buckets; ++b) {
+    PrintRow({Fmt("%.2f", b * kBucketMs / 1000.0),
+              Fmt("%.1f", rpc_series.ops_per_bucket[b] * per_sec / 1e3),
+              Fmt("%.1f", rdma_series.ops_per_bucket[b] * per_sec / 1e3)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_objects = FlagU64(argc, argv, "objects", 600'000);
+  const int run_seconds = static_cast<int>(FlagU64(argc, argv, "seconds", 8));
+
+  PrintTitle(
+      "Figure 16 (top): thread-messaging corrections; RDMA uses ScanRead");
+  RunExperiment(core::RpcCorrectionStrategy::kThreadMessaging,
+                Context::MovedFallback::kScanRead, num_objects, run_seconds,
+                2);
+  PrintTitle(
+      "Figure 16 (bottom): block-scan corrections; RDMA uses RPC reads");
+  RunExperiment(core::RpcCorrectionStrategy::kBlockScan,
+                Context::MovedFallback::kRpcRead, num_objects, run_seconds,
+                2);
+  std::printf(
+      "\nPaper shape: (top) the RPC client stalls while the compacting\n"
+      "leader owns the blocks and cannot answer correction messages; the\n"
+      "ScanRead client sails through with ~5%% degradation. (bottom) no\n"
+      "long RPC stall (scan corrections need no owner), ~22%% dip while\n"
+      "blocks are locked; the RDMA client pays more per correction via\n"
+      "RPC. DirectReads stay ~1.6x faster than RPC reads throughout.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 17: active memory after synthetic allocation-spike traces —
+// allocate N objects of one size, randomly deallocate a fraction, then
+// compact with each strategy. 1 MiB blocks (FaRM-sized), strategies No /
+// Ideal / Mesh / CoRM-8 / CoRM-12 / CoRM-16. Reported bytes include each
+// strategy's per-object metadata overhead (Table 3).
+//
+// Object count: the paper's text says 8 M objects while its y-axes imply
+// ~1 M for the large classes; we default to 1 M (--count to change) —
+// the curves' *shape* is count-invariant.
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc/size_classes.h"
+#include "baseline/compaction_sim.h"
+#include "bench/bench_common.h"
+#include "common/byte_units.h"
+#include "workload/synthetic_trace.h"
+#include "workload/trace_runner.h"
+
+using namespace corm;
+using namespace corm::bench;
+using baseline::Algorithm;
+
+int main(int argc, char** argv) {
+  const uint64_t count = FlagU64(argc, argv, "count", 1'000'000);
+  auto classes = alloc::SizeClassTable::JemallocLike(256 * kKiB);
+
+  struct Strategy {
+    Algorithm algo;
+    int id_bits;
+  };
+  const Strategy strategies[] = {
+      {Algorithm::kNone, 0},   {Algorithm::kIdeal, 0}, {Algorithm::kMesh, 0},
+      {Algorithm::kCorm, 8},   {Algorithm::kCorm, 12}, {Algorithm::kCorm, 16},
+  };
+
+  for (uint32_t object_size : {256u, 2048u, 8192u, 12288u}) {
+    PrintTitle(Fmt("Figure 17: active memory (GiB), %.0f", object_size) +
+               " B objects, " + std::to_string(count) + " allocated");
+    std::vector<std::string> header = {"dealloc"};
+    for (const auto& s : strategies) {
+      header.push_back(AlgorithmName(s.algo, s.id_bits));
+    }
+    PrintRow(header);
+    for (double rate : {0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+      auto trace =
+          workload::MakeSyntheticTrace(count, object_size, rate, 42);
+      std::vector<std::string> row = {Fmt("%.1f", rate)};
+      for (const auto& s : strategies) {
+        baseline::SimConfig config;
+        config.algorithm = s.algo;
+        config.id_bits = s.id_bits;
+        config.block_bytes = kMiB;
+        config.num_threads = 1;
+        config.seed = 1;
+        auto result = workload::RunTrace(trace, config, &classes);
+        const uint64_t bytes = s.algo == Algorithm::kIdeal
+                                   ? result.ideal_bytes
+                                   : result.active_bytes_after;
+        row.push_back(Gib(bytes));
+      }
+      PrintRow(row);
+    }
+  }
+  std::printf(
+      "\nPaper shape: Mesh compacts well only for large objects at high\n"
+      "deallocation rates; CoRM-8/12 beat Mesh wherever their ID space\n"
+      "addresses the class (>=4 KiB objects for CoRM-8 with 1 MiB blocks);\n"
+      "CoRM-16 tracks the ideal compactor from 2 KiB objects upward; for\n"
+      "256 B objects CoRM-16's ID-collision rate makes it no better than\n"
+      "not compacting (its overhead can even exceed the savings).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 18: active memory of the Redis memefficiency traces under vanilla
+// CoRM (classes not addressable by the configured ID width are simply not
+// compacted), vs No / Ideal / Mesh, across allocator thread counts.
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc/size_classes.h"
+#include "baseline/compaction_sim.h"
+#include "bench/bench_common.h"
+#include "common/byte_units.h"
+#include "workload/redis_trace.h"
+#include "workload/trace_runner.h"
+
+using namespace corm;
+using namespace corm::bench;
+using baseline::Algorithm;
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  auto classes = alloc::SizeClassTable::JemallocLike(256 * kKiB);
+
+  struct Strategy {
+    Algorithm algo;
+    int id_bits;
+  };
+  const Strategy strategies[] = {
+      {Algorithm::kNone, 0},  {Algorithm::kIdeal, 0}, {Algorithm::kMesh, 0},
+      {Algorithm::kCorm, 8},  {Algorithm::kCorm, 12}, {Algorithm::kCorm, 16},
+      {Algorithm::kCorm, 20},  // §4.4.3 mentions CoRM-20 for t2
+  };
+
+  struct TraceDef {
+    const char* name;
+    workload::Trace (*make)(uint64_t seed);
+  };
+  const TraceDef traces[] = {
+      {"redis-mem-t1", workload::MakeRedisTraceT1},
+      {"redis-mem-t2", workload::MakeRedisTraceT2},
+      {"redis-mem-t3", workload::MakeRedisTraceT3},
+  };
+
+  for (const TraceDef& trace_def : traces) {
+    PrintTitle(std::string("Figure 18: ") + trace_def.name +
+               " active memory (GiB), vanilla CoRM, 1 MiB blocks");
+    std::vector<std::string> header = {"threads"};
+    for (const auto& s : strategies) {
+      header.push_back(AlgorithmName(s.algo, s.id_bits));
+    }
+    PrintRow(header, 16);
+    auto trace = trace_def.make(7);
+    for (int threads : {1, 8, 16, 32}) {
+      std::vector<std::string> row = {std::to_string(threads)};
+      for (const auto& s : strategies) {
+        baseline::SimConfig config;
+        config.algorithm = s.algo;
+        config.id_bits = s.id_bits;
+        config.block_bytes = kMiB;
+        config.num_threads = threads;
+        config.seed = 13;
+        auto result = workload::RunTrace(trace, config, &classes);
+        const uint64_t bytes = s.algo == Algorithm::kIdeal
+                                   ? result.ideal_bytes
+                                   : result.active_bytes_after;
+        row.push_back(Gib(bytes));
+      }
+      PrintRow(row, 16);
+    }
+  }
+  std::printf(
+      "\nPaper shape: single-threaded runs leave little to compact; with\n"
+      "more threads fragmentation grows 3-12x (unpopular classes spread\n"
+      "across thread heaps). Vanilla CoRM-n loses to Mesh exactly where\n"
+      "small classes exceed its ID space (t2's 8 B keys for CoRM-16);\n"
+      "CoRM-20 recovers t2, and CoRM-16 wins t1/t3.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 19: the Redis traces again, with CoRM in *hybrid* mode
+// (CoRM-0+CoRM-n, §4.4.1): classes whose blocks hold more objects than the
+// n-bit ID space addresses fall back to offset-based (CoRM-0) merging
+// instead of being skipped.
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc/size_classes.h"
+#include "baseline/compaction_sim.h"
+#include "bench/bench_common.h"
+#include "common/byte_units.h"
+#include "workload/redis_trace.h"
+#include "workload/trace_runner.h"
+
+using namespace corm;
+using namespace corm::bench;
+using baseline::Algorithm;
+
+int main() {
+  auto classes = alloc::SizeClassTable::JemallocLike(256 * kKiB);
+
+  struct Strategy {
+    Algorithm algo;
+    int id_bits;
+  };
+  const Strategy strategies[] = {
+      {Algorithm::kNone, 0},    {Algorithm::kIdeal, 0},
+      {Algorithm::kMesh, 0},    {Algorithm::kHybrid, 8},
+      {Algorithm::kHybrid, 12}, {Algorithm::kHybrid, 16},
+      {Algorithm::kAdaptive, 0},  // §4.4.3 auto-labeling (our extension)
+  };
+
+  struct TraceDef {
+    const char* name;
+    workload::Trace (*make)(uint64_t seed);
+  };
+  const TraceDef traces[] = {
+      {"redis-mem-t1", workload::MakeRedisTraceT1},
+      {"redis-mem-t2", workload::MakeRedisTraceT2},
+      {"redis-mem-t3", workload::MakeRedisTraceT3},
+  };
+
+  for (const TraceDef& trace_def : traces) {
+    PrintTitle(std::string("Figure 19: ") + trace_def.name +
+               " active memory (GiB), hybrid CoRM, 1 MiB blocks");
+    std::vector<std::string> header = {"threads"};
+    for (const auto& s : strategies) {
+      header.push_back(AlgorithmName(s.algo, s.id_bits));
+    }
+    PrintRow(header, 16);
+    auto trace = trace_def.make(7);
+    for (int threads : {1, 8, 16, 32}) {
+      std::vector<std::string> row = {std::to_string(threads)};
+      for (const auto& s : strategies) {
+        baseline::SimConfig config;
+        config.algorithm = s.algo;
+        config.id_bits = s.id_bits;
+        config.block_bytes = kMiB;
+        config.num_threads = threads;
+        config.seed = 13;
+        auto result = workload::RunTrace(trace, config, &classes);
+        const uint64_t bytes = s.algo == Algorithm::kIdeal
+                                   ? result.ideal_bytes
+                                   : result.active_bytes_after;
+        row.push_back(Gib(bytes));
+      }
+      PrintRow(row, 16);
+    }
+  }
+  std::printf(
+      "\nPaper shape: hybrid CoRM is at least as good as Mesh on every\n"
+      "trace and thread count (CoRM-0 fallback covers the tiny classes);\n"
+      "CoRM-0+CoRM-16 improves on Mesh by ~12%% (t1) and ~5%% (t2).\n"
+      "CoRM-auto (the paper's §4.4.3 future work, implemented here) picks\n"
+      "per-class ID widths and should match the best fixed width per trace\n"
+      "without tuning.\n");
+  return 0;
+}

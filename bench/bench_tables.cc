@@ -1,0 +1,63 @@
+// Table 1 (feature matrix) and Table 3 (per-object metadata overhead for
+// 1 MiB blocks) of the paper.
+
+#include <cstdio>
+
+#include "baseline/compaction_sim.h"
+#include "bench/bench_common.h"
+#include "common/byte_units.h"
+
+using namespace corm;
+using namespace corm::bench;
+
+int main() {
+  PrintTitle("Table 1: Comparison of FaRM, CoRM, and Mesh");
+  PrintRow({"System", "Type", "RDMA", "Mem.Compaction", "VaddrReuse"}, 16);
+  PrintRow({"Mesh", "Allocator", "no", "yes", "no"}, 16);
+  PrintRow({"FaRM", "DSM", "yes", "no", "-"}, 16);
+  PrintRow({"CoRM", "DSM", "yes", "yes", "yes"}, 16);
+
+  PrintTitle("Table 3: metadata overhead per object (1 MiB blocks)");
+  PrintRow({"Algorithm", "bits/object", "breakdown"}, 16);
+  // CoRM stores a 28-bit home-block virtual address (48-bit pointers,
+  // 20-bit-aligned 1 MiB blocks) plus the n-bit object ID (paper §4.4.1).
+  struct Row {
+    const char* name;
+    int id_bits;
+    bool corm;
+  };
+  const Row rows[] = {
+      {"Mesh", 0, false},   {"CoRM-0", 0, true},   {"CoRM-8", 8, true},
+      {"CoRM-12", 12, true}, {"CoRM-16", 16, true},
+  };
+  for (const Row& row : rows) {
+    const int bits = row.corm ? 28 + row.id_bits : 0;
+    char breakdown[64];
+    if (!row.corm) {
+      std::snprintf(breakdown, sizeof(breakdown), "-");
+    } else if (row.id_bits == 0) {
+      std::snprintf(breakdown, sizeof(breakdown), "28 (home vaddr)");
+    } else {
+      std::snprintf(breakdown, sizeof(breakdown), "28+%d", row.id_bits);
+    }
+    PrintRow({row.name, std::to_string(bits), breakdown}, 16);
+  }
+
+  // Cross-check against the memory-study simulator's accounting.
+  auto classes = alloc::SizeClassTable::PowersOfTwo(8, 16 * 1024);
+  for (int id_bits : {8, 12, 16}) {
+    baseline::SimConfig config;
+    config.algorithm = baseline::Algorithm::kCorm;
+    config.id_bits = id_bits;
+    config.block_bytes = kMiB;
+    baseline::AllocatorSim sim(config, &classes);
+    for (int i = 0; i < 1024; ++i) sim.Alloc(1024);
+    const uint64_t block_bytes = sim.num_blocks() * kMiB;
+    const uint64_t overhead = sim.ActiveBytes() - block_bytes;
+    std::printf("simulator check: CoRM-%-2d overhead for 1024 objects = %llu "
+                "bytes (expected %llu)\n",
+                id_bits, static_cast<unsigned long long>(overhead),
+                static_cast<unsigned long long>((1024u * (28 + id_bits) + 7) / 8));
+  }
+  return 0;
+}

@@ -1,0 +1,203 @@
+// corm_shell: an interactive (or piped) command shell over a CoRM node —
+// the quickest way to poke at allocation, compaction and pointer behaviour.
+//
+//   $ ./examples/corm_shell <<'EOF'
+//   put greeting hello-remote-memory
+//   get greeting
+//   fill 1000 512
+//   evict 70
+//   report
+//   compact
+//   report
+//   verify
+//   EOF
+//
+// Commands:
+//   put <key> <value>      store a value
+//   get <key>              fetch over one-sided RDMA (with recovery)
+//   del <key>              free
+//   fill <n> <size>        insert n synthetic entries of <size> bytes
+//   evict <percent>        delete that percentage of entries at random
+//   compact                run the fragmentation policy
+//   report                 node debug report
+//   verify                 re-read every entry and check its bytes
+//   help / quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+
+using namespace corm;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+struct Entry {
+  GlobalAddr addr;
+  std::string expect;
+};
+
+std::string SyntheticValue(uint64_t i, size_t size) {
+  std::string value(size, ' ');
+  for (size_t j = 0; j < size; ++j) {
+    value[j] = static_cast<char>('a' + (i * 131 + j * 7) % 26);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  sim::SetSimTimeScale(0.0);
+  core::CormConfig config;
+  config.num_workers = 2;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  std::unordered_map<std::string, Entry> index;
+  Rng rng(1);
+  uint64_t fill_counter = 0;
+
+  std::printf("corm shell — 'help' for commands\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream tokens(line);
+    std::string cmd;
+    tokens >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      std::printf("put get del fill evict compact report verify quit\n");
+    } else if (cmd == "put") {
+      std::string key, value;
+      tokens >> key >> value;
+      if (key.empty() || value.empty()) {
+        std::printf("usage: put <key> <value>\n");
+        continue;
+      }
+      auto it = index.find(key);
+      if (it != index.end()) {
+        ctx->Free(&it->second.addr).ok();
+        index.erase(it);
+      }
+      auto addr = ctx->Alloc(value.size());
+      if (!addr.ok() ||
+          !ctx->Write(&*addr, value.data(), value.size()).ok()) {
+        std::printf("error: put failed\n");
+        continue;
+      }
+      index[key] = Entry{*addr, value};
+      std::printf("ok: %s -> vaddr=0x%llx id=%u%s\n", key.c_str(),
+                  static_cast<unsigned long long>(addr->vaddr), addr->obj_id,
+                  addr->ReferencesOldBlock() ? " (old block)" : "");
+    } else if (cmd == "get") {
+      std::string key;
+      tokens >> key;
+      auto it = index.find(key);
+      if (it == index.end()) {
+        std::printf("(nil)\n");
+        continue;
+      }
+      std::string value(it->second.expect.size(), 0);
+      const uint64_t hint_before = it->second.addr.vaddr;
+      Status st = ctx->ReadWithRecovery(&it->second.addr, value.data(),
+                                        value.size());
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("%s%s\n", value.c_str(),
+                  it->second.addr.vaddr != hint_before
+                      ? "   [pointer was corrected]"
+                      : "");
+    } else if (cmd == "del") {
+      std::string key;
+      tokens >> key;
+      auto it = index.find(key);
+      if (it == index.end()) {
+        std::printf("(nil)\n");
+        continue;
+      }
+      Status st = ctx->Free(&it->second.addr);
+      index.erase(it);
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    } else if (cmd == "fill") {
+      size_t n = 0, size = 0;
+      tokens >> n >> size;
+      if (n == 0 || size == 0) {
+        std::printf("usage: fill <n> <size>\n");
+        continue;
+      }
+      size_t inserted = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const std::string key = "auto-" + std::to_string(fill_counter);
+        const std::string value = SyntheticValue(fill_counter, size);
+        ++fill_counter;
+        auto addr = ctx->Alloc(value.size());
+        if (!addr.ok()) break;
+        if (!ctx->Write(&*addr, value.data(), value.size()).ok()) break;
+        index[key] = Entry{*addr, value};
+        ++inserted;
+      }
+      std::printf("inserted %zu entries; node holds %s\n", inserted,
+                  FormatBytes(node.ActiveMemoryBytes()).c_str());
+    } else if (cmd == "evict") {
+      int percent = 0;
+      tokens >> percent;
+      std::vector<std::string> doomed;
+      for (auto& [key, entry] : index) {
+        if (rng.Chance(percent / 100.0)) doomed.push_back(key);
+      }
+      for (const auto& key : doomed) {
+        ctx->Free(&index[key].addr).ok();
+        index.erase(key);
+      }
+      std::printf("evicted %zu entries; %zu remain\n", doomed.size(),
+                  index.size());
+    } else if (cmd == "compact") {
+      auto reports = node.CompactIfFragmented();
+      if (!reports.ok()) {
+        std::printf("error: %s\n", reports.status().ToString().c_str());
+        continue;
+      }
+      size_t freed = 0, moved = 0;
+      for (const auto& r : *reports) {
+        freed += r.blocks_freed;
+        moved += r.objects_moved;
+      }
+      std::printf("compacted %zu classes: %zu blocks freed, %zu objects "
+                  "moved; node holds %s\n",
+                  reports->size(), freed, moved,
+                  FormatBytes(node.ActiveMemoryBytes()).c_str());
+    } else if (cmd == "report") {
+      std::printf("%s", node.DebugReport().c_str());
+    } else if (cmd == "verify") {
+      size_t ok_count = 0, bad = 0;
+      for (auto& [key, entry] : index) {
+        std::string value(entry.expect.size(), 0);
+        if (ctx->ReadWithRecovery(&entry.addr, value.data(), value.size())
+                .ok() &&
+            value == entry.expect) {
+          ++ok_count;
+        } else {
+          ++bad;
+          std::printf("CORRUPT: %s\n", key.c_str());
+        }
+      }
+      std::printf("verified %zu entries, %zu corrupt\n", ok_count, bad);
+      if (bad != 0) return 1;
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

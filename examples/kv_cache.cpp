@@ -1,0 +1,159 @@
+// kv_cache: a remote caching service built on the CoRM public API — the
+// paper's motivating deployment (in-memory caches suffer badly from
+// fragmentation; §1 cites up to 69% waste in Redis-class systems).
+//
+// A CacheClient stores variable-size values in CoRM and keeps a local index
+// of 128-bit pointers. Gets use one-sided RDMA with automatic recovery, so
+// they keep working while the server compacts. The demo drives a churn
+// phase (inserts + deletes of mixed sizes), then compacts, then verifies
+// every cached entry — demonstrating the 2-6x active-memory reduction with
+// zero lost entries.
+//
+//   $ ./examples/kv_cache [entries]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+#include "core/object_layout.h"
+
+using namespace corm;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+// A minimal remote KV cache: string keys -> CoRM objects.
+class CacheClient {
+ public:
+  explicit CacheClient(CormNode* node) : ctx_(Context::Create(node)) {}
+
+  bool Put(const std::string& key, const std::string& value) {
+    Del(key);
+    auto addr = ctx_->Alloc(value.size());
+    if (!addr.ok()) return false;
+    if (!ctx_->Write(&*addr, value.data(), value.size()).ok()) return false;
+    index_[key] = Entry{*addr, value.size()};
+    return true;
+  }
+
+  // One-sided read with recovery: survives concurrent compaction and
+  // repairs the cached pointer in place (§3.2).
+  bool Get(const std::string& key, std::string* value) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    value->resize(it->second.size);
+    return ctx_
+        ->ReadWithRecovery(&it->second.addr, value->data(), value->size(),
+                           Context::MovedFallback::kScanRead)
+        .ok();
+  }
+
+  void Del(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    ctx_->Free(&it->second.addr);
+    index_.erase(it);
+  }
+
+  size_t size() const { return index_.size(); }
+  const core::ClientStats& stats() const { return ctx_->stats(); }
+
+ private:
+  struct Entry {
+    GlobalAddr addr;
+    size_t size;
+  };
+  std::unique_ptr<Context> ctx_;
+  std::unordered_map<std::string, Entry> index_;
+};
+
+std::string ValueFor(int i, size_t size) {
+  std::string value(size, ' ');
+  for (size_t j = 0; j < size; ++j) {
+    value[j] = static_cast<char>('a' + (i * 31 + j) % 26);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const int entries = argc > 1 ? std::atoi(argv[1]) : 20000;
+
+  core::CormConfig config;
+  config.num_workers = 4;
+  CormNode node(config);
+  CacheClient cache(&node);
+  Rng rng(2026);
+
+  // Churn phase: mixed value sizes (a cache absorbing different payloads),
+  // then an eviction wave — the classic allocation-spike pattern (§2.1.2).
+  const size_t sizes[] = {24, 120, 500, 1500, 3500};
+  std::printf("inserting %d entries of mixed sizes...\n", entries);
+  for (int i = 0; i < entries; ++i) {
+    const size_t size = sizes[rng.Uniform(5)];
+    if (!cache.Put("key-" + std::to_string(i), ValueFor(i, size))) {
+      std::fprintf(stderr, "put failed at %d\n", i);
+      return 1;
+    }
+  }
+  std::printf("evicting 70%% of entries at random...\n");
+  std::vector<int> doomed;
+  for (int i = 0; i < entries; ++i) {
+    if (rng.Chance(0.7)) doomed.push_back(i);
+  }
+  for (int i : doomed) cache.Del("key-" + std::to_string(i));
+
+  const uint64_t before = node.ActiveMemoryBytes();
+  std::printf("\nactive memory after eviction wave : %s (%zu live entries)\n",
+              FormatBytes(before).c_str(), cache.size());
+
+  auto reports = node.CompactIfFragmented();
+  if (!reports.ok()) {
+    std::fprintf(stderr, "compaction failed: %s\n",
+                 reports.status().ToString().c_str());
+    return 1;
+  }
+  size_t blocks_freed = 0, moved = 0;
+  for (const auto& report : *reports) {
+    blocks_freed += report.blocks_freed;
+    moved += report.objects_moved;
+  }
+  const uint64_t after = node.ActiveMemoryBytes();
+  std::printf("active memory after compaction    : %s "
+              "(%.2fx reduction; %zu blocks freed, %zu objects moved)\n",
+              FormatBytes(after).c_str(),
+              static_cast<double>(before) / static_cast<double>(after),
+              blocks_freed, moved);
+
+  // Every surviving entry must still be retrievable, bit-exact.
+  std::printf("\nverifying all %zu surviving entries over RDMA...\n",
+              cache.size());
+  size_t verified = 0;
+  std::string value;
+  for (int i = 0; i < entries; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    if (!cache.Get(key, &value)) continue;
+    if (value != ValueFor(i, value.size())) {
+      std::fprintf(stderr, "CORRUPTED entry %s\n", key.c_str());
+      return 1;
+    }
+    ++verified;
+  }
+  std::printf("verified %zu entries; %llu pointers were corrected "
+              "client-side, %llu scan-reads issued\n",
+              verified,
+              static_cast<unsigned long long>(
+                  cache.stats().pointer_corrections),
+              static_cast<unsigned long long>(cache.stats().scan_reads));
+  std::printf("\n--- node report ---\n%s", node.DebugReport().c_str());
+  return verified == cache.size() ? 0 : 1;
+}

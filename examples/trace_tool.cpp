@@ -1,0 +1,149 @@
+// trace_tool: generate, inspect, and replay allocation traces through every
+// compaction strategy — a CLI front-end to the memory-study engine.
+//
+//   trace_tool gen  <synthetic|redis-t1|redis-t2|redis-t3> <out.trace> [args]
+//       synthetic args: <count> <object_size> <dealloc_rate>
+//   trace_tool info <trace>
+//   trace_tool run  <trace> [threads] [block_kib]
+//
+//   $ ./examples/trace_tool gen synthetic /tmp/spike.trace 100000 2048 0.8
+//   $ ./examples/trace_tool run /tmp/spike.trace 8 1024
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "alloc/size_classes.h"
+#include "baseline/compaction_sim.h"
+#include "common/byte_units.h"
+#include "workload/redis_trace.h"
+#include "workload/synthetic_trace.h"
+#include "workload/trace_io.h"
+#include "workload/trace_runner.h"
+
+using namespace corm;
+using namespace corm::workload;
+
+namespace {
+
+int Gen(int argc, char** argv) {
+  if (argc < 4) return 1;
+  const std::string kind = argv[2];
+  const std::string out = argv[3];
+  Trace trace;
+  if (kind == "synthetic") {
+    if (argc < 7) {
+      std::fprintf(stderr,
+                   "synthetic needs: <count> <object_size> <dealloc_rate>\n");
+      return 1;
+    }
+    trace = MakeSyntheticTrace(std::strtoull(argv[4], nullptr, 10),
+                               static_cast<uint32_t>(std::atoi(argv[5])),
+                               std::atof(argv[6]), /*seed=*/42);
+  } else if (kind == "redis-t1") {
+    trace = MakeRedisTraceT1(7);
+  } else if (kind == "redis-t2") {
+    trace = MakeRedisTraceT2(7);
+  } else if (kind == "redis-t3") {
+    trace = MakeRedisTraceT3(7);
+  } else {
+    std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
+    return 1;
+  }
+  Status st = SaveTraceFile(trace, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu ops to %s\n", trace.size(), out.c_str());
+  return 0;
+}
+
+int Info(const std::string& path) {
+  auto trace = LoadTraceFile(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t allocs = 0, frees = 0, bytes = 0, peak = 0, live = 0;
+  for (const TraceOp& op : *trace) {
+    if (op.kind == TraceOp::Kind::kAlloc) {
+      ++allocs;
+      bytes += op.size;
+      live += op.size;
+    } else {
+      ++frees;
+      live -= (*trace)[op.target].size;
+    }
+    peak = std::max(peak, live);
+  }
+  std::printf("%s: %zu ops (%llu allocs, %llu frees), %s allocated total,\n"
+              "peak live %s, final live %s\n",
+              path.c_str(), trace->size(),
+              static_cast<unsigned long long>(allocs),
+              static_cast<unsigned long long>(frees),
+              FormatBytes(bytes).c_str(), FormatBytes(peak).c_str(),
+              FormatBytes(live).c_str());
+  return 0;
+}
+
+int Run(const std::string& path, int threads, size_t block_kib) {
+  auto trace = LoadTraceFile(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  auto classes = alloc::SizeClassTable::JemallocLike(256 * kKiB);
+  std::printf("%-16s %-14s %-14s %-10s %s\n", "strategy", "before", "after",
+              "merges", "vs-ideal");
+  struct Strategy {
+    baseline::Algorithm algo;
+    int bits;
+  };
+  for (const Strategy& strategy :
+       {Strategy{baseline::Algorithm::kNone, 0},
+        Strategy{baseline::Algorithm::kMesh, 0},
+        Strategy{baseline::Algorithm::kCorm, 8},
+        Strategy{baseline::Algorithm::kCorm, 16},
+        Strategy{baseline::Algorithm::kHybrid, 16},
+        Strategy{baseline::Algorithm::kAdaptive, 0}}) {
+    baseline::SimConfig config;
+    config.algorithm = strategy.algo;
+    config.id_bits = strategy.bits;
+    config.block_bytes = block_kib * kKiB;
+    config.num_threads = threads;
+    auto result = RunTrace(*trace, config, &classes);
+    std::printf("%-16s %-14s %-14s %-10zu %.2fx\n",
+                baseline::AlgorithmName(strategy.algo, strategy.bits),
+                FormatBytes(result.active_bytes_before).c_str(),
+                FormatBytes(result.active_bytes_after).c_str(),
+                result.compaction.merges,
+                result.ideal_bytes
+                    ? static_cast<double>(result.active_bytes_after) /
+                          static_cast<double>(result.ideal_bytes)
+                    : 0.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: trace_tool gen <kind> <out> [args...]\n"
+                 "       trace_tool info <trace>\n"
+                 "       trace_tool run <trace> [threads] [block_kib]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return Gen(argc, argv);
+  if (cmd == "info") return Info(argv[2]);
+  if (cmd == "run") {
+    return Run(argv[2], argc > 3 ? std::atoi(argv[3]) : 8,
+               argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1024);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}

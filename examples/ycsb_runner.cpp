@@ -1,0 +1,124 @@
+// ycsb_runner: configurable YCSB client fleet against a CoRM node.
+//
+//   $ ./examples/ycsb_runner [--objects=N] [--clients=N] [--theta=T]
+//                            [--reads=F] [--ops=N] [--rdma=0|1]
+//
+// Runs real client threads (genuine contention on the node) and reports
+// per-op modeled latency percentiles plus the bottleneck-model throughput
+// (same method as bench_fig12_ycsb).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/client.h"
+#include "core/corm_node.h"
+#include "workload/ycsb.h"
+
+using namespace corm;
+using core::Context;
+using core::CormNode;
+using core::GlobalAddr;
+
+namespace {
+
+double FlagD(int argc, char** argv, const char* name, double def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);
+  const auto objects = static_cast<size_t>(FlagD(argc, argv, "objects", 1e6));
+  const int clients = static_cast<int>(FlagD(argc, argv, "clients", 8));
+  const double theta = FlagD(argc, argv, "theta", 0.99);
+  const double reads = FlagD(argc, argv, "reads", 0.95);
+  const auto ops = static_cast<uint64_t>(FlagD(argc, argv, "ops", 50'000));
+  const bool rdma = FlagD(argc, argv, "rdma", 1) != 0;
+
+  std::printf("CoRM YCSB: %zu objects, %d clients, zipf=%.2f, reads=%.2f, "
+              "%s reads\n",
+              objects, clients, theta, reads, rdma ? "RDMA" : "RPC");
+
+  core::CormConfig config;
+  config.num_workers = 4;
+  config.rnic_model = sim::RnicModel::kConnectX3;
+  CormNode node(config);
+  auto addrs = node.BulkAlloc(objects, 24);
+  if (!addrs.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 addrs.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Histogram> hists(clients);
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  node.rnic()->ResetMttCache();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto ctx = Context::Create(&node);
+      workload::YcsbConfig wconfig;
+      wconfig.num_keys = objects;
+      wconfig.zipf_theta = theta;
+      wconfig.read_fraction = reads;
+      wconfig.seed = 1000 + c;
+      workload::YcsbGenerator gen(wconfig);
+      std::vector<uint8_t> buf(64);
+      for (uint64_t i = 0; i < ops; ++i) {
+        auto op = gen.Next();
+        GlobalAddr addr = (*addrs)[op.key];
+        Status st;
+        if (op.is_read && rdma) {
+          st = ctx->ReadWithRecovery(&addr, buf.data(), 24);
+        } else if (op.is_read) {
+          st = ctx->Read(&addr, buf.data(), 24);
+        } else {
+          st = ctx->Write(&addr, buf.data(), 24);
+        }
+        if (!st.ok()) failures.fetch_add(1);
+        hists[c].Record(ctx->stats().last_op_ns);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Histogram all;
+  for (const auto& h : hists) all.Merge(h);
+  const auto& rstats = node.rnic()->stats();
+  const uint64_t hits = rstats.mtt_cache_hits.load();
+  const uint64_t misses = rstats.mtt_cache_misses.load();
+  const double miss_rate =
+      hits + misses ? static_cast<double>(misses) / (hits + misses) : 0;
+
+  std::printf("\nmodeled per-op latency: p50=%.2fus p95=%.2fus p99=%.2fus\n",
+              all.Median() / 1e3, all.Percentile(0.95) / 1e3,
+              all.Percentile(0.99) / 1e3);
+  std::printf("RNIC translation-cache miss rate: %.1f%%\n", miss_rate * 100);
+  std::printf("op failures (transient, retried by caller policy): %llu\n",
+              static_cast<unsigned long long>(failures.load()));
+
+  // Bottleneck-model aggregate throughput (cf. bench_fig12_ycsb).
+  const double avg_ns = all.Mean();
+  const double rdma_frac = rdma ? reads : 0.0;
+  const double rpc_frac = rdma ? 1.0 - reads : 1.0;
+  double server_ns = rpc_frac * 2e9 / config.nic_msg_rate;
+  const auto model = node.latency_model();
+  server_ns += rdma_frac * (model.RnicReadServiceNs() +
+                            miss_rate * model.MttCacheMissNs());
+  const double tput =
+      std::min(clients * 1e9 / avg_ns, server_ns > 0 ? 1e9 / server_ns : 1e18);
+  std::printf("estimated aggregate throughput: %.0f Kreq/s\n", tput / 1e3);
+  return 0;
+}

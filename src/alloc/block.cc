@@ -1,0 +1,76 @@
+#include "alloc/block.h"
+
+#include "common/logging.h"
+
+namespace corm::alloc {
+
+Block::Block(sim::VAddr base, sim::PhysBlock phys, uint32_t class_idx,
+             uint32_t slot_size, rdma::MrKeys keys)
+    : base_(base),
+      phys_(std::move(phys)),
+      class_idx_(class_idx),
+      slot_size_(slot_size),
+      num_slots_(static_cast<uint32_t>(
+          (phys_.frames.size() * sim::kVPageSize) / slot_size)),
+      keys_(keys) {
+  CORM_CHECK_GT(num_slots_, 0u) << "slot size larger than block";
+  bitmap_.assign((num_slots_ + 63) / 64, 0);
+}
+
+std::optional<uint32_t> Block::AllocSlot() {
+  if (Full()) return std::nullopt;
+  const size_t nwords = bitmap_.size();
+  for (size_t probe = 0; probe < nwords; ++probe) {
+    const size_t w = (alloc_hint_ + probe) % nwords;
+    uint64_t word = bitmap_[w];
+    if (word == UINT64_MAX) continue;
+    // Skip tail bits beyond num_slots_ in the last word.
+    const uint32_t base_slot = static_cast<uint32_t>(w * 64);
+    const int free_bit = __builtin_ctzll(~word);
+    const uint32_t slot = base_slot + static_cast<uint32_t>(free_bit);
+    if (slot >= num_slots_) continue;
+    bitmap_[w] |= (1ULL << free_bit);
+    ++used_slots_;
+    alloc_hint_ = static_cast<uint32_t>(w);
+    return slot;
+  }
+  return std::nullopt;
+}
+
+bool Block::AllocSlotAt(uint32_t slot) {
+  CORM_CHECK_LT(slot, num_slots_);
+  const size_t w = slot / 64;
+  const uint64_t bit = 1ULL << (slot % 64);
+  if (bitmap_[w] & bit) return false;
+  bitmap_[w] |= bit;
+  ++used_slots_;
+  return true;
+}
+
+void Block::FreeSlot(uint32_t slot) {
+  CORM_CHECK_LT(slot, num_slots_);
+  const size_t w = slot / 64;
+  const uint64_t bit = 1ULL << (slot % 64);
+  CORM_CHECK(bitmap_[w] & bit) << "double free of slot " << slot;
+  bitmap_[w] &= ~bit;
+  --used_slots_;
+}
+
+bool Block::SlotAllocated(uint32_t slot) const {
+  CORM_CHECK_LT(slot, num_slots_);
+  return (bitmap_[slot / 64] >> (slot % 64)) & 1;
+}
+
+bool Block::InsertId(ObjectId id, uint32_t slot) {
+  return id_map_.emplace(id, slot).second;
+}
+
+void Block::EraseId(ObjectId id) { id_map_.erase(id); }
+
+std::optional<uint32_t> Block::FindId(ObjectId id) const {
+  auto it = id_map_.find(id);
+  if (it == id_map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace corm::alloc

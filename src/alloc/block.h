@@ -1,0 +1,129 @@
+// Block: the unit of memory the process-wide allocator hands to
+// thread-local allocators (paper §2.1.1). A block stores objects of exactly
+// one size class in fixed slots and carries the CoRM-specific metadata: the
+// per-block map from object IDs to slot offsets used for fast pointer
+// correction (paper §3.1.4).
+//
+// Ownership invariant (paper §3.1.4): a block is owned by at most one
+// thread at any time; all mutating calls must come from the owner. The
+// compaction protocol transfers ownership explicitly via messages, so no
+// internal locking is needed.
+
+#ifndef CORM_ALLOC_BLOCK_H_
+#define CORM_ALLOC_BLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdma/rnic.h"
+#include "sim/address_space.h"
+#include "sim/mem_file.h"
+
+namespace corm::alloc {
+
+using ObjectId = uint32_t;
+
+class Block {
+ public:
+  Block(sim::VAddr base, sim::PhysBlock phys, uint32_t class_idx,
+        uint32_t slot_size, rdma::MrKeys keys);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  // --- Identity & geometry. ---------------------------------------------
+  sim::VAddr base() const { return base_; }
+  const sim::PhysBlock& phys() const { return phys_; }
+  sim::PhysBlock* mutable_phys() { return &phys_; }
+  uint32_t class_idx() const { return class_idx_; }
+  uint32_t slot_size() const { return slot_size_; }
+  uint32_t num_slots() const { return num_slots_; }
+  size_t npages() const { return phys_.frames.size(); }
+  size_t bytes() const { return npages() * sim::kVPageSize; }
+  const rdma::MrKeys& keys() const { return keys_; }
+
+  sim::VAddr SlotAddr(uint32_t slot) const {
+    return base_ + static_cast<uint64_t>(slot) * slot_size_;
+  }
+  // Slot index containing `addr`, assuming addr is inside this block.
+  uint32_t SlotFor(sim::VAddr addr) const {
+    return static_cast<uint32_t>((addr - base_) / slot_size_);
+  }
+
+  // --- Slot management. ---------------------------------------------------
+  // Allocates a free slot; returns nullopt when full.
+  std::optional<uint32_t> AllocSlot();
+  // Allocates a *specific* slot; false when taken (used by compaction to
+  // preserve offsets).
+  bool AllocSlotAt(uint32_t slot);
+  void FreeSlot(uint32_t slot);
+  bool SlotAllocated(uint32_t slot) const;
+
+  uint32_t used_slots() const { return used_slots_; }
+  bool Full() const { return used_slots_ == num_slots_; }
+  bool Empty() const { return used_slots_ == 0; }
+  double Occupancy() const {
+    return static_cast<double>(used_slots_) / num_slots_;
+  }
+
+  // --- Object-ID metadata (pointer-correction hash table). ---------------
+  // False when the ID already exists in this block (caller must redraw).
+  bool InsertId(ObjectId id, uint32_t slot);
+  void EraseId(ObjectId id);
+  std::optional<uint32_t> FindId(ObjectId id) const;
+  bool HasId(ObjectId id) const { return FindId(id).has_value(); }
+  const std::unordered_map<ObjectId, uint32_t>& id_map() const {
+    return id_map_;
+  }
+
+  // --- Ghost aliases. ------------------------------------------------------
+  // After compaction the source block's virtual range (and any ghosts that
+  // were already aliasing it) alias this block's physical pages. They must
+  // follow this block through future compactions (and be released when the
+  // last object homed in them dies, paper §3.3).
+  struct GhostRef {
+    sim::VAddr base;
+    rdma::RKey r_key;
+  };
+  std::vector<GhostRef>& aliases() { return aliases_; }
+  const std::vector<GhostRef>& aliases() const { return aliases_; }
+
+  // --- Owner bookkeeping. --------------------------------------------------
+  // The owner is written by ownership-transfer protocols and read by other
+  // workers routing correction/free messages, hence atomic. -1 = in transit.
+  int owner_thread() const {
+    return owner_thread_.load(std::memory_order_acquire);
+  }
+  void set_owner_thread(int t) {
+    owner_thread_.store(t, std::memory_order_release);
+  }
+
+  // Scratch flag used by the owning ThreadAllocator's non-full list.
+  bool nonfull_listed() const { return nonfull_listed_; }
+  void set_nonfull_listed(bool v) { nonfull_listed_ = v; }
+
+ private:
+  const sim::VAddr base_;
+  sim::PhysBlock phys_;
+  const uint32_t class_idx_;
+  const uint32_t slot_size_;
+  const uint32_t num_slots_;
+  const rdma::MrKeys keys_;
+
+  std::vector<uint64_t> bitmap_;  // 1 = allocated
+  uint32_t used_slots_ = 0;
+  uint32_t alloc_hint_ = 0;  // word index where the last allocation happened
+
+  std::unordered_map<ObjectId, uint32_t> id_map_;
+  std::vector<GhostRef> aliases_;
+
+  std::atomic<int> owner_thread_{-1};
+  bool nonfull_listed_ = false;
+};
+
+}  // namespace corm::alloc
+
+#endif  // CORM_ALLOC_BLOCK_H_

@@ -1,0 +1,137 @@
+#include "alloc/block_allocator.h"
+
+#include "common/logging.h"
+
+namespace corm::alloc {
+
+BlockAllocator::BlockAllocator(sim::AddressSpace* space,
+                               sim::MemFileManager* files, rdma::Rnic* rnic,
+                               const SizeClassTable* classes,
+                               BlockAllocatorConfig config)
+    : space_(space),
+      files_(files),
+      rnic_(rnic),
+      classes_(classes),
+      config_(config) {
+  CORM_CHECK_GT(config_.block_pages, 0u);
+}
+
+Result<std::unique_ptr<Block>> BlockAllocator::AllocBlock(uint32_t class_idx) {
+  CORM_CHECK_LT(class_idx, classes_->num_classes());
+  const uint32_t slot_size = classes_->ClassSize(class_idx);
+  if (slot_size > block_bytes()) {
+    return Status::InvalidArgument("size class larger than block");
+  }
+  const size_t npages = config_.block_pages;
+
+  sim::VAddr base = space_->ReserveRange(npages);
+  auto phys = files_->AllocBlock(npages);
+  if (!phys.ok()) {
+    space_->ReleaseRange(base, npages);
+    return phys.status();
+  }
+  Status st = space_->MapFrames(base, phys->frames);
+  if (!st.ok()) {
+    files_->FreeBlock(*phys);
+    space_->ReleaseRange(base, npages);
+    return st;
+  }
+  const bool odp = config_.remap_strategy != sim::RemapStrategy::kReregMr;
+  auto keys = rnic_->RegisterMemory(base, npages, odp);
+  if (!keys.ok()) {
+    CORM_CHECK(space_->Unmap(base, npages).ok());
+    files_->FreeBlock(*phys);
+    space_->ReleaseRange(base, npages);
+    return keys.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++blocks_allocated_;
+  }
+  return std::make_unique<Block>(base, std::move(*phys), class_idx, slot_size,
+                                 *keys);
+}
+
+void BlockAllocator::DestroyBlock(std::unique_ptr<Block> block) {
+  CORM_CHECK(block != nullptr);
+  CORM_CHECK(rnic_->DeregisterMemory(block->keys().r_key).ok());
+  CORM_CHECK(space_->Unmap(block->base(), block->npages()).ok());
+  files_->FreeBlock(block->phys());
+  space_->ReleaseRange(block->base(), block->npages());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++blocks_destroyed_;
+}
+
+Result<uint64_t> BlockAllocator::MergeRemap(Block* src, Block* dst) {
+  CORM_CHECK_EQ(src->npages(), dst->npages());
+  const size_t npages = src->npages();
+
+  // 1. mmap: point src's virtual pages (and every ghost range already
+  //    aliasing src) at dst's physical pages. For ODP regions this fires
+  //    the MMU notifier, invalidating the affected MTT entries.
+  std::vector<std::pair<sim::VAddr, rdma::RKey>> ranges;
+  ranges.emplace_back(src->base(), src->keys().r_key);
+  for (const auto& ghost : src->aliases()) {
+    ranges.emplace_back(ghost.base, ghost.r_key);
+  }
+  // Modeled cost is charged per translation unit: with huge pages a 2 MiB
+  // page remaps/re-registers at the cost of one 4 KiB page (§4.3.1).
+  const uint64_t units = RemapUnits(npages, config_.huge_pages);
+  uint64_t ns = 0;
+  for (const auto& [base, r_key] : ranges) {
+    CORM_RETURN_NOT_OK(space_->Remap(base, dst->base(), npages));
+    ns += rnic_->model().MmapNs() * units;
+
+    // 2. Restore RDMA access through the preserved r_key (paper §3.5).
+    switch (config_.remap_strategy) {
+      case sim::RemapStrategy::kReregMr: {
+        auto rereg_ns = rnic_->ReregMr(r_key);
+        CORM_RETURN_NOT_OK(rereg_ns.status());
+        // The re-registration cost is paid per remapped unit (paper
+        // Fig. 15: compaction time grows linearly with the page count).
+        ns += rnic_->model().ReregMrNs() * units;
+        break;
+      }
+      case sim::RemapStrategy::kOdp:
+        // Nothing to do: the next remote access pays the ODP fault.
+        break;
+      case sim::RemapStrategy::kOdpPrefetch: {
+        auto advise_ns = rnic_->AdviseMr(r_key, base, npages * sim::kVPageSize);
+        CORM_RETURN_NOT_OK(advise_ns.status());
+        ns += rnic_->model().AdviseMrNs() * units;
+        break;
+      }
+    }
+  }
+
+  // The ghosts (and src itself) now alias dst; dst inherits them.
+  for (const auto& ghost : src->aliases()) dst->aliases().push_back(ghost);
+  src->aliases().clear();
+  dst->aliases().push_back({src->base(), src->keys().r_key});
+
+  // 3. Punch src's pages out of its memfd file: the file's frame references
+  //    drop; frames stay alive while any mapping still pins them (none
+  //    should, once the MTT entries were repaired).
+  files_->FreeBlock(src->phys());
+  // src now aliases dst's frames; record that in its phys block descriptor
+  // so later full destruction does not double-free.
+  src->mutable_phys()->frames = dst->phys().frames;
+  src->mutable_phys()->id = {-1, 0};  // no file backing of its own
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++merges_;
+  }
+  // Note: no pacing here — the caller holds locks that must not be held for
+  // a modeled duration; it paces with the returned ns after releasing them.
+  return ns;
+}
+
+void BlockAllocator::ReleaseGhost(sim::VAddr base, size_t npages,
+                                  rdma::RKey r_key) {
+  CORM_CHECK(rnic_->DeregisterMemory(r_key).ok());
+  CORM_CHECK(space_->Unmap(base, npages).ok());
+  space_->ReleaseRange(base, npages);
+}
+
+}  // namespace corm::alloc

@@ -1,0 +1,19 @@
+#include "alloc/fragmentation.h"
+
+namespace corm::alloc {
+
+std::vector<ClassFragmentation> ComputeFragmentation(
+    const std::vector<ThreadAllocator*>& allocators, uint32_t num_classes) {
+  std::vector<ClassFragmentation> out(num_classes);
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    out[c].class_idx = c;
+    for (const ThreadAllocator* ta : allocators) {
+      out[c].granted_bytes += ta->GrantedBytes(c);
+      out[c].used_bytes += ta->UsedBytes(c);
+      out[c].num_blocks += ta->NumBlocks(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace corm::alloc

@@ -1,0 +1,37 @@
+// Fragmentation accounting (paper §2.1, §3.1.3): fragmentation is the ratio
+// between memory granted by the OS and memory effectively used. CoRM's
+// compaction policy triggers on a per-size-class fragmentation threshold.
+
+#ifndef CORM_ALLOC_FRAGMENTATION_H_
+#define CORM_ALLOC_FRAGMENTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/thread_allocator.h"
+
+namespace corm::alloc {
+
+struct ClassFragmentation {
+  uint32_t class_idx = 0;
+  uint64_t granted_bytes = 0;
+  uint64_t used_bytes = 0;
+  size_t num_blocks = 0;
+
+  // granted / used; 1.0 when fully utilized, infinity-ish when unused.
+  double Ratio() const {
+    if (used_bytes == 0) return granted_bytes == 0 ? 1.0 : 1e9;
+    return static_cast<double>(granted_bytes) /
+           static_cast<double>(used_bytes);
+  }
+};
+
+// Aggregates fragmentation per class across a set of thread allocators.
+// Must be called while the allocators are quiescent (or from their node's
+// control plane, which owns them).
+std::vector<ClassFragmentation> ComputeFragmentation(
+    const std::vector<ThreadAllocator*>& allocators, uint32_t num_classes);
+
+}  // namespace corm::alloc
+
+#endif  // CORM_ALLOC_FRAGMENTATION_H_

@@ -1,0 +1,62 @@
+#include "alloc/size_classes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corm::alloc {
+
+SizeClassTable SizeClassTable::Default() {
+  // 16/32 B fit within one cacheline; every larger class is a multiple of
+  // 64 B so slots stay cacheline aligned for FaRM-style versioned reads.
+  // Geometric 1.5x spacing bounds internal fragmentation at ~33%.
+  std::vector<uint32_t> sizes = {16, 32};
+  for (uint32_t base = 64; base <= 16 * 1024; base *= 2) {
+    sizes.push_back(base);
+    const uint32_t mid = base + base / 2;
+    if (mid <= 16 * 1024 && mid % 64 == 0) sizes.push_back(mid);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return SizeClassTable(std::move(sizes));
+}
+
+SizeClassTable SizeClassTable::PowersOfTwo(uint32_t min_size,
+                                           uint32_t max_size) {
+  std::vector<uint32_t> sizes;
+  for (uint32_t s = min_size; s <= max_size; s *= 2) sizes.push_back(s);
+  return SizeClassTable(std::move(sizes));
+}
+
+SizeClassTable SizeClassTable::JemallocLike(uint32_t max_size) {
+  std::vector<uint32_t> sizes;
+  for (uint32_t s = 8; s <= 64 && s <= max_size; s += 8) sizes.push_back(s);
+  for (uint32_t base = 64; base < max_size; base *= 2) {
+    const uint32_t step = base / 4;
+    for (uint32_t s = base + step; s <= base * 2; s += step) {
+      if (s > 64 && s <= max_size && s % 8 == 0) sizes.push_back(s);
+    }
+  }
+  if (sizes.empty() || sizes.back() < max_size) sizes.push_back(max_size);
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return SizeClassTable(std::move(sizes));
+}
+
+SizeClassTable::SizeClassTable(std::vector<uint32_t> sizes)
+    : sizes_(std::move(sizes)) {
+  CORM_CHECK(!sizes_.empty());
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    CORM_CHECK_EQ(sizes_[i] % 8, 0u) << "size classes must be 8-byte aligned";
+    if (i > 0) CORM_CHECK_GT(sizes_[i], sizes_[i - 1]);
+  }
+}
+
+Result<uint32_t> SizeClassTable::ClassFor(uint32_t size) const {
+  auto it = std::lower_bound(sizes_.begin(), sizes_.end(), size);
+  if (it == sizes_.end()) {
+    return Status::InvalidArgument("object larger than largest size class");
+  }
+  return static_cast<uint32_t>(it - sizes_.begin());
+}
+
+}  // namespace corm::alloc

@@ -1,0 +1,48 @@
+// Size-class table for the concurrent memory allocator (paper §2.1.1,
+// §3.1.1): a list of distinct 8-byte-aligned slot sizes chosen to bound
+// internal fragmentation from rounding up to the nearest class.
+
+#ifndef CORM_ALLOC_SIZE_CLASSES_H_
+#define CORM_ALLOC_SIZE_CLASSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace corm::alloc {
+
+class SizeClassTable {
+ public:
+  // Default table: powers of two plus midpoints (1.5x steps), 16 B .. 16 KiB.
+  // Worst-case internal fragmentation from rounding is ~33%.
+  static SizeClassTable Default();
+
+  // Power-of-two-only table, 8 B .. `max`, as used by the paper's
+  // experiments that sweep object sizes 8..2048 B and 256..12288 B.
+  static SizeClassTable PowersOfTwo(uint32_t min_size, uint32_t max_size);
+
+  // Jemalloc-style spacing (8-byte quantum up to 64 B, then four classes
+  // per doubling), used by the memory-study simulator where Redis traces
+  // allocate objects up to 160 KiB. Purely metadata — the runtime layout
+  // constraint (64 B multiples) does not apply here.
+  static SizeClassTable JemallocLike(uint32_t max_size);
+
+  // A caller-supplied table; sizes must be ascending, distinct, 8-aligned.
+  explicit SizeClassTable(std::vector<uint32_t> sizes);
+
+  // Index of the smallest class that fits `size`, or error when `size`
+  // exceeds the largest class.
+  Result<uint32_t> ClassFor(uint32_t size) const;
+
+  uint32_t ClassSize(uint32_t idx) const { return sizes_[idx]; }
+  uint32_t num_classes() const { return static_cast<uint32_t>(sizes_.size()); }
+  const std::vector<uint32_t>& sizes() const { return sizes_; }
+
+ private:
+  std::vector<uint32_t> sizes_;
+};
+
+}  // namespace corm::alloc
+
+#endif  // CORM_ALLOC_SIZE_CLASSES_H_

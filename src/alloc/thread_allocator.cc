@@ -1,0 +1,137 @@
+#include "alloc/thread_allocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corm::alloc {
+
+ThreadAllocator::ThreadAllocator(int thread_id,
+                                 BlockAllocator* block_allocator)
+    : thread_id_(thread_id), block_allocator_(block_allocator) {
+  per_class_.resize(block_allocator_->classes().num_classes());
+}
+
+void ThreadAllocator::PushNonFull(PerClass* pc, Block* block) {
+  if (!block->nonfull_listed() && !block->Full()) {
+    block->set_nonfull_listed(true);
+    pc->nonfull.push_back(block);
+  }
+}
+
+Block* ThreadAllocator::PopNonFull(PerClass* pc) {
+  while (!pc->nonfull.empty()) {
+    Block* block = pc->nonfull.back();
+    // Entries can be stale (block filled up or was detached); the listed
+    // flag is cleared on detach so stale pointers are never dereferenced
+    // after transfer — detach also purges the list (see DetachBlock).
+    if (block->Full()) {
+      block->set_nonfull_listed(false);
+      pc->nonfull.pop_back();
+      continue;
+    }
+    return block;
+  }
+  return nullptr;
+}
+
+Result<ThreadAllocator::Allocation> ThreadAllocator::Alloc(
+    uint32_t class_idx) {
+  CORM_CHECK_LT(class_idx, per_class_.size());
+  PerClass& pc = per_class_[class_idx];
+  bool new_block = false;
+  Block* block = PopNonFull(&pc);
+  if (block == nullptr) {
+    auto fresh = block_allocator_->AllocBlock(class_idx);
+    CORM_RETURN_NOT_OK(fresh.status());
+    block = fresh->get();
+    block->set_owner_thread(thread_id_);
+    pc.blocks.push_back(std::move(*fresh));
+    PushNonFull(&pc, block);
+    new_block = true;
+  }
+  auto slot = block->AllocSlot();
+  CORM_CHECK(slot.has_value()) << "non-full block had no free slot";
+  if (block->Full()) {
+    // Lazily dropped from the nonfull stack by PopNonFull.
+  }
+  pc.used_bytes += block->slot_size();
+  return Allocation{block, *slot, new_block};
+}
+
+bool ThreadAllocator::Free(Block* block, uint32_t slot) {
+  CORM_CHECK_EQ(block->owner_thread(), thread_id_);
+  PerClass& pc = per_class_[block->class_idx()];
+  block->FreeSlot(slot);
+  pc.used_bytes -= block->slot_size();
+  PushNonFull(&pc, block);
+  return block->Empty();
+}
+
+std::unique_ptr<Block> ThreadAllocator::DetachBlock(Block* block) {
+  PerClass& pc = per_class_[block->class_idx()];
+  auto it = std::find_if(pc.blocks.begin(), pc.blocks.end(),
+                         [&](const auto& b) { return b.get() == block; });
+  CORM_CHECK(it != pc.blocks.end()) << "DetachBlock: not owned here";
+  std::unique_ptr<Block> out = std::move(*it);
+  pc.blocks.erase(it);
+  // Purge from the nonfull stack so no dangling pointer remains.
+  pc.nonfull.erase(std::remove(pc.nonfull.begin(), pc.nonfull.end(), block),
+                   pc.nonfull.end());
+  block->set_nonfull_listed(false);
+  pc.used_bytes -=
+      static_cast<uint64_t>(block->used_slots()) * block->slot_size();
+  block->set_owner_thread(-1);
+  return out;
+}
+
+void ThreadAllocator::AdoptBlock(std::unique_ptr<Block> block) {
+  CORM_CHECK(block != nullptr);
+  PerClass& pc = per_class_[block->class_idx()];
+  Block* raw = block.get();
+  raw->set_owner_thread(thread_id_);
+  raw->set_nonfull_listed(false);
+  pc.used_bytes += static_cast<uint64_t>(raw->used_slots()) * raw->slot_size();
+  pc.blocks.push_back(std::move(block));
+  PushNonFull(&pc, raw);
+}
+
+std::vector<std::unique_ptr<Block>> ThreadAllocator::CollectBlocks(
+    uint32_t class_idx, double max_occupancy, size_t max_blocks) {
+  PerClass& pc = per_class_[class_idx];
+  std::vector<Block*> candidates;
+  for (const auto& block : pc.blocks) {
+    if (!block->Empty() && block->Occupancy() <= max_occupancy) {
+      candidates.push_back(block.get());
+    }
+  }
+  // Least-utilized first: they have fewer objects and induce fewer
+  // conflicts (paper §3.1.4).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Block* a, const Block* b) {
+              return a->used_slots() < b->used_slots();
+            });
+  if (candidates.size() > max_blocks) candidates.resize(max_blocks);
+  std::vector<std::unique_ptr<Block>> out;
+  out.reserve(candidates.size());
+  for (Block* block : candidates) out.push_back(DetachBlock(block));
+  return out;
+}
+
+uint64_t ThreadAllocator::GrantedBytes(uint32_t class_idx) const {
+  uint64_t bytes = 0;
+  for (const auto& block : per_class_[class_idx].blocks) {
+    bytes += block->bytes();
+  }
+  return bytes;
+}
+
+uint64_t ThreadAllocator::UsedBytes(uint32_t class_idx) const {
+  return per_class_[class_idx].used_bytes;
+}
+
+size_t ThreadAllocator::NumBlocks(uint32_t class_idx) const {
+  return per_class_[class_idx].blocks.size();
+}
+
+}  // namespace corm::alloc

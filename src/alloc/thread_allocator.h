@@ -1,0 +1,85 @@
+// Thread-local allocator (paper §2.1.1): serves allocations of its worker
+// thread from blocks it owns, requesting new blocks from the process-wide
+// BlockAllocator when a size class runs dry.
+//
+// All methods must be called from the owning worker thread (or from the
+// compaction leader *after* ownership of specific blocks was transferred to
+// it via the collection protocol).
+
+#ifndef CORM_ALLOC_THREAD_ALLOCATOR_H_
+#define CORM_ALLOC_THREAD_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/block.h"
+#include "alloc/block_allocator.h"
+#include "common/result.h"
+
+namespace corm::alloc {
+
+class ThreadAllocator {
+ public:
+  ThreadAllocator(int thread_id, BlockAllocator* block_allocator);
+
+  ThreadAllocator(const ThreadAllocator&) = delete;
+  ThreadAllocator& operator=(const ThreadAllocator&) = delete;
+
+  struct Allocation {
+    Block* block;
+    uint32_t slot;
+    bool new_block;  // true when a fresh block had to be fetched
+  };
+
+  // Allocates one slot in `class_idx`.
+  Result<Allocation> Alloc(uint32_t class_idx);
+
+  // Frees a slot in a block owned by this thread. Returns true when the
+  // block became empty (caller decides whether it can be fully released).
+  bool Free(Block* block, uint32_t slot);
+
+  // Detaches an (empty) block from this allocator and returns ownership.
+  std::unique_ptr<Block> DetachBlock(Block* block);
+
+  // Adopts a block (ownership transfer from another thread / the leader).
+  void AdoptBlock(std::unique_ptr<Block> block);
+
+  // Collection-phase helper (paper §3.1.4): detaches up to `max_blocks`
+  // non-empty blocks of `class_idx` whose occupancy is <= max_occupancy,
+  // least-utilized first.
+  std::vector<std::unique_ptr<Block>> CollectBlocks(uint32_t class_idx,
+                                                    double max_occupancy,
+                                                    size_t max_blocks);
+
+  // --- Accounting (for fragmentation ratios, paper §3.1.3). -------------
+  // Bytes of blocks held for `class_idx` (granted memory).
+  uint64_t GrantedBytes(uint32_t class_idx) const;
+  // Bytes actually occupied by live slots in `class_idx`.
+  uint64_t UsedBytes(uint32_t class_idx) const;
+  size_t NumBlocks(uint32_t class_idx) const;
+  // All blocks of a class (leader-side iteration in tests/benches).
+  const std::vector<std::unique_ptr<Block>>& blocks(uint32_t class_idx) const {
+    return per_class_[class_idx].blocks;
+  }
+
+  int thread_id() const { return thread_id_; }
+
+ private:
+  struct PerClass {
+    std::vector<std::unique_ptr<Block>> blocks;
+    std::vector<Block*> nonfull;  // stack of blocks with a free slot
+    uint64_t used_bytes = 0;
+  };
+
+  void PushNonFull(PerClass* pc, Block* block);
+  Block* PopNonFull(PerClass* pc);
+
+  const int thread_id_;
+  BlockAllocator* const block_allocator_;
+  std::vector<PerClass> per_class_;
+};
+
+}  // namespace corm::alloc
+
+#endif  // CORM_ALLOC_THREAD_ALLOCATOR_H_

@@ -1,0 +1,414 @@
+#include "baseline/compaction_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corm::baseline {
+
+const char* AlgorithmName(Algorithm algo, int id_bits) {
+  switch (algo) {
+    case Algorithm::kNone:
+      return "No";
+    case Algorithm::kIdeal:
+      return "Ideal";
+    case Algorithm::kMesh:
+      return "Mesh";
+    case Algorithm::kCorm:
+      switch (id_bits) {
+        case 8:
+          return "CoRM-8";
+        case 12:
+          return "CoRM-12";
+        case 16:
+          return "CoRM-16";
+        case 20:
+          return "CoRM-20";
+        default:
+          return "CoRM-n";
+      }
+    case Algorithm::kHybrid:
+      switch (id_bits) {
+        case 8:
+          return "CoRM-0+CoRM-8";
+        case 12:
+          return "CoRM-0+CoRM-12";
+        case 16:
+          return "CoRM-0+CoRM-16";
+        default:
+          return "CoRM-0+CoRM-n";
+      }
+    case Algorithm::kAdaptive:
+      return "CoRM-auto";
+  }
+  return "?";
+}
+
+AllocatorSim::AllocatorSim(SimConfig config,
+                           const alloc::SizeClassTable* classes)
+    : config_(config), classes_(classes), rng_(config.seed) {
+  per_thread_.resize(config_.num_threads);
+  for (auto& classes_of_thread : per_thread_) {
+    classes_of_thread.resize(classes_->num_classes());
+  }
+  live_per_class_.assign(classes_->num_classes(), 0);
+}
+
+AllocatorSim::~AllocatorSim() = default;
+
+uint32_t AllocatorSim::SimBlock::TakeFreeSlot() {
+  size_t w = free_hint / 64;
+  while (w < slot_bits.size() && slot_bits[w] == UINT64_MAX) ++w;
+  CORM_CHECK_LT(w, slot_bits.size()) << "TakeFreeSlot on a full block";
+  uint32_t slot =
+      static_cast<uint32_t>(w * 64 +
+                            static_cast<uint32_t>(__builtin_ctzll(~slot_bits[w])));
+  CORM_CHECK_LT(slot, num_slots);
+  SetSlot(slot);
+  free_hint = slot + 1;
+  return slot;
+}
+
+uint32_t AllocatorSim::SimBlock::TakeRandomFreeSlot(Rng* rng) {
+  const uint32_t start = static_cast<uint32_t>(rng->Uniform(num_slots));
+  // Scan from a random position (with wraparound) for the next free slot.
+  const size_t nwords = slot_bits.size();
+  size_t w = start / 64;
+  // Mask off bits below `start` in the first word.
+  uint64_t masked = slot_bits[w] | ((1ULL << (start % 64)) - 1);
+  for (size_t probe = 0; probe <= nwords; ++probe) {
+    if (masked != UINT64_MAX) {
+      const uint32_t slot =
+          static_cast<uint32_t>(w * 64 +
+                                static_cast<uint32_t>(__builtin_ctzll(~masked)));
+      if (slot < num_slots) {
+        SetSlot(slot);
+        return slot;
+      }
+    }
+    w = (w + 1) % nwords;
+    masked = slot_bits[w];
+  }
+  CORM_CHECK(false) << "TakeRandomFreeSlot on a full block";
+  return 0;
+}
+
+bool AllocatorSim::UsesIds() const {
+  return config_.algorithm == Algorithm::kCorm ||
+         config_.algorithm == Algorithm::kHybrid ||
+         config_.algorithm == Algorithm::kAdaptive;
+}
+
+int AllocatorSim::ClassIdBits(uint32_t class_idx) const {
+  if (config_.algorithm != Algorithm::kAdaptive) return config_.id_bits;
+  // Auto-labeling (§4.4.3): enough ID space to keep collisions rare at the
+  // class's own slot count, clamped to a sane header budget.
+  const uint64_t slots = config_.block_bytes / classes_->ClassSize(class_idx);
+  int bits = 6;  // slack: ID space = 64x the slot count
+  for (uint64_t v = slots; v > 1; v >>= 1) ++bits;
+  return std::min(24, std::max(8, bits));
+}
+
+bool AllocatorSim::ClassUsesIds(uint32_t class_idx) const {
+  if (!UsesIds()) return false;
+  const uint64_t slots = config_.block_bytes / classes_->ClassSize(class_idx);
+  const uint64_t id_space = 1ULL << ClassIdBits(class_idx);
+  if (slots <= id_space) return true;
+  // Vanilla CoRM-n: class not compactable at all; hybrid: fall back to
+  // offset-based (CoRM-0) merging.
+  return false;
+}
+
+bool AllocatorSim::ClassCompactable(uint32_t class_idx) const {
+  switch (config_.algorithm) {
+    case Algorithm::kNone:
+    case Algorithm::kIdeal:
+      return false;
+    case Algorithm::kMesh:
+      return true;
+    case Algorithm::kCorm:
+      return ClassUsesIds(class_idx);
+    case Algorithm::kHybrid:
+    case Algorithm::kAdaptive:
+      return true;  // IDs where addressable, offsets otherwise
+  }
+  return false;
+}
+
+uint32_t AllocatorSim::OverheadBitsPerObject(uint32_t class_idx) const {
+  switch (config_.algorithm) {
+    case Algorithm::kNone:
+    case Algorithm::kIdeal:
+    case Algorithm::kMesh:
+      return 0;
+    case Algorithm::kCorm:
+    case Algorithm::kHybrid:
+      // Table 3: 28-bit home block address + n-bit object ID.
+      return 28 + static_cast<uint32_t>(config_.id_bits);
+    case Algorithm::kAdaptive:
+      return 28 + static_cast<uint32_t>(ClassIdBits(class_idx));
+  }
+  return 0;
+}
+
+uint32_t AllocatorSim::NewBlock(uint32_t class_idx, int thread) {
+  const uint32_t slots = static_cast<uint32_t>(
+      config_.block_bytes / classes_->ClassSize(class_idx));
+  CORM_CHECK_GT(slots, 0u) << "class larger than block";
+  uint32_t idx;
+  if (!free_block_slots_.empty()) {
+    idx = free_block_slots_.back();
+    free_block_slots_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(blocks_.size());
+    blocks_.emplace_back();
+  }
+  SimBlock& b = blocks_[idx];
+  b = SimBlock{};
+  b.class_idx = class_idx;
+  b.num_slots = slots;
+  b.thread = thread;
+  b.slot_bits.assign((slots + 63) / 64, 0);
+  b.slot_object.assign(slots, 0);
+  ++active_blocks_;
+  return idx;
+}
+
+void AllocatorSim::ReleaseBlock(uint32_t block_idx) {
+  SimBlock& b = blocks_[block_idx];
+  CORM_CHECK_EQ(b.used, 0u);
+  auto& nonfull = per_thread_[b.thread][b.class_idx].nonfull;
+  nonfull.erase(std::remove(nonfull.begin(), nonfull.end(), block_idx),
+                nonfull.end());
+  b.retired = true;
+  b.slot_bits.clear();
+  b.slot_object.clear();
+  b.ids.clear();
+  free_block_slots_.push_back(block_idx);
+  --active_blocks_;
+}
+
+SimHandle AllocatorSim::Alloc(uint32_t size) {
+  const int thread = static_cast<int>(rng_.Uniform(config_.num_threads));
+  return AllocOnThread(size, thread);
+}
+
+SimHandle AllocatorSim::AllocOnThread(uint32_t size, int thread) {
+  auto class_idx = classes_->ClassFor(size);
+  CORM_CHECK(class_idx.ok()) << "object too large: " << size;
+  PerThreadClass& ptc = per_thread_[thread][*class_idx];
+
+  uint32_t block_idx = UINT32_MAX;
+  while (!ptc.nonfull.empty()) {
+    const uint32_t candidate = ptc.nonfull.back();
+    if (blocks_[candidate].retired ||
+        blocks_[candidate].used == blocks_[candidate].num_slots ||
+        blocks_[candidate].thread != thread) {
+      ptc.nonfull.pop_back();
+      continue;
+    }
+    block_idx = candidate;
+    break;
+  }
+  if (block_idx == UINT32_MAX) {
+    block_idx = NewBlock(*class_idx, thread);
+    ptc.nonfull.push_back(block_idx);
+  }
+  SimBlock& b = blocks_[block_idx];
+
+  const uint32_t slot = b.TakeRandomFreeSlot(&rng_);
+  ++b.used;
+  if (b.used == b.num_slots) ptc.nonfull.pop_back();
+
+  uint32_t id = 0;
+  if (ClassUsesIds(*class_idx)) {
+    const int bits = ClassIdBits(*class_idx);
+    const uint32_t mask = bits >= 31 ? 0x7fffffff : (1u << bits) - 1;
+    do {
+      id = static_cast<uint32_t>(rng_.Next()) & mask;
+    } while (!b.ids.insert(id).second);
+  }
+
+  const auto handle = static_cast<SimHandle>(objects_.size());
+  objects_.push_back(SimObject{block_idx, slot, id, true});
+  b.slot_object[slot] = static_cast<uint32_t>(handle);
+  ++live_objects_;
+  ++live_per_class_[*class_idx];
+  live_bytes_ += classes_->ClassSize(*class_idx);
+  return handle;
+}
+
+void AllocatorSim::Free(SimHandle handle) {
+  CORM_CHECK_LT(handle, objects_.size());
+  SimObject& obj = objects_[handle];
+  CORM_CHECK(obj.live) << "double free";
+  obj.live = false;
+  SimBlock& b = blocks_[obj.block];
+  CORM_CHECK(b.SlotUsed(obj.slot));
+  b.ClearSlot(obj.slot);
+  --b.used;
+  if (ClassUsesIds(b.class_idx)) b.ids.erase(obj.id);
+  --live_objects_;
+  --live_per_class_[b.class_idx];
+  live_bytes_ -= classes_->ClassSize(b.class_idx);
+  if (b.used == 0) {
+    ReleaseBlock(obj.block);
+  } else if (b.used + 1 == b.num_slots) {
+    per_thread_[b.thread][b.class_idx].nonfull.push_back(obj.block);
+  }
+}
+
+bool AllocatorSim::CanMerge(const SimBlock& src, const SimBlock& dst) const {
+  if (src.class_idx != dst.class_idx) return false;
+  if (src.used + dst.used > dst.num_slots) return false;
+  if (ClassUsesIds(src.class_idx)) {
+    // CoRM-n: random object IDs must be disjoint (§3.1.2).
+    const auto& small = src.ids.size() <= dst.ids.size() ? src.ids : dst.ids;
+    const auto& large = src.ids.size() <= dst.ids.size() ? dst.ids : src.ids;
+    for (uint32_t id : small) {
+      if (large.count(id)) return false;
+    }
+    return true;
+  }
+  // Mesh / CoRM-0: allocated offsets must be disjoint [36] (word-level AND).
+  for (size_t w = 0; w < src.slot_bits.size(); ++w) {
+    if (src.slot_bits[w] & dst.slot_bits[w]) return false;
+  }
+  return true;
+}
+
+void AllocatorSim::Merge(uint32_t src_idx, uint32_t dst_idx,
+                         CompactionOutcome* out) {
+  SimBlock& src = blocks_[src_idx];
+  SimBlock& dst = blocks_[dst_idx];
+  const bool ids = ClassUsesIds(src.class_idx);
+  for (uint32_t s = 0; s < src.num_slots; ++s) {
+    if (!src.SlotUsed(s)) continue;
+    const uint32_t obj_idx = src.slot_object[s];
+    SimObject& obj = objects_[obj_idx];
+    uint32_t dslot = s;
+    if (dst.SlotUsed(dslot)) {
+      // Offset conflict: only possible in ID mode; relocate within dst.
+      CORM_CHECK(ids);
+      dslot = dst.TakeFreeSlot();
+      ++out->objects_moved;
+    } else {
+      dst.SetSlot(dslot);
+    }
+    dst.slot_object[dslot] = obj_idx;
+    ++dst.used;
+    if (ids) CORM_CHECK(dst.ids.insert(obj.id).second);
+    obj.block = dst_idx;
+    obj.slot = dslot;
+    src.ClearSlot(s);
+    --src.used;
+  }
+  dst.free_hint = 0;  // conservatively rescan after a merge
+  ReleaseBlock(src_idx);
+  ++out->merges;
+}
+
+CompactionOutcome AllocatorSim::Compact() {
+  CompactionOutcome out;
+  out.blocks_before = active_blocks_;
+  if (config_.algorithm == Algorithm::kNone ||
+      config_.algorithm == Algorithm::kIdeal) {
+    out.blocks_after = active_blocks_;
+    return out;
+  }
+
+  // Gather candidates per class across all threads (the leader's collected
+  // pool), sorted ascending by utilization.
+  for (uint32_t c = 0; c < classes_->num_classes(); ++c) {
+    if (!ClassCompactable(c)) continue;
+    std::vector<uint32_t> pool;
+    for (uint32_t i = 0; i < blocks_.size(); ++i) {
+      if (!blocks_[i].retired && blocks_[i].class_idx == c &&
+          blocks_[i].used > 0 && blocks_[i].used < blocks_[i].num_slots) {
+        pool.push_back(i);
+      }
+    }
+    std::sort(pool.begin(), pool.end(), [&](uint32_t a, uint32_t b) {
+      return blocks_[a].used < blocks_[b].used;
+    });
+    // Greedy: merge the least utilized block into the most utilized
+    // compatible destination; iterate to a fixpoint.
+    size_t lo = 0;
+    while (lo < pool.size()) {
+      const uint32_t src_idx = pool[lo];
+      size_t found = pool.size();
+      for (size_t hi = pool.size(); hi-- > lo + 1;) {
+        if (CanMerge(blocks_[src_idx], blocks_[pool[hi]])) {
+          found = hi;
+          break;
+        }
+      }
+      if (found == pool.size()) {
+        ++lo;
+        continue;
+      }
+      const uint32_t dst_idx = pool[found];
+      Merge(src_idx, dst_idx, &out);
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(lo));
+      --found;
+      // Re-position dst by its new utilization; drop it if it became full.
+      const uint32_t moved = pool[found];
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(found));
+      if (blocks_[moved].used < blocks_[moved].num_slots) {
+        auto pos = std::lower_bound(
+            pool.begin(), pool.end(), moved, [&](uint32_t a, uint32_t b) {
+              return blocks_[a].used < blocks_[b].used;
+            });
+        pool.insert(pos, moved);
+      }
+    }
+    // Rebuild non-full lists for this class (ownership threads unchanged
+    // for surviving blocks).
+    for (auto& thread_classes : per_thread_) {
+      thread_classes[c].nonfull.clear();
+    }
+    for (uint32_t i = 0; i < blocks_.size(); ++i) {
+      const SimBlock& b = blocks_[i];
+      if (!b.retired && b.class_idx == c && b.used < b.num_slots) {
+        per_thread_[b.thread][c].nonfull.push_back(i);
+      }
+    }
+  }
+  out.blocks_after = active_blocks_;
+  return out;
+}
+
+uint64_t AllocatorSim::ActiveBytes() const {
+  const uint64_t bytes =
+      static_cast<uint64_t>(active_blocks_) * config_.block_bytes;
+  // Per-object header overhead is charged on every live object
+  // (paper §4.4.1-§4.4.2: "the reported data includes this overhead");
+  // the adaptive strategy's overhead varies by class.
+  uint64_t overhead_bits = 0;
+  for (uint32_t c = 0; c < classes_->num_classes(); ++c) {
+    overhead_bits += live_per_class_[c] * OverheadBitsPerObject(c);
+  }
+  return bytes + (overhead_bits + 7) / 8;
+}
+
+uint64_t AllocatorSim::LiveBytes() const { return live_bytes_; }
+
+uint64_t AllocatorSim::IdealBytes() const {
+  // Perfect compactor: per class, live objects packed into whole blocks.
+  std::vector<uint64_t> live_per_class(classes_->num_classes(), 0);
+  for (const SimBlock& b : blocks_) {
+    if (!b.retired) live_per_class[b.class_idx] += b.used;
+  }
+  uint64_t bytes = 0;
+  for (uint32_t c = 0; c < classes_->num_classes(); ++c) {
+    if (live_per_class[c] == 0) continue;
+    const uint64_t slots = config_.block_bytes / classes_->ClassSize(c);
+    const uint64_t blocks = (live_per_class[c] + slots - 1) / slots;
+    bytes += blocks * config_.block_bytes;
+  }
+  return bytes;
+}
+
+size_t AllocatorSim::num_blocks() const { return active_blocks_; }
+
+}  // namespace corm::baseline

@@ -1,0 +1,162 @@
+// Abstract allocator + compaction simulator for the memory studies
+// (paper §4.4, Figures 17-19).
+//
+// The runtime CoRM node stores real bytes; for multi-gigabyte traces the
+// paper's own memory study only needs allocator *metadata*: which slots and
+// object IDs each block holds. This simulator models exactly that, and
+// implements every compaction strategy the paper compares:
+//
+//   kNone   -- no compaction ("No")
+//   kIdeal  -- perfect compactor: live objects packed into minimal blocks
+//   kMesh   -- merge blocks only when allocated offsets are disjoint [36]
+//   kCorm   -- CoRM-n: merge when random n-bit object IDs are disjoint;
+//              classes whose blocks hold more than 2^n objects cannot be
+//              compacted (vanilla mode, §4.4.2)
+//   kHybrid -- CoRM-0+CoRM-n: classes not addressable by n-bit IDs fall
+//              back to offset-based merging (§4.4.1)
+//   kAdaptive - the §4.4.3 future-work auto-labeling strategy: each size
+//              class picks its own ID width from its slot count
+//              (log2(slots) + 6 bits of slack, clamped to [8, 24]), so
+//              every class is compactable and large-object classes pay
+//              fewer header bits
+//
+// Reported active memory includes the per-object header overhead of each
+// strategy (Table 3): Mesh 0 bits, CoRM-0 28 bits (virtual home address),
+// CoRM-n 28+n bits.
+
+#ifndef CORM_BASELINE_COMPACTION_SIM_H_
+#define CORM_BASELINE_COMPACTION_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "alloc/size_classes.h"
+#include "common/byte_units.h"
+#include "common/random.h"
+
+namespace corm::baseline {
+
+enum class Algorithm { kNone, kIdeal, kMesh, kCorm, kHybrid, kAdaptive };
+
+const char* AlgorithmName(Algorithm algo, int id_bits);
+
+struct SimConfig {
+  size_t block_bytes = kMiB;  // FaRM-sized blocks (paper §4.4)
+  int num_threads = 1;        // allocating thread chosen uniformly at random
+  Algorithm algorithm = Algorithm::kCorm;
+  int id_bits = 16;           // n in CoRM-n
+  uint64_t seed = 1;
+};
+
+// Object handle returned by Alloc.
+using SimHandle = uint64_t;
+
+struct CompactionOutcome {
+  size_t blocks_before = 0;
+  size_t blocks_after = 0;
+  size_t merges = 0;
+  size_t objects_moved = 0;
+};
+
+class AllocatorSim {
+ public:
+  AllocatorSim(SimConfig config, const alloc::SizeClassTable* classes);
+  ~AllocatorSim();
+
+  AllocatorSim(const AllocatorSim&) = delete;
+  AllocatorSim& operator=(const AllocatorSim&) = delete;
+
+  // Allocates an object of `size` bytes on a uniformly random thread.
+  SimHandle Alloc(uint32_t size);
+  // Allocates on a specific thread.
+  SimHandle AllocOnThread(uint32_t size, int thread);
+  void Free(SimHandle handle);
+
+  // Runs the configured compaction to a fixpoint (no more mergeable pairs).
+  // kNone/kIdeal are no-ops: kIdeal is accounted analytically.
+  CompactionOutcome Compact();
+
+  // --- Accounting. ---------------------------------------------------------
+  // Granted block memory + per-object header overhead for this strategy.
+  uint64_t ActiveBytes() const;
+  // Sum of live objects' class sizes.
+  uint64_t LiveBytes() const;
+  // The ideal compactor's active memory: minimal whole blocks per class.
+  uint64_t IdealBytes() const;
+  uint64_t live_objects() const { return live_objects_; }
+  size_t num_blocks() const;
+
+ private:
+  struct SimBlock {
+    uint32_t class_idx = 0;
+    uint32_t num_slots = 0;
+    uint32_t used = 0;
+    int thread = 0;
+    uint32_t free_hint = 0;                  // lowest possibly-free slot
+    std::vector<uint64_t> slot_bits;         // occupancy bitmap (1 = used)
+    std::vector<uint32_t> slot_object;       // object index per slot
+    std::unordered_set<uint32_t> ids;        // CoRM modes only
+    bool retired = false;
+
+    bool SlotUsed(uint32_t slot) const {
+      return (slot_bits[slot / 64] >> (slot % 64)) & 1;
+    }
+    void SetSlot(uint32_t slot) { slot_bits[slot / 64] |= 1ULL << (slot % 64); }
+    void ClearSlot(uint32_t slot) {
+      slot_bits[slot / 64] &= ~(1ULL << (slot % 64));
+      if (slot < free_hint) free_hint = slot;
+    }
+    // First free slot at or after free_hint (there must be one).
+    uint32_t TakeFreeSlot();
+    // Uniformly random free slot (there must be one). Mesh's real
+    // allocator randomizes in-span placement to maximize meshability
+    // [36], and the paper's §3.4 probability model assumes uniform
+    // offsets — allocation placement must match.
+    uint32_t TakeRandomFreeSlot(Rng* rng);
+  };
+
+  struct SimObject {
+    uint32_t block = 0;  // index into blocks_
+    uint32_t slot = 0;
+    uint32_t id = 0;     // up to 31 ID bits (CoRM-20 needs > 16)
+    bool live = false;
+  };
+
+  struct PerThreadClass {
+    std::vector<uint32_t> nonfull;  // block indices with a free slot
+  };
+
+  bool UsesIds() const;
+  bool ClassUsesIds(uint32_t class_idx) const;  // hybrid: per-class choice
+  bool ClassCompactable(uint32_t class_idx) const;
+  // Effective ID width for a class (config-wide for CoRM-n; per-class for
+  // the adaptive strategy).
+  int ClassIdBits(uint32_t class_idx) const;
+  uint32_t OverheadBitsPerObject(uint32_t class_idx) const;
+
+  uint32_t NewBlock(uint32_t class_idx, int thread);
+  void ReleaseBlock(uint32_t block_idx);
+
+  // True when `src` can merge into `dst` under the configured predicate.
+  bool CanMerge(const SimBlock& src, const SimBlock& dst) const;
+  void Merge(uint32_t src_idx, uint32_t dst_idx, CompactionOutcome* out);
+
+  const SimConfig config_;
+  const alloc::SizeClassTable* const classes_;
+  Rng rng_;
+
+  std::vector<SimBlock> blocks_;
+  std::vector<uint32_t> free_block_slots_;  // recycled indices in blocks_
+  std::vector<SimObject> objects_;
+  std::vector<std::vector<PerThreadClass>> per_thread_;  // [thread][class]
+  std::vector<uint64_t> live_per_class_;
+  uint64_t live_objects_ = 0;
+  uint64_t live_bytes_ = 0;
+  size_t active_blocks_ = 0;
+};
+
+}  // namespace corm::baseline
+
+#endif  // CORM_BASELINE_COMPACTION_SIM_H_

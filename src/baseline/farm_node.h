@@ -1,0 +1,40 @@
+// FaRM baseline (paper §4, footnote 2).
+//
+// "FaRM is not open-source, therefore, we emulated FaRM (including its
+// cacheline consistency check) following the publicly available
+// information." We mirror that emulation the same way the paper does: the
+// same allocator, the same FaRM-style per-cacheline version consistency
+// protocol, 1 MiB blocks, but no object IDs, no pointer correction, and no
+// memory compaction — exactly the Table 1 feature delta.
+
+#ifndef CORM_BASELINE_FARM_NODE_H_
+#define CORM_BASELINE_FARM_NODE_H_
+
+#include <memory>
+
+#include "core/corm_node.h"
+
+namespace corm::baseline {
+
+// FaRM-like configuration: object IDs disabled (id_bits = 0 makes every
+// class non-compactable, so Compact() refuses and pointers are always
+// direct), 1 MiB blocks as in FaRM.
+inline core::CormConfig FarmConfig() {
+  core::CormConfig config;
+  config.object_id_bits = 0;  // disables IDs, metadata maps and compaction
+  config.block_pages = 256;   // 1 MiB
+  return config;
+}
+
+// A FaRM-emulating node is a CormNode with FarmConfig(); reads go through
+// the identical DirectRead/consistency-check path, so CoRM-vs-FaRM
+// throughput comparisons isolate the compaction machinery.
+inline std::unique_ptr<core::CormNode> MakeFarmNode(
+    core::CormConfig overrides = FarmConfig()) {
+  overrides.object_id_bits = 0;
+  return std::make_unique<core::CormNode>(overrides);
+}
+
+}  // namespace corm::baseline
+
+#endif  // CORM_BASELINE_FARM_NODE_H_

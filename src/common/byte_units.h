@@ -1,0 +1,47 @@
+// Byte-size constants and formatting helpers.
+
+#ifndef CORM_COMMON_BYTE_UNITS_H_
+#define CORM_COMMON_BYTE_UNITS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace corm {
+
+inline constexpr size_t kKiB = 1024;
+inline constexpr size_t kMiB = 1024 * kKiB;
+inline constexpr size_t kGiB = 1024 * kMiB;
+inline constexpr size_t kPageSize = 4 * kKiB;
+inline constexpr size_t kCacheLineSize = 64;
+
+// Rounds `v` up to the next multiple of `align` (align must be a power of 2).
+constexpr size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+constexpr bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// "1.50 GiB", "312.0 MiB", "4 KiB", "73 B".
+inline std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_BYTE_UNITS_H_

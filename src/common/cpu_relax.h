@@ -1,0 +1,22 @@
+// Spin-wait hint that behaves sensibly on both many-core and single-core
+// hosts: a PAUSE for short waits plus a scheduler yield so that on an
+// oversubscribed (or single-CPU) machine the thread being waited on can
+// actually run. All library spin loops use this.
+
+#ifndef CORM_COMMON_CPU_RELAX_H_
+#define CORM_COMMON_CPU_RELAX_H_
+
+#include <thread>
+
+namespace corm {
+
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#endif
+  std::this_thread::yield();
+}
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_CPU_RELAX_H_

@@ -1,0 +1,18 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+namespace corm {
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fns p50=%lluns p99=%lluns max=%lluns",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Median()),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace corm

@@ -1,0 +1,99 @@
+// Latency histogram with fixed log-linear buckets (HdrHistogram-lite).
+// Records values in nanoseconds; reports percentiles, mean, count.
+
+#ifndef CORM_COMMON_HISTOGRAM_H_
+#define CORM_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace corm {
+
+class Histogram {
+ public:
+  Histogram() { Reset(); }
+
+  void Reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+  }
+
+  void Record(uint64_t value_ns) {
+    buckets_[BucketFor(value_ns)]++;
+    count_++;
+    sum_ += value_ns;
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  // Returns the approximate value at quantile q in [0, 1].
+  uint64_t Percentile(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return BucketMidpoint(i);
+    }
+    return max_;
+  }
+
+  uint64_t Median() const { return Percentile(0.5); }
+
+  std::string Summary() const;
+
+ private:
+  // Log-linear buckets with a 6-bit mantissa (~1.5% relative error).
+  static constexpr size_t kSubBits = 6;
+  static constexpr size_t kSubBuckets = 1u << kSubBits;  // 64
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  static size_t BucketFor(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    const int log = 63 - __builtin_clzll(v);
+    const int shift = log - static_cast<int>(kSubBits) + 1;
+    const size_t sub = static_cast<size_t>((v >> shift) & (kSubBuckets - 1));
+    return static_cast<size_t>(shift) * kSubBuckets + sub;
+  }
+
+  static uint64_t BucketMidpoint(size_t b) {
+    if (b < kSubBuckets) return static_cast<uint64_t>(b);
+    // Inverse of BucketFor: index = g * kSubBuckets + sub with
+    // sub = v >> g, so the bucket covers [sub << g, (sub + 1) << g).
+    const int g = static_cast<int>(b / kSubBuckets);
+    const uint64_t sub = b % kSubBuckets;
+    const uint64_t low = sub << g;
+    return low + (1ULL << g) / 2;
+  }
+
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_HISTOGRAM_H_

@@ -1,0 +1,99 @@
+// Minimal leveled logging + CHECK macros. Logging defaults to WARNING so the
+// library stays quiet inside benchmarks; tests can lower the threshold.
+
+#ifndef CORM_COMMON_LOGGING_H_
+#define CORM_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace corm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide log threshold; messages below it are dropped.
+inline std::atomic<LogLevel>& GlobalLogLevel() {
+  static std::atomic<LogLevel> level{LogLevel::kWarning};
+  return level;
+}
+
+inline void SetLogLevel(LogLevel level) {
+  GlobalLogLevel().store(level, std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false)
+      : level_(level), fatal_(fatal) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (fatal_ || level_ >= GlobalLogLevel().load(std::memory_order_relaxed)) {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    }
+    if (fatal_) std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define CORM_LOG(level)                                                     \
+  ::corm::internal_logging::LogMessage(::corm::LogLevel::k##level, __FILE__, \
+                                       __LINE__)                             \
+      .stream()
+
+// Invariant check: aborts with a message when `cond` is false. Active in all
+// build types — these guard memory-safety invariants, not user errors.
+#define CORM_CHECK(cond)                                                 \
+  for (bool _ok = static_cast<bool>(cond); !_ok; _ok = true)             \
+  ::corm::internal_logging::LogMessage(::corm::LogLevel::kError,         \
+                                       __FILE__, __LINE__, /*fatal=*/true) \
+      .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define CORM_CHECK_EQ(a, b) CORM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CORM_CHECK_NE(a, b) CORM_CHECK((a) != (b))
+#define CORM_CHECK_LT(a, b) CORM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CORM_CHECK_LE(a, b) CORM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CORM_CHECK_GT(a, b) CORM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CORM_CHECK_GE(a, b) CORM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_LOGGING_H_

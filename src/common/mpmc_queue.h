@@ -1,0 +1,106 @@
+// Bounded multi-producer / multi-consumer queue used as the shared RPC queue
+// that CoRM worker threads poll (paper Fig. 3) and as the per-thread message
+// channels of the compaction protocol.
+//
+// Implementation: mutex-free Vyukov-style ring buffer with per-cell sequence
+// numbers. Capacity must be a power of two.
+
+#ifndef CORM_COMMON_MPMC_QUEUE_H_
+#define CORM_COMMON_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace corm {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity_pow2) : mask_(capacity_pow2 - 1) {
+    assert(capacity_pow2 >= 2 && (capacity_pow2 & mask_) == 0 &&
+           "capacity must be a power of two");
+    cells_ = std::make_unique<Cell[]>(capacity_pow2);
+    for (size_t i = 0; i < capacity_pow2; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Returns false when the queue is full.
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Returns nullopt when the queue is empty.
+  std::optional<T> TryPop() {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    T out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  // Approximate: only exact when no concurrent operations are in flight.
+  size_t ApproxSize() const {
+    const size_t t = tail_.load(std::memory_order_relaxed);
+    const size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_MPMC_QUEUE_H_

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random utilities.
+//
+// Benchmarks and tests need reproducible runs, so all randomness in the
+// library flows through explicitly-seeded Rng instances (xoshiro256**,
+// which is fast enough to sit on allocation paths).
+
+#ifndef CORM_COMMON_RANDOM_H_
+#define CORM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace corm {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation
+// adapted). Not cryptographic; statistical quality is ample for workload
+// generation and object-ID assignment.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_RANDOM_H_

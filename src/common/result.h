@@ -1,0 +1,72 @@
+// Result<T>: a value-or-Status discriminated union (Arrow-style).
+
+#ifndef CORM_COMMON_RESULT_H_
+#define CORM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace corm {
+
+// Holds either a T (success) or a non-OK Status (failure). Constructing a
+// Result from an OK status is a programming error (there would be no value).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  // Value accessors. Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define CORM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define CORM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CORM_ASSIGN_OR_RETURN_IMPL(CORM_CONCAT_(_res_, __LINE__), lhs, rexpr)
+
+#define CORM_CONCAT_INNER_(a, b) a##b
+#define CORM_CONCAT_(a, b) CORM_CONCAT_INNER_(a, b)
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_RESULT_H_

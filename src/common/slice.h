@@ -1,0 +1,55 @@
+// Slice: non-owning view over a byte range (RocksDB-style), plus a tiny
+// owning buffer type used by RPC messages.
+
+#ifndef CORM_COMMON_SLICE_H_
+#define CORM_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace corm {
+
+// A pointer + length pair. Does not own the bytes; the caller must keep the
+// underlying storage alive for the lifetime of the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  const uint8_t* udata() const {
+    return reinterpret_cast<const uint8_t*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+// A small owning byte buffer.
+using Buffer = std::vector<uint8_t>;
+
+inline Buffer MakeBuffer(Slice s) {
+  return Buffer(s.udata(), s.udata() + s.size());
+}
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_SLICE_H_

@@ -1,0 +1,42 @@
+// Test-and-test-and-set spinlock for short critical sections on hot paths
+// (RPC queue heads, block metadata). Satisfies Lockable so it composes with
+// std::lock_guard.
+
+#ifndef CORM_COMMON_SPINLOCK_H_
+#define CORM_COMMON_SPINLOCK_H_
+
+#include <atomic>
+
+#include "common/cpu_relax.h"
+
+namespace corm {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        CpuRelax();  // yields: critical for oversubscribed hosts
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_SPINLOCK_H_

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace corm {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kObjectMoved:
+      return "ObjectMoved";
+    case StatusCode::kObjectLocked:
+      return "ObjectLocked";
+    case StatusCode::kTornRead:
+      return "TornRead";
+    case StatusCode::kStalePointer:
+      return "StalePointer";
+    case StatusCode::kQpBroken:
+      return "QpBroken";
+    case StatusCode::kNetworkError:
+      return "NetworkError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+}  // namespace corm

@@ -1,0 +1,141 @@
+// Status: lightweight error-reporting type used across the CoRM codebase.
+//
+// The library does not use exceptions (following the Arrow/RocksDB idiom for
+// database systems): every fallible operation returns a Status, or a
+// Result<T> (see result.h) when it also produces a value.
+
+#ifndef CORM_COMMON_STATUS_H_
+#define CORM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace corm {
+
+// Error taxonomy. Codes are chosen to cover every failure class the CoRM
+// protocol distinguishes; client retry logic dispatches on them.
+enum class StatusCode : int {
+  kOk = 0,
+  // Generic.
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfMemory = 4,
+  kInternal = 5,
+  kNotSupported = 6,
+  // Protocol-specific (see paper sections in comments).
+  kObjectMoved = 10,    // ID mismatch at hinted offset: pointer is indirect (§3.2).
+  kObjectLocked = 11,   // object under compaction; retry after backoff (§3.2.3).
+  kTornRead = 12,       // cacheline versions disagree; retry DirectRead (§3.2.3).
+  kStalePointer = 13,   // home block vaddr was released and reused (§3.3).
+  kQpBroken = 14,       // QP entered error state (e.g. access during rereg, §3.5).
+  kNetworkError = 15,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "ObjectMoved", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status is either OK (cheap: a null pointer) or carries a code + message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_unique<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ObjectMoved(std::string msg) {
+    return Status(StatusCode::kObjectMoved, std::move(msg));
+  }
+  static Status ObjectLocked(std::string msg) {
+    return Status(StatusCode::kObjectLocked, std::move(msg));
+  }
+  static Status TornRead(std::string msg) {
+    return Status(StatusCode::kTornRead, std::move(msg));
+  }
+  static Status StalePointer(std::string msg) {
+    return Status(StatusCode::kStalePointer, std::move(msg));
+  }
+  static Status QpBroken(std::string msg) {
+    return Status(StatusCode::kQpBroken, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsObjectMoved() const { return code() == StatusCode::kObjectMoved; }
+  bool IsObjectLocked() const { return code() == StatusCode::kObjectLocked; }
+  bool IsTornRead() const { return code() == StatusCode::kTornRead; }
+  bool IsStalePointer() const { return code() == StatusCode::kStalePointer; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsQpBroken() const { return code() == StatusCode::kQpBroken; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+
+  std::unique_ptr<Rep> rep_;  // null means OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK Status out of the current function.
+#define CORM_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::corm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_STATUS_H_

@@ -1,0 +1,57 @@
+// Zipf-distributed key generator, as used by YCSB (Gray et al. rejection
+// inversion is overkill here; we use the classic YCSB incremental
+// formulation with precomputed zeta constants).
+
+#ifndef CORM_COMMON_ZIPF_H_
+#define CORM_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace corm {
+
+// Generates keys in [0, n) with P(k) proportional to 1/(k+1)^theta.
+// theta = 0 degenerates to uniform; YCSB's default "zipfian" is 0.99.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_ZIPF_H_

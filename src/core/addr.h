@@ -1,0 +1,52 @@
+// GlobalAddr: CoRM's 128-bit object pointer (paper §3, Table 2).
+//
+// "Allocations return 128-bit pointers ... Those pointers include the actual
+// 64-bit object address and RDMA-related metadata such as the r_key."
+//
+// The 64-bit vaddr doubles as the offset hint (§3.2): it points at the slot
+// where the object was last known to be. After compaction moved the object
+// to a different offset, the hint is stale — the pointer is *indirect* —
+// and CoRM locates the object by its block-local object ID instead,
+// returning a corrected pointer.
+
+#ifndef CORM_CORE_ADDR_H_
+#define CORM_CORE_ADDR_H_
+
+#include <cstdint>
+
+#include "rdma/rnic.h"
+#include "sim/address_space.h"
+
+namespace corm::core {
+
+struct GlobalAddr {
+  sim::VAddr vaddr = 0;      // object virtual address (block base | offset)
+  rdma::RKey r_key = 0;      // RDMA key of the block's memory region
+  uint16_t obj_id = 0;       // block-local object ID (random, §3.1.2)
+  uint8_t class_idx = 0;     // size class (client derives the slot size)
+  uint8_t flags = 0;         // kFlagOldBlock: references a released-from block
+
+  // Set by the node when the pointer references an "old" (compacted-away)
+  // virtual block (§3.3: "CoRM always notifies the user if it uses an old
+  // pointer").
+  static constexpr uint8_t kFlagOldBlock = 0x1;
+
+  bool IsNull() const { return vaddr == 0; }
+  bool ReferencesOldBlock() const { return flags & kFlagOldBlock; }
+
+  bool operator==(const GlobalAddr&) const = default;
+};
+
+static_assert(sizeof(GlobalAddr) == 16, "GlobalAddr must be 128 bits");
+
+// Base virtual address of the block containing `addr`. All blocks in a node
+// share one block size, and virtual ranges are allocated at block
+// granularity from sim::AddressSpace::kBase, so block bases are aligned.
+inline sim::VAddr BlockBaseOf(sim::VAddr addr, size_t block_bytes) {
+  return sim::AddressSpace::kBase +
+         ((addr - sim::AddressSpace::kBase) / block_bytes) * block_bytes;
+}
+
+}  // namespace corm::core
+
+#endif  // CORM_CORE_ADDR_H_

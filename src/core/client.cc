@@ -1,0 +1,249 @@
+#include "core/client.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+#include "core/object_layout.h"
+#include "core/rpc_protocol.h"
+#include "sim/latency_model.h"
+
+namespace corm::core {
+
+Context::Context(CormNode* node, Options options)
+    : node_(node),
+      options_(options),
+      qp_(node->rnic()),
+      rpc_(node->rpc_queue(), node->latency_model()),
+      scratch_(node->block_bytes()) {}
+
+std::unique_ptr<Context> Context::Create(CormNode* node, Options options) {
+  return std::unique_ptr<Context>(new Context(node, options));
+}
+
+// ---------------------------------------------------------------------------
+// Transport helpers.
+// ---------------------------------------------------------------------------
+
+Status Context::RpcCall(RpcOp op, const Buffer& request, Buffer* response) {
+  (void)op;
+  rdma::RpcMessage msg;
+  msg.request = request;
+  stats_.rpc_calls++;
+  const uint64_t network_ns = rpc_.Call(&msg);
+  stats_.modeled_ns_total += network_ns + msg.server_extra_ns;
+  if (msg.status.ok()) *response = std::move(msg.response);
+  return msg.status;
+}
+
+Status Context::RawRead(rdma::RKey r_key, sim::VAddr vaddr, void* buf,
+                        size_t len) {
+  if (options_.local) {
+    // Colocated access: CPU loads through the MMU, no RNIC involved.
+    return node_->rnic()->address_space()->ReadVirtual(vaddr, buf, len);
+  }
+  auto ns = qp_.Read(r_key, vaddr, buf, len);
+  if (!ns.ok()) {
+    if (ns.status().IsQpBroken()) {
+      stats_.qp_reconnects++;
+      qp_.Reconnect();
+    }
+    return ns.status();
+  }
+  stats_.modeled_ns_total += *ns;
+  return Status::OK();
+}
+
+// Tracks the modeled duration of one public API call.
+class Context::OpTimer {
+ public:
+  explicit OpTimer(Context* ctx)
+      : ctx_(ctx), start_(ctx->stats_.modeled_ns_total) {}
+  ~OpTimer() { ctx_->stats_.last_op_ns = ctx_->stats_.modeled_ns_total - start_; }
+
+ private:
+  Context* const ctx_;
+  const uint64_t start_;
+};
+
+// ---------------------------------------------------------------------------
+// RPC operations (Table 2).
+// ---------------------------------------------------------------------------
+
+Result<GlobalAddr> Context::Alloc(size_t size) {
+  OpTimer timer(this);
+  Buffer request, response;
+  EncodeRequest(RpcOp::kAlloc, AllocRequest{size}, &request);
+  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kAlloc, request, &response));
+  AllocResponse resp;
+  DecodeResponse(response, &resp);
+  return resp.addr;
+}
+
+Status Context::Free(GlobalAddr* addr) {
+  OpTimer timer(this);
+  Buffer request, response;
+  EncodeRequest(RpcOp::kFree, FreeRequest{*addr}, &request);
+  Status st = RpcCall(RpcOp::kFree, request, &response);
+  if (st.ok()) *addr = GlobalAddr{};  // the pointer is dead
+  return st;
+}
+
+Status Context::Read(GlobalAddr* addr, void* buf, size_t size) {
+  OpTimer timer(this);
+  Buffer request, response;
+  EncodeRequest(RpcOp::kRead,
+                ReadRequest{*addr, static_cast<uint32_t>(size)}, &request);
+  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kRead, request, &response));
+  ReadResponse resp;
+  Slice payload = DecodeResponse(response, &resp);
+  if (payload.size() < size) {
+    return Status::Internal("short read payload");
+  }
+  std::memcpy(buf, payload.data(), size);
+  if (resp.addr.vaddr != addr->vaddr) stats_.pointer_corrections++;
+  *addr = resp.addr;  // server-corrected pointer (§3.2.1)
+  return Status::OK();
+}
+
+Status Context::Write(GlobalAddr* addr, const void* buf, size_t size) {
+  OpTimer timer(this);
+  Buffer request, response;
+  EncodeRequest(RpcOp::kWrite,
+                WriteRequest{*addr, static_cast<uint32_t>(size)}, &request,
+                Slice(static_cast<const char*>(buf), size));
+  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kWrite, request, &response));
+  WriteResponse resp;
+  DecodeResponse(response, &resp);
+  if (resp.addr.vaddr != addr->vaddr) stats_.pointer_corrections++;
+  *addr = resp.addr;
+  return Status::OK();
+}
+
+Status Context::ReleasePtr(GlobalAddr* addr) {
+  OpTimer timer(this);
+  Buffer request, response;
+  EncodeRequest(RpcOp::kReleasePtr, ReleasePtrRequest{*addr}, &request);
+  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kReleasePtr, request, &response));
+  ReleasePtrResponse resp;
+  DecodeResponse(response, &resp);
+  *addr = resp.addr;  // canonical pointer in the object's current block
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// One-sided reads (§3.2.2, §3.2.3).
+// ---------------------------------------------------------------------------
+
+Status Context::ValidateAndExtract(const uint8_t* slot, uint32_t slot_size,
+                                   const GlobalAddr& addr, void* buf,
+                                   size_t size) {
+  const ConsistencyMode mode = node_->config().consistency;
+  const ObjectHeader h =
+      ObjectHeader::Unpack(*reinterpret_cast<const uint64_t*>(slot));
+  if (h.lock == LockState::kTombstone || h.obj_id != addr.obj_id) {
+    return Status::ObjectMoved("object not at hinted offset");
+  }
+  if (h.lock != LockState::kFree) {
+    return Status::ObjectLocked("object locked (write or compaction)");
+  }
+  if (!SnapshotConsistent(slot, slot_size, mode)) {
+    return Status::TornRead("consistency metadata mismatch");
+  }
+  if (size > PayloadCapacity(slot_size, mode)) {
+    return Status::InvalidArgument("read larger than object payload");
+  }
+  ReadPayload(slot, slot_size, buf, static_cast<uint32_t>(size), mode);
+  return Status::OK();
+}
+
+Status Context::DirectRead(const GlobalAddr& addr, void* buf, size_t size) {
+  OpTimer timer(this);
+  stats_.direct_reads++;
+  const uint32_t slot_size = node_->classes().ClassSize(addr.class_idx);
+  uint8_t stack_slot[4096];
+  uint8_t* slot =
+      slot_size <= sizeof(stack_slot) ? stack_slot : scratch_.data();
+  Status st = RawRead(addr.r_key, addr.vaddr, slot, slot_size);
+  if (!st.ok()) {
+    stats_.direct_read_failures++;
+    return st;
+  }
+  st = ValidateAndExtract(slot, slot_size, addr, buf, size);
+  if (!st.ok()) {
+    stats_.direct_read_failures++;
+    if (st.IsTornRead()) stats_.torn_reads++;
+    if (st.IsObjectLocked()) stats_.locked_reads++;
+    if (st.IsObjectMoved()) stats_.moved_reads++;
+  }
+  return st;
+}
+
+Status Context::ScanRead(GlobalAddr* addr, void* buf, size_t size) {
+  OpTimer timer(this);
+  stats_.scan_reads++;
+  const uint32_t slot_size = node_->classes().ClassSize(addr->class_idx);
+  const size_t block_bytes = node_->block_bytes();
+  const sim::VAddr base = BlockBaseOf(addr->vaddr, block_bytes);
+  CORM_RETURN_NOT_OK(RawRead(addr->r_key, base, scratch_.data(), block_bytes));
+
+  const ConsistencyMode mode = node_->config().consistency;
+  const uint32_t num_slots = static_cast<uint32_t>(block_bytes / slot_size);
+  for (uint32_t slot = 0; slot < num_slots; ++slot) {
+    const uint8_t* sptr = scratch_.data() + slot * slot_size;
+    const ObjectHeader h =
+        ObjectHeader::Unpack(*reinterpret_cast<const uint64_t*>(sptr));
+    if (h.obj_id != addr->obj_id || h.lock == LockState::kTombstone) continue;
+    if (h.lock != LockState::kFree) {
+      return Status::ObjectLocked("object locked during scan");
+    }
+    if (!SnapshotConsistent(sptr, slot_size, mode)) {
+      return Status::TornRead("torn object during scan");
+    }
+    if (size > PayloadCapacity(slot_size, mode)) {
+      return Status::InvalidArgument("read larger than object payload");
+    }
+    ReadPayload(sptr, slot_size, buf, static_cast<uint32_t>(size), mode);
+    const sim::VAddr corrected = base + static_cast<uint64_t>(slot) * slot_size;
+    if (corrected != addr->vaddr) stats_.pointer_corrections++;
+    addr->vaddr = corrected;  // pointer is direct again (§3.2)
+    return Status::OK();
+  }
+  return Status::NotFound("object not found in block scan");
+}
+
+Status Context::ReadWithRecovery(GlobalAddr* addr, void* buf, size_t size,
+                                 MovedFallback fallback) {
+  // Retry with exponential backoff until a real-time deadline: an object
+  // can stay locked for the full duration of a block merge, which is real
+  // wall time regardless of the modeled time scale.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  uint64_t backoff_ns = 1000;
+  do {
+    Status st = DirectRead(*addr, buf, size);
+    if (st.ok()) return st;
+    if (st.IsObjectMoved()) {
+      // Pointer correction on the client side (§3.2.2): re-fetch via scan
+      // or an RPC read; both return a corrected pointer. The fallback can
+      // itself hit an object mid-compaction (locked/torn) — that is as
+      // transient as a failed DirectRead, so it re-enters the backoff loop
+      // (§3.2.3: "the read is repeated after a backoff period").
+      st = fallback == MovedFallback::kScanRead ? ScanRead(addr, buf, size)
+                                                : Read(addr, buf, size);
+      if (st.ok()) return st;
+    }
+    if (st.IsTornRead() || st.IsObjectLocked() || st.IsQpBroken() ||
+        st.IsObjectMoved()) {
+      sim::Pace(backoff_ns);
+      std::this_thread::yield();  // let the compacting worker progress
+      backoff_ns = std::min<uint64_t>(backoff_ns * 2, 64000);
+      continue;
+    }
+    return st;  // NotFound / StalePointer / InvalidArgument: not retryable
+  } while (std::chrono::steady_clock::now() < deadline);
+  return Status::ObjectLocked("object stayed locked past the deadline");
+}
+
+}  // namespace corm::core

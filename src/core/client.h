@@ -1,0 +1,109 @@
+// Context: CoRM's client-side library (paper Table 2).
+//
+//   ctx->Alloc / Free          -- RPC memory management
+//   ctx->Read / Write          -- RPC object access (server-side correction)
+//   ctx->DirectRead            -- one-sided RDMA read, lock-free; the client
+//                                 validates consistency and detects moved
+//                                 objects itself (§3.2.2, §3.2.3)
+//   ctx->ScanRead              -- one-sided RDMA read of the whole block +
+//                                 client-side scan (pointer correction
+//                                 without server CPU, §3.2.2)
+//   ctx->ReleasePtr            -- release an old virtual address (§3.3)
+//
+// Pointers are passed by pointer: calls that perform pointer correction
+// update them in place, exactly like the addr_t& parameters in Table 2.
+
+#ifndef CORM_CORE_CLIENT_H_
+#define CORM_CORE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/addr.h"
+#include "core/corm_node.h"
+#include "core/rpc_protocol.h"
+#include "rdma/queue_pair.h"
+#include "rdma/rpc_transport.h"
+
+namespace corm::core {
+
+// Client-observable counters (Fig. 13 counts failed DirectReads).
+struct ClientStats {
+  uint64_t rpc_calls = 0;
+  uint64_t direct_reads = 0;
+  uint64_t direct_read_failures = 0;  // torn / locked / moved / qp-broken
+  uint64_t torn_reads = 0;
+  uint64_t locked_reads = 0;
+  uint64_t moved_reads = 0;
+  uint64_t scan_reads = 0;
+  uint64_t qp_reconnects = 0;
+  uint64_t pointer_corrections = 0;  // client-side pointer updates
+  // Modeled nanoseconds: network round trips + RNIC faults + charged
+  // server-side processing. Benchmarks derive latency/throughput figures
+  // from these instead of wall clock (see DESIGN.md §2 on pacing).
+  uint64_t modeled_ns_total = 0;
+  uint64_t last_op_ns = 0;  // modeled duration of the last public API call
+};
+
+class Context {
+ public:
+  struct Options {
+    // Colocated client: accesses go through CPU loads (the local half of
+    // Fig. 11), no network pacing.
+    bool local = false;
+  };
+
+  // CreateCtx(ip, port) analogue: connects a QP + RPC endpoint to `node`.
+  static std::unique_ptr<Context> Create(CormNode* node, Options options);
+  static std::unique_ptr<Context> Create(CormNode* node) {
+    return Create(node, Options{});
+  }
+
+  // --- Table 2 API. ------------------------------------------------------
+  Result<GlobalAddr> Alloc(size_t size);
+  Status Free(GlobalAddr* addr);
+  Status Read(GlobalAddr* addr, void* buf, size_t size);
+  Status Write(GlobalAddr* addr, const void* buf, size_t size);
+  Status DirectRead(const GlobalAddr& addr, void* buf, size_t size);
+  Status ScanRead(GlobalAddr* addr, void* buf, size_t size);
+  Status ReleasePtr(GlobalAddr* addr);
+
+  // --- Recovery policy helper (client behaviour in §4.3.2). --------------
+  enum class MovedFallback { kScanRead, kRpcRead };
+  // DirectRead with bounded retry/backoff for transient invalidity and the
+  // chosen fallback when the object moved. Corrects `addr` on fallback.
+  Status ReadWithRecovery(GlobalAddr* addr, void* buf, size_t size,
+                          MovedFallback fallback = MovedFallback::kScanRead);
+
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClientStats{}; }
+
+  rdma::QueuePair* queue_pair() { return &qp_; }
+
+ private:
+  class OpTimer;  // modeled-latency scope guard (client.cc)
+
+  Context(CormNode* node, Options options);
+
+  // One-sided read of `len` bytes at `vaddr` (network or local).
+  Status RawRead(rdma::RKey r_key, sim::VAddr vaddr, void* buf, size_t len);
+
+  // Validates a slot snapshot against `addr`; extracts payload on success.
+  Status ValidateAndExtract(const uint8_t* slot, uint32_t slot_size,
+                            const GlobalAddr& addr, void* buf, size_t size);
+
+  Status RpcCall(RpcOp op, const Buffer& request, Buffer* response);
+
+  CormNode* const node_;
+  const Options options_;
+  rdma::QueuePair qp_;
+  rdma::RpcClient rpc_;
+  ClientStats stats_;
+  std::vector<uint8_t> scratch_;  // block-sized scan buffer
+};
+
+}  // namespace corm::core
+
+#endif  // CORM_CORE_CLIENT_H_

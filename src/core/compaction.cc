@@ -1,0 +1,259 @@
+// Compaction leader (paper §3.1.2–§3.1.4): two-stage protocol — block
+// collection (ownership transfer via messages) followed by block compaction
+// (conflict check, object copy, virtual-address remap).
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/cpu_relax.h"
+#include "common/logging.h"
+#include "core/object_layout.h"
+#include "core/worker.h"
+#include "sim/latency_model.h"
+
+namespace corm::core {
+
+namespace {
+
+// True when the two blocks share no object IDs (§3.1.2: CoRM can compact
+// two blocks only if the objects in them do not have the same IDs).
+bool IdsDisjoint(const alloc::Block& a, const alloc::Block& b) {
+  const auto& small = a.id_map().size() <= b.id_map().size() ? a : b;
+  const auto& large = a.id_map().size() <= b.id_map().size() ? b : a;
+  for (const auto& [id, slot] : small.id_map()) {
+    if (large.HasId(static_cast<uint16_t>(id))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Worker::RunCompaction(CompactRequest* req) {
+  const uint32_t class_idx = req->class_idx;
+  CompactionReport report;
+  report.class_idx = class_idx;
+  node_->stats_.compaction_runs.fetch_add(1, std::memory_order_relaxed);
+
+  if (!ClassCompactable(class_idx)) {
+    req->status = Status::NotSupported(
+        "size class holds more objects than the object-ID space addresses");
+    req->done.store(true, std::memory_order_release);
+    return;
+  }
+
+  const CormConfig& cfg = node_->config();
+  const int nworkers = node_->num_workers();
+
+  // --- Stage 1: block collection (§3.1.4). ------------------------------
+  std::vector<std::unique_ptr<CollectReply>> replies;
+  for (int w = 0; w < nworkers; ++w) {
+    if (w == id_) continue;
+    replies.push_back(std::make_unique<CollectReply>());
+    WorkerMsg msg;
+    msg.kind = WorkerMsg::Kind::kCollect;
+    msg.class_idx = class_idx;
+    msg.max_occupancy = cfg.collection_max_occupancy;
+    msg.max_blocks = cfg.compaction_max_blocks;
+    msg.collect = replies.back().get();
+    node_->worker(w)->Send(msg);
+  }
+  std::vector<std::unique_ptr<alloc::Block>> pool = allocator_.CollectBlocks(
+      class_idx, cfg.collection_max_occupancy, cfg.compaction_max_blocks);
+  for (auto& reply : replies) {
+    while (!reply->done.load(std::memory_order_acquire)) {
+      // Serve correction queries while waiting so no worker deadlocks on us.
+      if (auto pending = inbox_.TryPop()) {
+        if (pending->kind == WorkerMsg::Kind::kCorrection) {
+          HandleInbox(*pending);
+        } else {
+          Send(*pending);
+        }
+      } else {
+        CpuRelax();
+      }
+    }
+    for (auto& block : reply->blocks) {
+      block->set_owner_thread(id_);
+      pool.push_back(std::move(block));
+    }
+  }
+  for (auto& block : pool) block->set_owner_thread(id_);
+  if (pool.size() > cfg.compaction_max_blocks) {
+    // Return the overflow immediately (most-utilized blocks last).
+    std::sort(pool.begin(), pool.end(), [](const auto& a, const auto& b) {
+      return a->used_slots() < b->used_slots();
+    });
+    while (pool.size() > cfg.compaction_max_blocks) {
+      allocator_.AdoptBlock(std::move(pool.back()));
+      pool.pop_back();
+    }
+  }
+  report.blocks_collected = pool.size();
+  report.collection_ns = node_->latency_model().CollectionNs(nworkers);
+  sim::Pace(report.collection_ns);
+
+  // --- Stage 2: block compaction. ----------------------------------------
+  // Greedy pairing: take the least-utilized block as the source (fewer
+  // objects, fewer conflicts, §3.1.4) and merge it into the most-utilized
+  // compatible destination. Blocks are indexed by utilization in a bucket
+  // map so each pairing is near O(log n) instead of a sorted-vector erase.
+  std::map<uint32_t, std::vector<size_t>> buckets;  // used -> pool indices
+  for (size_t i = 0; i < pool.size(); ++i) {
+    buckets[pool[i]->used_slots()].push_back(i);
+  }
+
+  auto pop_valid = [&](uint32_t used) -> size_t {
+    auto it = buckets.find(used);
+    while (it != buckets.end() && !it->second.empty()) {
+      const size_t idx = it->second.back();
+      it->second.pop_back();
+      // Lazily skip consumed blocks and stale utilization entries.
+      if (pool[idx] != nullptr && pool[idx]->used_slots() == used) return idx;
+      if (it->second.empty()) break;
+    }
+    if (it != buckets.end() && it->second.empty()) buckets.erase(it);
+    return SIZE_MAX;
+  };
+
+  while (!buckets.empty()) {
+    const uint32_t src_used = buckets.begin()->first;
+    const size_t src_idx = pop_valid(src_used);
+    if (src_idx == SIZE_MAX) continue;
+    alloc::Block* src = pool[src_idx].get();
+
+    // Search destinations from the highest feasible utilization downward.
+    size_t dst_idx = SIZE_MAX;
+    const uint32_t max_dst_used = src->num_slots() - src_used;
+    auto it = buckets.upper_bound(max_dst_used);
+    while (dst_idx == SIZE_MAX && it != buckets.begin()) {
+      --it;
+      auto& entries = it->second;
+      for (size_t e = entries.size(); e-- > 0 && dst_idx == SIZE_MAX;) {
+        const size_t idx = entries[e];
+        if (pool[idx] == nullptr || idx == src_idx ||
+            pool[idx]->used_slots() != it->first) {
+          // Stale entry: drop it (repositioned copies exist elsewhere).
+          entries.erase(entries.begin() + static_cast<ptrdiff_t>(e));
+          continue;
+        }
+        if (IdsDisjoint(*src, *pool[idx])) dst_idx = idx;
+      }
+      if (entries.empty()) it = buckets.erase(it);
+    }
+    if (dst_idx == SIZE_MAX) {
+      // No destination: src survives as-is (it was already popped).
+      allocator_.AdoptBlock(std::move(pool[src_idx]));
+      continue;
+    }
+
+    alloc::Block* dst = pool[dst_idx].get();
+    auto moved = MergeBlocks(std::move(pool[src_idx]), dst, &report);
+    if (!moved.ok()) {
+      req->status = moved.status();
+      req->done.store(true, std::memory_order_release);
+      return;
+    }
+    ++report.blocks_freed;
+    node_->stats_.blocks_compacted.fetch_add(1, std::memory_order_relaxed);
+    // Reposition dst under its new utilization (or retire it when full —
+    // a full block cannot be a destination and was never a source).
+    if (dst->used_slots() < dst->num_slots()) {
+      buckets[dst->used_slots()].push_back(dst_idx);
+    } else {
+      allocator_.AdoptBlock(std::move(pool[dst_idx]));
+    }
+  }
+
+  // Adopt any remaining blocks (full destinations already adopted above).
+  for (auto& block : pool) {
+    if (block != nullptr) allocator_.AdoptBlock(std::move(block));
+  }
+
+  req->report = report;
+  req->status = Status::OK();
+  req->done.store(true, std::memory_order_release);
+}
+
+Result<size_t> Worker::MergeBlocks(std::unique_ptr<alloc::Block> src,
+                                   alloc::Block* dst,
+                                   CompactionReport* report) {
+  const uint32_t slot_size = src->slot_size();
+  CORM_CHECK_EQ(slot_size, dst->slot_size());
+  const ConsistencyMode mode = node_->config().consistency;
+  const uint32_t capacity = PayloadCapacity(slot_size, mode);
+  std::vector<uint8_t> payload(capacity);
+
+  // 1. Lock every live object in src (kCompacting): readers observe the
+  //    lock and retry; writers cannot acquire (§3.2.3).
+  std::vector<uint32_t> live_slots;
+  live_slots.reserve(src->used_slots());
+  for (uint32_t slot = 0; slot < src->num_slots(); ++slot) {
+    if (!src->SlotAllocated(slot)) continue;
+    live_slots.push_back(slot);
+    uint8_t* sptr = SlotPtr(src->base(), src.get(), slot);
+    uint64_t w = LoadHeaderWord(sptr);
+    for (;;) {
+      ObjectHeader h = ObjectHeader::Unpack(w);
+      CORM_CHECK(h.lock != LockState::kCompacting &&
+                 h.lock != LockState::kTombstone)
+          << "unexpected lock state in live slot";
+      if (h.lock == LockState::kWriteLocked) {
+        CpuRelax();  // writers hold the lock briefly
+        w = LoadHeaderWord(sptr);
+        continue;
+      }
+      ObjectHeader locked = h;
+      locked.lock = LockState::kCompacting;
+      if (CasHeaderWord(sptr, w, locked.Pack())) break;
+    }
+  }
+
+  // 2. Copy each object into dst, preserving the offset when possible
+  //    (§3.1.2: preserving offsets keeps pointers direct).
+  size_t relocated = 0;
+  for (uint32_t slot : live_slots) {
+    uint8_t* sptr = SlotPtr(src->base(), src.get(), slot);
+    ObjectHeader h = ObjectHeader::Unpack(LoadHeaderWord(sptr));
+
+    uint32_t dslot = slot;
+    if (!dst->AllocSlotAt(slot)) {
+      auto fresh = dst->AllocSlot();
+      CORM_CHECK(fresh.has_value()) << "destination block overflow";
+      dslot = *fresh;
+      ++relocated;
+      report->objects_relocated++;
+      node_->stats_.objects_moved.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      node_->stats_.objects_offset_preserved.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    report->objects_moved++;
+
+    ReadPayload(sptr, slot_size, payload.data(), capacity, mode);
+    uint8_t* dptr = SlotPtr(dst->base(), dst, dslot);
+    WritePayload(dptr, slot_size, h.version, payload.data(), capacity, mode);
+    ObjectHeader fresh_header = h;
+    fresh_header.lock = LockState::kFree;
+    StoreHeaderWord(dptr, fresh_header.Pack());
+    CORM_CHECK(dst->InsertId(h.obj_id, dslot)) << "ID conflict after check";
+    // The object keeps its home block; the vaddr tracker is unaffected.
+  }
+  // Transfer the used-slot accounting performed above via AllocSlot*.
+
+  // 3. Remap src's virtual range (and chained ghosts) onto dst's physical
+  //    pages, repair the RNIC, release src's physical pages, and update the
+  //    node directory + ghost tracker. Modeled time paced afterwards.
+  auto remap_ns = node_->MergeRemap(src.get(), dst);
+  CORM_RETURN_NOT_OK(remap_ns.status());
+  report->compaction_ns += *remap_ns;
+
+  // 4. Retire the source block descriptor (kept alive in the graveyard so
+  //    concurrent correction routing never dangles).
+  node_->RetireBlock(std::move(src));
+  sim::Pace(*remap_ns);
+  return relocated;
+}
+
+}  // namespace corm::core

@@ -1,0 +1,324 @@
+#include "core/corm_node.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/byte_units.h"
+
+#include "common/cpu_relax.h"
+#include "common/logging.h"
+#include "core/object_layout.h"
+#include "core/worker.h"
+
+namespace corm::core {
+
+CormNode::CormNode(CormConfig config)
+    : config_(config), classes_(alloc::SizeClassTable::Default()) {
+  CORM_CHECK_GT(config_.num_workers, 0);
+  CORM_CHECK_LE(config_.object_id_bits, 16);
+  phys_ = std::make_unique<sim::PhysicalMemory>(config_.max_frames);
+  space_ = std::make_unique<sim::AddressSpace>(phys_.get());
+  files_ = std::make_unique<sim::MemFileManager>(phys_.get());
+  rnic_ = std::make_unique<rdma::Rnic>(space_.get(), config_.MakeLatencyModel());
+  alloc::BlockAllocatorConfig ba_config;
+  ba_config.block_pages = config_.block_pages;
+  ba_config.remap_strategy = config_.remap_strategy;
+  ba_config.huge_pages = config_.huge_pages;
+  block_allocator_ = std::make_unique<alloc::BlockAllocator>(
+      space_.get(), files_.get(), rnic_.get(), &classes_, ba_config);
+  rpc_queue_.rate_limiter()->SetRate(config_.nic_msg_rate);
+
+  workers_.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this, i));
+  }
+  threads_.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    threads_.emplace_back([w = workers_[i].get()] { w->Run(); });
+  }
+}
+
+CormNode::~CormNode() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+Result<uint32_t> CormNode::ClassForPayload(uint32_t payload_size) const {
+  for (uint32_t c = 0; c < classes_.num_classes(); ++c) {
+    const uint32_t size = classes_.ClassSize(c);
+    if (size > block_bytes()) break;
+    if (PayloadCapacity(size, config_.consistency) >= payload_size) return c;
+  }
+  return Status::InvalidArgument("object too large for any size class");
+}
+
+// ---------------------------------------------------------------------------
+// Directory.
+// ---------------------------------------------------------------------------
+
+CormNode::DirectoryEntry CormNode::LookupBlock(sim::VAddr base) const {
+  std::shared_lock<std::shared_mutex> lock(dir_mu_);
+  auto it = directory_.find(base);
+  return it == directory_.end() ? DirectoryEntry{} : it->second;
+}
+
+void CormNode::DirectoryInsert(sim::VAddr base, alloc::Block* block,
+                               bool is_alias) {
+  std::unique_lock<std::shared_mutex> lock(dir_mu_);
+  directory_[base] = DirectoryEntry{block, is_alias};
+}
+
+void CormNode::DirectoryErase(sim::VAddr base) {
+  std::unique_lock<std::shared_mutex> lock(dir_mu_);
+  directory_.erase(base);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction bookkeeping.
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> CormNode::MergeRemap(alloc::Block* src, alloc::Block* dst) {
+  std::vector<sim::VAddr> ghost_bases;
+  ghost_bases.reserve(src->aliases().size());
+  for (const auto& ghost : src->aliases()) ghost_bases.push_back(ghost.base);
+
+  uint64_t ns = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(dir_mu_);
+    auto result = block_allocator_->MergeRemap(src, dst);
+    CORM_RETURN_NOT_OK(result.status());
+    ns = *result;
+    directory_[src->base()] = DirectoryEntry{dst, /*is_alias=*/true};
+    for (sim::VAddr base : ghost_bases) {
+      directory_[base] = DirectoryEntry{dst, /*is_alias=*/true};
+    }
+  }
+  for (sim::VAddr base : ghost_bases) {
+    vaddr_tracker_.SetAliasTarget(base, dst);
+  }
+  auto release =
+      vaddr_tracker_.MarkGhost(src->base(), src->keys().r_key, dst);
+  if (release) ReleaseGhostAction(*release);
+  return ns;
+}
+
+void CormNode::ReleaseGhostAction(const GhostToRelease& ghost) {
+  {
+    std::unique_lock<std::shared_mutex> lock(dir_mu_);
+    directory_.erase(ghost.base);
+    if (ghost.alias_of != nullptr) {
+      auto& aliases = ghost.alias_of->aliases();
+      aliases.erase(std::remove_if(aliases.begin(), aliases.end(),
+                                   [&](const alloc::Block::GhostRef& g) {
+                                     return g.base == ghost.base;
+                                   }),
+                    aliases.end());
+    }
+  }
+  block_allocator_->ReleaseGhost(ghost.base, config_.block_pages,
+                                 ghost.r_key);
+  stats_.ghosts_released.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CormNode::RetireBlock(std::unique_ptr<alloc::Block> block) {
+  std::lock_guard<std::mutex> lock(graveyard_mu_);
+  graveyard_.push_back(std::move(block));
+}
+
+// ---------------------------------------------------------------------------
+// Control plane.
+// ---------------------------------------------------------------------------
+
+Result<CompactionReport> CormNode::Compact(uint32_t class_idx) {
+  if (class_idx >= classes_.num_classes()) {
+    return Status::InvalidArgument("bad size class");
+  }
+  CompactRequest req;
+  req.class_idx = class_idx;
+  WorkerMsg msg;
+  msg.kind = WorkerMsg::Kind::kCompact;
+  msg.compact = &req;
+  workers_[0]->Send(msg);
+  while (!req.done.load(std::memory_order_acquire)) {
+    CpuRelax();
+  }
+  CORM_RETURN_NOT_OK(req.status);
+  return req.report;
+}
+
+Result<std::vector<CompactionReport>> CormNode::CompactIfFragmented() {
+  auto frag = Fragmentation();
+  std::vector<CompactionReport> reports;
+  for (const auto& cls : frag) {
+    // Trigger per the §3.1.3 policy: at least two blocks (otherwise there
+    // is nothing to merge) and a fragmentation ratio above the threshold.
+    if (cls.num_blocks < 2) continue;
+    if (cls.Ratio() < config_.fragmentation_threshold) continue;
+    auto report = Compact(cls.class_idx);
+    if (report.ok()) {
+      reports.push_back(*report);
+    } else if (report.status().code() != StatusCode::kNotSupported) {
+      return report.status();
+    }
+  }
+  return reports;
+}
+
+std::vector<alloc::ClassFragmentation> CormNode::Fragmentation() {
+  const uint32_t n = classes_.num_classes();
+  std::vector<std::unique_ptr<StatsReply>> replies;
+  for (int w = 0; w < config_.num_workers; ++w) {
+    replies.push_back(std::make_unique<StatsReply>());
+    WorkerMsg msg;
+    msg.kind = WorkerMsg::Kind::kStats;
+    msg.stats = replies.back().get();
+    workers_[w]->Send(msg);
+  }
+  std::vector<alloc::ClassFragmentation> out(n);
+  for (uint32_t c = 0; c < n; ++c) out[c].class_idx = c;
+  for (auto& reply : replies) {
+    while (!reply->done.load(std::memory_order_acquire)) {
+      CpuRelax();
+    }
+    for (uint32_t c = 0; c < n; ++c) {
+      out[c].granted_bytes += reply->granted[c];
+      out[c].used_bytes += reply->used[c];
+      out[c].num_blocks += reply->nblocks[c];
+    }
+  }
+  return out;
+}
+
+std::string CormNode::DebugReport() {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "CormNode: %d workers, %zu KiB blocks, CoRM-%d, %s\n",
+                config_.num_workers, block_bytes() / 1024,
+                config_.object_id_bits,
+                config_.consistency == ConsistencyMode::kCachelineVersions
+                    ? "cacheline-version reads"
+                    : "checksum reads");
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "memory: %s physical, %s virtual, %zu ghost ranges\n",
+                FormatBytes(ActiveMemoryBytes()).c_str(),
+                FormatBytes(VirtualMemoryBytes()).c_str(),
+                vaddr_tracker_.NumGhosts());
+  out += line;
+  for (const auto& cls : Fragmentation()) {
+    if (cls.num_blocks == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  class %-6u: %5zu blocks, %s granted, %s used, "
+                  "ratio %.2f\n",
+                  classes_.ClassSize(cls.class_idx), cls.num_blocks,
+                  FormatBytes(cls.granted_bytes).c_str(),
+                  FormatBytes(cls.used_bytes).c_str(), cls.Ratio());
+    out += line;
+  }
+  std::snprintf(
+      line, sizeof(line),
+      "ops: %llu allocs, %llu frees, %llu reads, %llu writes; "
+      "%llu compactions (%llu blocks), %llu ghosts released\n",
+      static_cast<unsigned long long>(stats_.rpc_allocs.load()),
+      static_cast<unsigned long long>(stats_.rpc_frees.load()),
+      static_cast<unsigned long long>(stats_.rpc_reads.load()),
+      static_cast<unsigned long long>(stats_.rpc_writes.load()),
+      static_cast<unsigned long long>(stats_.compaction_runs.load()),
+      static_cast<unsigned long long>(stats_.blocks_compacted.load()),
+      static_cast<unsigned long long>(stats_.ghosts_released.load()));
+  out += line;
+  return out;
+}
+
+uint64_t CormNode::ActiveMemoryBytes() const {
+  return phys_->live_frames() * sim::kFrameSize;
+}
+
+uint64_t CormNode::VirtualMemoryBytes() const {
+  return space_->reserved_pages() * sim::kVPageSize;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk loaders.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<GlobalAddr>> CormNode::BulkAlloc(size_t count,
+                                                    size_t payload_size) {
+  const int n = config_.num_workers;
+  std::vector<std::unique_ptr<BulkRequest>> requests;
+  size_t assigned = 0;
+  for (int w = 0; w < n; ++w) {
+    const size_t share = count / n + (static_cast<size_t>(w) < count % n);
+    if (share == 0) continue;
+    auto req = std::make_unique<BulkRequest>();
+    req->is_alloc = true;
+    req->count = share;
+    req->payload_size = static_cast<uint32_t>(payload_size);
+    req->index_base = assigned;
+    assigned += share;
+    WorkerMsg msg;
+    msg.kind = WorkerMsg::Kind::kBulk;
+    msg.bulk = req.get();
+    workers_[w]->Send(msg);
+    requests.push_back(std::move(req));
+  }
+  std::vector<GlobalAddr> out;
+  out.reserve(count);
+  for (auto& req : requests) {
+    while (!req->done.load(std::memory_order_acquire)) {
+      CpuRelax();
+    }
+    CORM_RETURN_NOT_OK(req->status);
+    out.insert(out.end(), req->out_addrs.begin(), req->out_addrs.end());
+  }
+  return out;
+}
+
+Status CormNode::BulkFree(const std::vector<GlobalAddr>& addrs) {
+  std::vector<GlobalAddr> remaining = addrs;
+  for (int round = 0; round < 16 && !remaining.empty(); ++round) {
+    // Group by current owner.
+    std::vector<std::vector<GlobalAddr>> per_worker(config_.num_workers);
+    std::vector<GlobalAddr> deferred;
+    for (const GlobalAddr& addr : remaining) {
+      const auto entry = LookupBlock(BlockBaseOf(addr.vaddr, block_bytes()));
+      if (entry.block == nullptr) {
+        return Status::StalePointer("BulkFree: unknown block");
+      }
+      const int owner = entry.block->owner_thread();
+      if (owner < 0) {
+        deferred.push_back(addr);  // ownership in transit; retry next round
+      } else {
+        per_worker[owner].push_back(addr);
+      }
+    }
+    std::vector<std::unique_ptr<BulkRequest>> requests;
+    for (int w = 0; w < config_.num_workers; ++w) {
+      if (per_worker[w].empty()) continue;
+      auto req = std::make_unique<BulkRequest>();
+      req->is_alloc = false;
+      req->free_addrs = std::move(per_worker[w]);
+      WorkerMsg msg;
+      msg.kind = WorkerMsg::Kind::kBulk;
+      msg.bulk = req.get();
+      workers_[w]->Send(msg);
+      requests.push_back(std::move(req));
+    }
+    remaining = std::move(deferred);
+    for (auto& req : requests) {
+      while (!req->done.load(std::memory_order_acquire)) {
+        CpuRelax();
+      }
+      CORM_RETURN_NOT_OK(req->status);
+      remaining.insert(remaining.end(), req->free_addrs.begin(),
+                       req->free_addrs.end());
+    }
+  }
+  return remaining.empty()
+             ? Status::OK()
+             : Status::Internal("BulkFree: ownership kept changing");
+}
+
+}  // namespace corm::core

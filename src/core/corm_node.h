@@ -1,0 +1,221 @@
+// CormNode: a CoRM memory server (paper §3).
+//
+// The node owns the simulated substrate (physical memory, address space,
+// memfd pool, RNIC), a pool of worker threads that poll the shared RPC
+// queue (§2.2.2), the per-worker thread-local allocators (§3.1.1), and the
+// two-stage compaction protocol (§3.1.4). Clients talk to it through
+// core::Context (client.h), which issues RPCs and one-sided RDMA reads.
+
+#ifndef CORM_CORE_CORM_NODE_H_
+#define CORM_CORE_CORM_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/block.h"
+#include "alloc/block_allocator.h"
+#include "alloc/fragmentation.h"
+#include "alloc/size_classes.h"
+#include "alloc/thread_allocator.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "core/addr.h"
+#include "core/object_layout.h"
+#include "core/vaddr_tracker.h"
+#include "rdma/rnic.h"
+#include "rdma/rpc_transport.h"
+#include "sim/address_space.h"
+#include "sim/latency_model.h"
+#include "sim/mem_file.h"
+#include "sim/physical_memory.h"
+
+namespace corm::core {
+
+// Server-side strategy for fixing indirect pointers on RPC paths (§3.2.1).
+enum class RpcCorrectionStrategy {
+  kThreadMessaging,  // forward to the owner thread; it queries block metadata
+  kBlockScan,        // the serving thread scans the block's slots
+};
+
+struct CormConfig {
+  int num_workers = 8;
+  size_t block_pages = 1;          // 4 KiB blocks (paper default)
+  int object_id_bits = 16;         // CoRM-16 (paper default)
+  sim::RemapStrategy remap_strategy = sim::RemapStrategy::kOdpPrefetch;
+  sim::RnicModel rnic_model = sim::RnicModel::kConnectX5;
+  sim::CpuModel cpu_model = sim::CpuModel::kIntelXeon;
+  RpcCorrectionStrategy rpc_correction =
+      RpcCorrectionStrategy::kThreadMessaging;
+  // Lock-free read validation: FaRM-style cacheline versions (the paper's
+  // deliberate default) or the §4.2.1 checksum alternative.
+  ConsistencyMode consistency = ConsistencyMode::kCachelineVersions;
+  // Compaction triggers when granted/used exceeds this per-class ratio.
+  double fragmentation_threshold = 1.3;
+  // Collection phase: only blocks at or below this occupancy are donated.
+  double collection_max_occupancy = 0.9;
+  // Upper bound on blocks gathered per compaction run (§4.3.2 discusses an
+  // unbounded run causing a long unavailability window).
+  size_t compaction_max_blocks = SIZE_MAX;
+  // Back blocks with 2 MiB huge pages (modeled remap cost per 2 MiB unit;
+  // paper §3.1.1, §4.3.1).
+  bool huge_pages = false;
+  size_t max_frames = 0;  // simulated DRAM cap; 0 = unlimited
+  uint64_t seed = 42;
+  // Two-sided message rate of the server NIC (Send/Recv); every RPC costs
+  // two messages, so ops saturate at half this rate (Fig. 12). 0 = no cap.
+  uint64_t nic_msg_rate = 1'400'000;
+
+  sim::LatencyModel MakeLatencyModel() const {
+    return sim::LatencyModel{rnic_model, cpu_model};
+  }
+};
+
+struct NodeStats {
+  std::atomic<uint64_t> rpc_allocs{0};
+  std::atomic<uint64_t> rpc_frees{0};
+  std::atomic<uint64_t> rpc_reads{0};
+  std::atomic<uint64_t> rpc_writes{0};
+  std::atomic<uint64_t> rpc_releases{0};
+  std::atomic<uint64_t> corrections_messaging{0};
+  std::atomic<uint64_t> corrections_scan{0};
+  std::atomic<uint64_t> forwarded_ops{0};
+  std::atomic<uint64_t> compaction_runs{0};
+  std::atomic<uint64_t> blocks_compacted{0};
+  std::atomic<uint64_t> objects_moved{0};
+  std::atomic<uint64_t> objects_offset_preserved{0};
+  std::atomic<uint64_t> ghosts_released{0};
+  std::atomic<uint64_t> old_pointer_uses{0};
+};
+
+// Result of one compaction run.
+struct CompactionReport {
+  uint32_t class_idx = 0;
+  size_t blocks_collected = 0;
+  size_t blocks_freed = 0;
+  size_t objects_moved = 0;
+  size_t objects_relocated = 0;  // subset that changed offset (indirect)
+  uint64_t collection_ns = 0;    // modeled duration of the collect stage
+  uint64_t compaction_ns = 0;    // modeled duration of the merge stage
+};
+
+class Worker;  // defined in worker.h (internal)
+
+class CormNode {
+ public:
+  explicit CormNode(CormConfig config);
+  ~CormNode();
+
+  CormNode(const CormNode&) = delete;
+  CormNode& operator=(const CormNode&) = delete;
+
+  // --- Client-visible endpoints. ---------------------------------------
+  rdma::RpcQueue* rpc_queue() { return &rpc_queue_; }
+  rdma::Rnic* rnic() { return rnic_.get(); }
+  const CormConfig& config() const { return config_; }
+  const alloc::SizeClassTable& classes() const { return classes_; }
+  size_t block_bytes() const { return config_.block_pages * sim::kVPageSize; }
+  sim::LatencyModel latency_model() const {
+    return config_.MakeLatencyModel();
+  }
+
+  // --- Control plane (callable from any non-worker thread). -------------
+  // Runs one synchronous compaction of `class_idx` on the leader worker.
+  Result<CompactionReport> Compact(uint32_t class_idx);
+
+  // Compacts every class whose fragmentation ratio exceeds the configured
+  // threshold (§3.1.3). Returns one report per compacted class.
+  Result<std::vector<CompactionReport>> CompactIfFragmented();
+
+  // Per-class fragmentation, gathered from the workers via messages.
+  std::vector<alloc::ClassFragmentation> Fragmentation();
+
+  // Physical memory currently granted (bytes): live frames * 4 KiB.
+  uint64_t ActiveMemoryBytes() const;
+  // Reserved virtual address space (bytes).
+  uint64_t VirtualMemoryBytes() const;
+
+  // --- Bulk loaders (bypass the RPC path; for tests & benchmarks). -------
+  // Allocates `count` objects of `payload_size` bytes spread round-robin
+  // across workers; each object is filled with a deterministic pattern
+  // derived from its index.
+  Result<std::vector<GlobalAddr>> BulkAlloc(size_t count, size_t payload_size);
+  // Frees the given objects (routed to their owning workers).
+  Status BulkFree(const std::vector<GlobalAddr>& addrs);
+
+  const NodeStats& stats() const { return stats_; }
+
+  // Size class whose payload capacity fits `payload_size`.
+  Result<uint32_t> ClassForPayload(uint32_t payload_size) const;
+
+  // Number of unreleased ghost virtual ranges (testing / diagnostics).
+  size_t vaddr_ghosts_for_testing() const {
+    return vaddr_tracker_.NumGhosts();
+  }
+
+  // Human-readable node report: per-class fragmentation, memory, ghost and
+  // operation counters. For operators and examples.
+  std::string DebugReport();
+
+ private:
+  friend class Worker;
+
+  // Block directory: maps every live *virtual block base* (current blocks
+  // and ghost aliases) to the Block that owns the bytes behind it.
+  struct DirectoryEntry {
+    alloc::Block* block = nullptr;
+    bool is_alias = false;  // base belongs to a compacted-away ghost
+  };
+
+  DirectoryEntry LookupBlock(sim::VAddr base) const;
+  void DirectoryInsert(sim::VAddr base, alloc::Block* block, bool is_alias);
+  void DirectoryErase(sim::VAddr base);
+
+  // Compaction remap of src into dst with all node-level bookkeeping
+  // (directory retarget, ghost tracking) done under the directory lock.
+  // Returns the modeled remap duration; the caller paces it afterwards.
+  Result<uint64_t> MergeRemap(alloc::Block* src, alloc::Block* dst);
+
+  // Releases a ghost virtual range after its last homed object died.
+  void ReleaseGhostAction(const GhostToRelease& ghost);
+
+  // Retires a merged-away source block. The Block object stays alive in the
+  // graveyard for the node's lifetime so that in-flight references from
+  // other workers (correction routing, scans) never dangle.
+  void RetireBlock(std::unique_ptr<alloc::Block> block);
+
+  Worker* worker(int idx) { return workers_[idx].get(); }
+  int num_workers() const { return config_.num_workers; }
+
+  const CormConfig config_;
+  alloc::SizeClassTable classes_;
+
+  // Substrate. Order matters for destruction (reverse of declaration).
+  std::unique_ptr<sim::PhysicalMemory> phys_;
+  std::unique_ptr<sim::AddressSpace> space_;
+  std::unique_ptr<sim::MemFileManager> files_;
+  std::unique_ptr<rdma::Rnic> rnic_;
+  std::unique_ptr<alloc::BlockAllocator> block_allocator_;
+
+  rdma::RpcQueue rpc_queue_;
+  VaddrTracker vaddr_tracker_;
+  NodeStats stats_;
+
+  mutable std::shared_mutex dir_mu_;
+  std::unordered_map<sim::VAddr, DirectoryEntry> directory_;
+
+  std::mutex graveyard_mu_;
+  std::vector<std::unique_ptr<alloc::Block>> graveyard_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace corm::core
+
+#endif  // CORM_CORE_CORM_NODE_H_

@@ -1,0 +1,180 @@
+// On-memory object layout: header word + FaRM-style per-cacheline versions.
+//
+// Each slot of a size class holds exactly one object:
+//
+//   byte  0..7   header word (version | lock | class | object ID | home page)
+//   byte  8..63  payload
+//   byte 64      version byte (replica of header version, cacheline 1)
+//   byte 65..127 payload
+//   byte 128     version byte (cacheline 2), ...
+//
+// Slots >= 64 B are cacheline aligned (size classes >= 64 are multiples of
+// 64); smaller slots (16/32 B) never straddle a cacheline. A lock-free
+// DirectRead is consistent iff the object is unlocked and every version
+// byte matches the header version (paper §3.2.3). Writers bump the version
+// and rewrite all version bytes under the header lock.
+//
+// The header packs (paper §3.3, §4.4): the object version (8 b), the lock
+// state (2 b), the size class (6 b), the block-local object ID (16 b), and
+// the page index of the object's *home* block — the virtual block where it
+// was first allocated — used to decide when an old virtual address can be
+// reused (32 b).
+
+#ifndef CORM_CORE_OBJECT_LAYOUT_H_
+#define CORM_CORE_OBJECT_LAYOUT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/byte_units.h"
+#include "sim/address_space.h"
+
+namespace corm::core {
+
+inline constexpr uint32_t kHeaderSize = 8;
+
+// How lock-free readers validate object consistency (§4.2.1): FaRM-style
+// per-cacheline version bytes (the paper's deliberate default, mimicking
+// FaRM), or a single checksum stored after the payload — the alternative
+// the paper suggests as "potentially a better strategy for large records"
+// (no cacheline-alignment constraint, no per-line byte overhead, at the
+// cost of hashing the payload on every read).
+enum class ConsistencyMode : uint8_t {
+  kCachelineVersions = 0,
+  kChecksum = 1,
+};
+
+inline constexpr uint32_t kChecksumSize = 4;
+
+// 2-bit lock states in the header.
+enum class LockState : uint8_t {
+  kFree = 0,        // readable, lockable
+  kWriteLocked = 1, // a writer holds the object
+  kCompacting = 2,  // compaction is relocating the object (§3.2.3)
+  kTombstone = 3,   // slot freed; scanners must skip it
+};
+
+// Decoded header word.
+struct ObjectHeader {
+  uint8_t version = 0;
+  LockState lock = LockState::kFree;
+  uint8_t class_idx = 0;   // 6 bits
+  uint16_t obj_id = 0;
+  uint32_t home_page = 0;  // (home block vaddr - kBase) >> 12
+
+  uint64_t Pack() const {
+    return static_cast<uint64_t>(version) |
+           (static_cast<uint64_t>(lock) << 8) |
+           (static_cast<uint64_t>(class_idx & 0x3f) << 10) |
+           (static_cast<uint64_t>(obj_id) << 16) |
+           (static_cast<uint64_t>(home_page) << 32);
+  }
+
+  static ObjectHeader Unpack(uint64_t w) {
+    ObjectHeader h;
+    h.version = static_cast<uint8_t>(w & 0xff);
+    h.lock = static_cast<LockState>((w >> 8) & 0x3);
+    h.class_idx = static_cast<uint8_t>((w >> 10) & 0x3f);
+    h.obj_id = static_cast<uint16_t>((w >> 16) & 0xffff);
+    h.home_page = static_cast<uint32_t>(w >> 32);
+    return h;
+  }
+};
+
+inline uint32_t HomePageOf(sim::VAddr block_base) {
+  return static_cast<uint32_t>((block_base - sim::AddressSpace::kBase) >>
+                               sim::kVPageShift);
+}
+
+inline sim::VAddr HomeVaddrOf(uint32_t home_page) {
+  return sim::AddressSpace::kBase +
+         (static_cast<sim::VAddr>(home_page) << sim::kVPageShift);
+}
+
+// Number of cachelines a slot spans (slots < 64 B span one).
+inline uint32_t SlotCachelines(uint32_t slot_size) {
+  return slot_size <= kCacheLineSize
+             ? 1
+             : slot_size / static_cast<uint32_t>(kCacheLineSize);
+}
+
+// Usable payload bytes in a slot of `slot_size` under `mode`: the header,
+// plus either one version byte per additional cacheline or a trailing
+// checksum word.
+inline uint32_t PayloadCapacity(
+    uint32_t slot_size,
+    ConsistencyMode mode = ConsistencyMode::kCachelineVersions) {
+  const uint32_t overhead =
+      mode == ConsistencyMode::kCachelineVersions
+          ? kHeaderSize + (SlotCachelines(slot_size) - 1)
+          : kHeaderSize + kChecksumSize;
+  return slot_size > overhead ? slot_size - overhead : 0;
+}
+
+// --- Atomic header access (server-side, on mapped frame memory). ---------
+
+inline uint64_t LoadHeaderWord(const uint8_t* slot) {
+  return std::atomic_ref<const uint64_t>(
+             *reinterpret_cast<const uint64_t*>(slot))
+      .load(std::memory_order_acquire);
+}
+
+inline void StoreHeaderWord(uint8_t* slot, uint64_t w) {
+  std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(slot))
+      .store(w, std::memory_order_release);
+}
+
+inline bool CasHeaderWord(uint8_t* slot, uint64_t& expected, uint64_t desired) {
+  return std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(slot))
+      .compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+}
+
+// --- Payload scatter/gather around the consistency metadata. ---------------
+
+// Writes `len` payload bytes into the slot and stamps the consistency
+// metadata: per-cacheline version bytes, or the trailing checksum (which
+// covers the version and the whole payload region). Does NOT touch the
+// header word; callers update it separately (under lock).
+void WritePayload(uint8_t* slot, uint32_t slot_size, uint8_t version,
+                  const void* data, uint32_t len,
+                  ConsistencyMode mode = ConsistencyMode::kCachelineVersions);
+
+// Gathers up to `len` payload bytes from the slot into `out`.
+void ReadPayload(const uint8_t* slot, uint32_t slot_size, void* out,
+                 uint32_t len,
+                 ConsistencyMode mode = ConsistencyMode::kCachelineVersions);
+
+// Lock-free consistency check on a *snapshot* of a slot (e.g. a DirectRead
+// buffer): header must be kFree, and either every cacheline version byte
+// equals the header version (paper §3.2.3) or the trailing checksum
+// matches the payload.
+bool SnapshotConsistent(
+    const uint8_t* slot, uint32_t slot_size,
+    ConsistencyMode mode = ConsistencyMode::kCachelineVersions);
+
+// FNV-1a over the payload region and the header version byte (internal,
+// exposed for tests).
+uint32_t PayloadChecksum(const uint8_t* slot, uint32_t slot_size);
+
+// --- Deterministic test/bench payload patterns. ---------------------------
+
+inline uint8_t PatternByte(uint64_t object_index, uint32_t byte_index) {
+  return static_cast<uint8_t>(object_index * 131 + byte_index * 7 + 13);
+}
+
+inline void PatternFill(uint64_t object_index, uint8_t* buf, uint32_t len) {
+  for (uint32_t i = 0; i < len; ++i) buf[i] = PatternByte(object_index, i);
+}
+
+inline bool PatternCheck(uint64_t object_index, const uint8_t* buf,
+                         uint32_t len) {
+  for (uint32_t i = 0; i < len; ++i) {
+    if (buf[i] != PatternByte(object_index, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace corm::core
+
+#endif  // CORM_CORE_OBJECT_LAYOUT_H_

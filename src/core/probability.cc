@@ -1,0 +1,26 @@
+#include "core/probability.h"
+
+#include "common/math_util.h"
+
+namespace corm::core {
+
+double CompactionProbability(uint64_t n, uint64_t s, uint64_t b1,
+                             uint64_t b2) {
+  if (b1 + b2 > s) return 0.0;
+  if (b2 == 0 || b1 == 0) return 1.0;
+  if (b1 > n) return 0.0;
+  return BinomialRatio(n - b1, n, b2);
+}
+
+double MeshCompactionProbability(uint64_t s, uint64_t b1, uint64_t b2) {
+  return CompactionProbability(/*n=*/s, s, b1, b2);
+}
+
+double CormCompactionProbability(int id_bits, uint64_t s, uint64_t b1,
+                                 uint64_t b2) {
+  const uint64_t n = 1ULL << id_bits;
+  if (s > n) return 0.0;  // class not addressable with this ID width
+  return CompactionProbability(n, s, b1, b2);
+}
+
+}  // namespace corm::core

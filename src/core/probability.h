@@ -1,0 +1,34 @@
+// Compaction-probability model (paper §3.4, Figure 7).
+//
+// Two blocks B1, B2 of the same class (capacity s objects each, identifier
+// space of n distinct values, holding b1 and b2 objects) can be compacted
+// iff b1 + b2 <= s and no identifier collides:
+//
+//     p(B1,B2) = C(n - b1, b2) / C(n, b2)       if b1 + b2 <= s
+//              = 0                              otherwise
+//
+// For Mesh the "identifier" is the slot offset, so n = s; for CoRM-x the
+// identifiers are random x-bit IDs, so n = 2^x.
+
+#ifndef CORM_CORE_PROBABILITY_H_
+#define CORM_CORE_PROBABILITY_H_
+
+#include <cstdint>
+
+namespace corm::core {
+
+// The general formula above.
+double CompactionProbability(uint64_t n, uint64_t s, uint64_t b1, uint64_t b2);
+
+// Mesh's offset-conflict probability: identifier space = slot count.
+double MeshCompactionProbability(uint64_t s, uint64_t b1, uint64_t b2);
+
+// CoRM-x with x-bit random object IDs. A class whose blocks hold more
+// objects than 2^x can address is not compactable (probability 0) — the
+// hybrid-mode motivation (paper §4.4.1).
+double CormCompactionProbability(int id_bits, uint64_t s, uint64_t b1,
+                                 uint64_t b2);
+
+}  // namespace corm::core
+
+#endif  // CORM_CORE_PROBABILITY_H_

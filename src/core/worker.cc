@@ -1,0 +1,662 @@
+#include "core/worker.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/cpu_relax.h"
+#include "common/logging.h"
+#include "core/object_layout.h"
+#include "sim/latency_model.h"
+
+namespace corm::core {
+
+Worker::Worker(CormNode* node, int id)
+    : node_(node),
+      id_(id),
+      allocator_(id, node->block_allocator_.get()),
+      inbox_(1024),
+      rng_(node->config().seed * 7919 + static_cast<uint64_t>(id) + 1) {}
+
+void Worker::Send(WorkerMsg msg) {
+  while (!inbox_.TryPush(msg)) {
+    CpuRelax();
+  }
+}
+
+void Worker::Run() {
+  while (!node_->stop_.load(std::memory_order_relaxed)) {
+    if (auto msg = inbox_.TryPop()) {
+      HandleInbox(*msg);
+      continue;
+    }
+    if (rdma::RpcMessage* rpc = node_->rpc_queue()->Poll()) {
+      HandleRpc(rpc, /*forwarded=*/false);
+      continue;
+    }
+    CpuRelax();
+  }
+}
+
+void Worker::HandleInbox(WorkerMsg& msg) {
+  switch (msg.kind) {
+    case WorkerMsg::Kind::kForwardedRpc:
+      HandleRpc(msg.rpc, /*forwarded=*/true);
+      break;
+    case WorkerMsg::Kind::kCorrection: {
+      // Only the current owner may touch block metadata; if ownership moved
+      // while the query was in flight, the requester re-routes.
+      if (msg.block->owner_thread() == id_) {
+        auto slot = OwnerLookup(msg.block, msg.obj_id);
+        msg.correction->found = slot.ok();
+        msg.correction->slot = slot.ok() ? *slot : 0;
+      } else {
+        msg.correction->found = false;
+      }
+      msg.correction->done.store(true, std::memory_order_release);
+      break;
+    }
+    case WorkerMsg::Kind::kCollect: {
+      msg.collect->blocks = allocator_.CollectBlocks(
+          msg.class_idx, msg.max_occupancy, msg.max_blocks);
+      msg.collect->done.store(true, std::memory_order_release);
+      break;
+    }
+    case WorkerMsg::Kind::kStats: {
+      const uint32_t n = node_->classes().num_classes();
+      msg.stats->granted.resize(n);
+      msg.stats->used.resize(n);
+      msg.stats->nblocks.resize(n);
+      for (uint32_t c = 0; c < n; ++c) {
+        msg.stats->granted[c] = allocator_.GrantedBytes(c);
+        msg.stats->used[c] = allocator_.UsedBytes(c);
+        msg.stats->nblocks[c] = allocator_.NumBlocks(c);
+      }
+      msg.stats->done.store(true, std::memory_order_release);
+      break;
+    }
+    case WorkerMsg::Kind::kCompact:
+      RunCompaction(msg.compact);
+      break;
+    case WorkerMsg::Kind::kBulk:
+      HandleBulk(msg.bulk);
+      break;
+  }
+}
+
+void Worker::Complete(rdma::RpcMessage* rpc, Status st) {
+  rpc->status = std::move(st);
+  rpc->done.store(true, std::memory_order_release);
+}
+
+// Charges modeled server-side processing time to the RPC: paces the worker
+// and reports the duration back to the client for latency accounting.
+namespace {
+void Charge(rdma::RpcMessage* rpc, uint64_t ns) {
+  rpc->server_extra_ns += ns;
+  sim::Pace(ns);
+}
+}  // namespace
+
+void Worker::HandleRpc(rdma::RpcMessage* rpc, bool forwarded) {
+  switch (PeekOp(rpc->request)) {
+    case RpcOp::kAlloc:
+      HandleAlloc(rpc);
+      break;
+    case RpcOp::kFree:
+      HandleFree(rpc, forwarded);
+      break;
+    case RpcOp::kRead:
+      HandleRead(rpc);
+      break;
+    case RpcOp::kWrite:
+      HandleWrite(rpc);
+      break;
+    case RpcOp::kReleasePtr:
+      HandleReleasePtr(rpc);
+      break;
+    default:
+      Complete(rpc, Status::InvalidArgument("unknown RPC opcode"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation.
+// ---------------------------------------------------------------------------
+
+bool Worker::ClassCompactable(uint32_t class_idx) const {
+  const int bits = node_->config().object_id_bits;
+  if (bits <= 0) return false;
+  const uint64_t id_space = 1ULL << bits;
+  const uint64_t slots =
+      node_->block_bytes() / node_->classes().ClassSize(class_idx);
+  return slots <= id_space;
+}
+
+Result<uint16_t> Worker::DrawObjectId(alloc::Block* block) {
+  const int bits = std::min(node_->config().object_id_bits, 16);
+  const uint16_t mask =
+      bits >= 16 ? 0xffff : static_cast<uint16_t>((1u << std::max(bits, 0)) - 1);
+  if (!ClassCompactable(block->class_idx())) {
+    // Compaction is disabled for this class; IDs need not be unique and the
+    // metadata map is not maintained (§4.4.1).
+    return static_cast<uint16_t>(rng_.Next() & mask);
+  }
+  for (;;) {
+    const auto id = static_cast<uint16_t>(rng_.Next() & mask);
+    if (!block->HasId(id)) return id;
+  }
+}
+
+Result<GlobalAddr> Worker::AllocObject(uint32_t payload_size) {
+  auto class_idx = node_->ClassForPayload(payload_size);
+  CORM_RETURN_NOT_OK(class_idx.status());
+
+  auto allocation = allocator_.Alloc(*class_idx);
+  CORM_RETURN_NOT_OK(allocation.status());
+  alloc::Block* block = allocation->block;
+  const uint32_t slot = allocation->slot;
+  if (allocation->new_block) {
+    node_->DirectoryInsert(block->base(), block, /*is_alias=*/false);
+    sim::Pace(node_->latency_model().BlockAllocExtraNs());
+  }
+
+  auto id = DrawObjectId(block);
+  CORM_RETURN_NOT_OK(id.status());
+  if (ClassCompactable(block->class_idx())) {
+    CORM_CHECK(block->InsertId(*id, slot));
+  }
+
+  uint8_t* ptr = SlotPtr(block->base(), block, slot);
+  ObjectHeader h;
+  h.version = 1;
+  h.lock = LockState::kFree;
+  h.class_idx = static_cast<uint8_t>(block->class_idx() & 0x3f);
+  h.obj_id = *id;
+  h.home_page = HomePageOf(block->base());
+  // Stamp the consistency metadata before publishing the header.
+  WritePayload(ptr, block->slot_size(), h.version, nullptr, 0,
+               node_->config().consistency);
+  StoreHeaderWord(ptr, h.Pack());
+
+  node_->vaddr_tracker_.OnAlloc(block->base());
+
+  GlobalAddr addr;
+  addr.vaddr = block->SlotAddr(slot);
+  addr.r_key = block->keys().r_key;
+  addr.obj_id = *id;
+  addr.class_idx = static_cast<uint8_t>(*class_idx);
+  return addr;
+}
+
+void Worker::HandleAlloc(rdma::RpcMessage* rpc) {
+  AllocRequest req;
+  DecodeRequest(rpc->request, &req);
+  node_->stats_.rpc_allocs.fetch_add(1, std::memory_order_relaxed);
+  rpc->server_extra_ns = 0;
+  Charge(rpc, node_->latency_model().AllocExtraNs());
+  auto addr = AllocObject(static_cast<uint32_t>(req.size));
+  if (!addr.ok()) {
+    Complete(rpc, addr.status());
+    return;
+  }
+  EncodeResponse(AllocResponse{*addr}, &rpc->response);
+  Complete(rpc, Status::OK());
+}
+
+// ---------------------------------------------------------------------------
+// Object resolution & pointer correction (§3.2).
+// ---------------------------------------------------------------------------
+
+uint8_t* Worker::SlotPtr(sim::VAddr base, const alloc::Block* block,
+                         uint32_t slot) {
+  return node_->space_->TranslatePtr(
+      base + static_cast<uint64_t>(slot) * block->slot_size());
+}
+
+Result<uint32_t> Worker::OwnerLookup(const alloc::Block* block,
+                                     uint16_t obj_id) {
+  auto slot = block->FindId(obj_id);
+  if (!slot) return Status::NotFound("object ID not present in block");
+  return *slot;
+}
+
+Result<uint32_t> Worker::CorrectViaScan(const alloc::Block* block,
+                                        sim::VAddr base, uint16_t obj_id) {
+  node_->stats_.corrections_scan.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t slot_size = block->slot_size();
+  const uint32_t num_slots = block->num_slots();
+  for (uint32_t slot = 0; slot < num_slots; ++slot) {
+    const uint8_t* ptr = node_->space_->TranslatePtr(
+        base + static_cast<uint64_t>(slot) * slot_size);
+    if (ptr == nullptr) break;
+    const ObjectHeader h = ObjectHeader::Unpack(LoadHeaderWord(ptr));
+    if (h.lock != LockState::kTombstone && h.obj_id == obj_id) return slot;
+  }
+  return Status::NotFound("object ID not found by block scan");
+}
+
+Result<uint32_t> Worker::CorrectViaOwner(alloc::Block* block,
+                                         uint16_t obj_id) {
+  node_->stats_.corrections_messaging.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int owner = block->owner_thread();
+    if (owner == id_) return OwnerLookup(block, obj_id);
+    if (owner < 0) {
+      // Ownership in transit (block collected for compaction, or retired):
+      // fall back to scanning through the client-visible bytes, which stay
+      // coherent across remaps.
+      return CorrectViaScan(block, block->base(), obj_id);
+    }
+    CorrectionReply reply;
+    WorkerMsg msg;
+    msg.kind = WorkerMsg::Kind::kCorrection;
+    msg.block = block;
+    msg.obj_id = obj_id;
+    msg.correction = &reply;
+    node_->worker(owner)->Send(msg);
+    // Wait for the reply, serving correction queries addressed to us so two
+    // workers correcting into each other's blocks cannot deadlock. This is
+    // also the §4.3.2 stall: if the owner is busy compacting, we wait.
+    while (!reply.done.load(std::memory_order_acquire)) {
+      if (auto pending = inbox_.TryPop()) {
+        if (pending->kind == WorkerMsg::Kind::kCorrection ||
+            pending->kind == WorkerMsg::Kind::kStats ||
+            pending->kind == WorkerMsg::Kind::kCollect) {
+          HandleInbox(*pending);
+        } else {
+          Send(*pending);  // requeue; processed after we unblock
+        }
+      } else {
+        CpuRelax();
+      }
+    }
+    if (reply.found) return reply.slot;
+    // Owner either no longer owns the block (retry) or the ID is gone.
+    if (block->owner_thread() == owner) {
+      return Status::NotFound("object ID not present in block");
+    }
+  }
+  return Status::Internal("pointer correction ownership churn");
+}
+
+Result<Worker::Resolved> Worker::ResolveObject(const GlobalAddr& addr) {
+  const size_t block_bytes = node_->block_bytes();
+  const sim::VAddr base = BlockBaseOf(addr.vaddr, block_bytes);
+  const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+  if (entry.block == nullptr) {
+    return Status::StalePointer("virtual block released or never allocated");
+  }
+  Resolved r;
+  r.block = entry.block;
+  r.base = base;
+  r.old_block = entry.is_alias;
+  if (r.old_block) {
+    node_->stats_.old_pointer_uses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Optimistic hinted access (§3.2): load the header at the hinted offset
+  // and compare IDs.
+  const uint64_t offset = addr.vaddr - base;
+  const uint32_t hint_slot =
+      static_cast<uint32_t>(offset / r.block->slot_size());
+  if (hint_slot < r.block->num_slots()) {
+    const uint8_t* ptr = SlotPtr(base, r.block, hint_slot);
+    if (ptr != nullptr) {
+      const ObjectHeader h = ObjectHeader::Unpack(LoadHeaderWord(ptr));
+      if (h.obj_id == addr.obj_id && h.lock != LockState::kTombstone) {
+        r.slot = hint_slot;
+        return r;
+      }
+    }
+  }
+
+  // Hint is stale: run the configured pointer-correction strategy (§3.2.1).
+  Result<uint32_t> slot =
+      node_->config().rpc_correction == RpcCorrectionStrategy::kThreadMessaging
+          ? CorrectViaOwner(r.block, addr.obj_id)
+          : CorrectViaScan(r.block, base, addr.obj_id);
+  CORM_RETURN_NOT_OK(slot.status());
+  r.slot = *slot;
+  r.corrected = true;
+  return r;
+}
+
+// Builds the corrected pointer sent back to the client: same block base the
+// client used (old bases stay valid, §3.3), updated offset hint.
+namespace {
+GlobalAddr CorrectedAddr(const GlobalAddr& in, const Worker::Resolved& r,
+                         uint32_t slot_size) {
+  GlobalAddr out = in;
+  out.vaddr = r.base + static_cast<uint64_t>(r.slot) * slot_size;
+  out.flags = r.old_block ? GlobalAddr::kFlagOldBlock : 0;
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Read (§3.2.3 consistency via header seqlock on the RPC path).
+// ---------------------------------------------------------------------------
+
+void Worker::HandleRead(rdma::RpcMessage* rpc) {
+  ReadRequest req;
+  DecodeRequest(rpc->request, &req);
+  node_->stats_.rpc_reads.fetch_add(1, std::memory_order_relaxed);
+
+  auto resolved = ResolveObject(req.addr);
+  if (!resolved.ok()) {
+    Complete(rpc, resolved.status());
+    return;
+  }
+  alloc::Block* block = resolved->block;
+  const ConsistencyMode mode = node_->config().consistency;
+  if (req.size > PayloadCapacity(block->slot_size(), mode)) {
+    Complete(rpc, Status::InvalidArgument("read larger than object payload"));
+    return;
+  }
+  uint8_t* ptr = SlotPtr(resolved->base, block, resolved->slot);
+
+  ReadResponse resp;
+  resp.addr = CorrectedAddr(req.addr, *resolved, block->slot_size());
+  resp.size = req.size;
+  Buffer payload(req.size);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const uint64_t w1 = LoadHeaderWord(ptr);
+    const ObjectHeader h = ObjectHeader::Unpack(w1);
+    if (h.lock == LockState::kWriteLocked ||
+        h.lock == LockState::kCompacting) {
+      Complete(rpc, Status::ObjectLocked("object locked; retry"));
+      return;
+    }
+    if (h.lock == LockState::kTombstone || h.obj_id != req.addr.obj_id) {
+      Complete(rpc, Status::ObjectMoved("object moved during read"));
+      return;
+    }
+    ReadPayload(ptr, block->slot_size(), payload.data(), req.size, mode);
+    if (LoadHeaderWord(ptr) == w1) {
+      EncodeResponse(resp, &rpc->response, Slice(payload.data(), req.size));
+      Complete(rpc, Status::OK());
+      return;
+    }
+  }
+  Complete(rpc, Status::ObjectLocked("object under heavy write contention"));
+}
+
+// ---------------------------------------------------------------------------
+// Write.
+// ---------------------------------------------------------------------------
+
+void Worker::HandleWrite(rdma::RpcMessage* rpc) {
+  WriteRequest req;
+  Slice payload = DecodeRequest(rpc->request, &req);
+  node_->stats_.rpc_writes.fetch_add(1, std::memory_order_relaxed);
+
+  auto resolved = ResolveObject(req.addr);
+  if (!resolved.ok()) {
+    Complete(rpc, resolved.status());
+    return;
+  }
+  alloc::Block* block = resolved->block;
+  const ConsistencyMode mode = node_->config().consistency;
+  if (req.size > PayloadCapacity(block->slot_size(), mode) ||
+      payload.size() < req.size) {
+    Complete(rpc, Status::InvalidArgument("write larger than object payload"));
+    return;
+  }
+  uint8_t* ptr = SlotPtr(resolved->base, block, resolved->slot);
+
+  // Acquire the object lock (bounded spin over transient writer locks).
+  uint64_t w = LoadHeaderWord(ptr);
+  for (int attempt = 0;; ++attempt) {
+    ObjectHeader h = ObjectHeader::Unpack(w);
+    if (h.lock == LockState::kCompacting) {
+      Complete(rpc, Status::ObjectLocked("object under compaction"));
+      return;
+    }
+    if (h.lock == LockState::kTombstone || h.obj_id != req.addr.obj_id) {
+      Complete(rpc, Status::ObjectMoved("object moved during write"));
+      return;
+    }
+    if (h.lock == LockState::kWriteLocked) {
+      if (attempt > 4096) {
+        Complete(rpc, Status::ObjectLocked("object write-locked"));
+        return;
+      }
+      CpuRelax();
+      w = LoadHeaderWord(ptr);
+      continue;
+    }
+    ObjectHeader locked = h;
+    locked.lock = LockState::kWriteLocked;
+    if (CasHeaderWord(ptr, w, locked.Pack())) {
+      // Locked: bump the version, write payload + per-cacheline versions,
+      // then publish the unlocked header. The lock is held for the modeled
+      // DMA duration — the window a concurrent DirectRead can observe as
+      // locked or torn (Fig. 13).
+      ObjectHeader next = locked;
+      next.version = static_cast<uint8_t>(h.version + 1);
+      next.lock = LockState::kFree;
+      WritePayload(ptr, block->slot_size(), next.version, payload.data(),
+                   req.size, mode);
+      Charge(rpc, node_->latency_model().WriteLockHoldNs(req.size));
+      StoreHeaderWord(ptr, next.Pack());
+      break;
+    }
+    // CAS failure reloaded `w`; retry.
+  }
+
+  WriteResponse resp;
+  resp.addr = CorrectedAddr(req.addr, *resolved, block->slot_size());
+  EncodeResponse(resp, &rpc->response);
+  Complete(rpc, Status::OK());
+}
+
+// ---------------------------------------------------------------------------
+// Free (ownership-bound: forwarded to the block owner, §3.1.4 invariant).
+// ---------------------------------------------------------------------------
+
+void Worker::MaybeReleaseEmptyBlock(alloc::Block* block) {
+  if (!block->Empty()) return;
+  // An empty block has no live homed objects of its own, and every ghost
+  // that aliased it has been released (their homed objects lived here).
+  auto owned = allocator_.DetachBlock(block);
+  node_->DirectoryErase(owned->base());
+  node_->vaddr_tracker_.OnBlockDestroyed(owned->base());
+  node_->block_allocator_->DestroyBlock(std::move(owned));
+}
+
+void Worker::ReleaseGhost(const GhostToRelease& ghost) {
+  node_->ReleaseGhostAction(ghost);
+}
+
+Status Worker::FreeResolved(const Resolved& r) {
+  alloc::Block* block = r.block;
+  uint8_t* ptr = SlotPtr(r.base, block, r.slot);
+  uint64_t w = LoadHeaderWord(ptr);
+  for (int attempt = 0;; ++attempt) {
+    ObjectHeader h = ObjectHeader::Unpack(w);
+    if (h.lock == LockState::kCompacting) {
+      return Status::ObjectLocked("object under compaction");
+    }
+    if (h.lock == LockState::kTombstone) {
+      return Status::NotFound("double free");
+    }
+    if (h.lock == LockState::kWriteLocked) {
+      if (attempt > 4096) return Status::ObjectLocked("object write-locked");
+      CpuRelax();
+      w = LoadHeaderWord(ptr);
+      continue;
+    }
+    ObjectHeader dead = h;
+    dead.lock = LockState::kTombstone;
+    if (CasHeaderWord(ptr, w, dead.Pack())) {
+      if (ClassCompactable(block->class_idx())) block->EraseId(h.obj_id);
+      const bool empty = allocator_.Free(block, r.slot);
+      auto ghost = node_->vaddr_tracker_.OnFree(HomeVaddrOf(h.home_page));
+      if (ghost) ReleaseGhost(*ghost);
+      if (empty) MaybeReleaseEmptyBlock(block);
+      return Status::OK();
+    }
+  }
+}
+
+void Worker::HandleFree(rdma::RpcMessage* rpc, bool forwarded) {
+  FreeRequest req;
+  DecodeRequest(rpc->request, &req);
+  if (!forwarded) {
+    // Count on first receipt; the op may be forwarded to the owner.
+    node_->stats_.rpc_frees.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Route to the block owner first (only the owner mutates block metadata).
+  const sim::VAddr base = BlockBaseOf(req.addr.vaddr, node_->block_bytes());
+  const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+  if (entry.block == nullptr) {
+    Complete(rpc, Status::StalePointer("virtual block released"));
+    return;
+  }
+  const int owner = entry.block->owner_thread();
+  if (owner != id_) {
+    if (owner < 0) {
+      // Block in transit to the compaction leader; the client retries.
+      Complete(rpc, Status::ObjectLocked("block ownership in transit"));
+      return;
+    }
+    node_->stats_.forwarded_ops.fetch_add(1, std::memory_order_relaxed);
+    WorkerMsg msg;
+    msg.kind = WorkerMsg::Kind::kForwardedRpc;
+    msg.rpc = rpc;
+    node_->worker(owner)->Send(msg);
+    return;  // the owner completes the RPC
+  }
+  Charge(rpc, node_->latency_model().FreeExtraNs());
+
+  auto resolved = ResolveObject(req.addr);
+  if (!resolved.ok()) {
+    Complete(rpc, resolved.status());
+    return;
+  }
+  Status st = FreeResolved(*resolved);
+  if (st.ok()) {
+    FreeResponse resp;
+    resp.addr = GlobalAddr{};  // freed: the pointer is dead
+    EncodeResponse(resp, &rpc->response);
+  }
+  Complete(rpc, std::move(st));
+}
+
+// ---------------------------------------------------------------------------
+// ReleasePtr (§3.3): re-home the object to its current block so the old
+// virtual address can be reused once all such objects are released.
+// ---------------------------------------------------------------------------
+
+void Worker::HandleReleasePtr(rdma::RpcMessage* rpc) {
+  ReleasePtrRequest req;
+  DecodeRequest(rpc->request, &req);
+  node_->stats_.rpc_releases.fetch_add(1, std::memory_order_relaxed);
+
+  auto resolved = ResolveObject(req.addr);
+  if (!resolved.ok()) {
+    Complete(rpc, resolved.status());
+    return;
+  }
+  alloc::Block* block = resolved->block;
+  uint8_t* ptr = SlotPtr(resolved->base, block, resolved->slot);
+
+  uint64_t w = LoadHeaderWord(ptr);
+  for (int attempt = 0;; ++attempt) {
+    ObjectHeader h = ObjectHeader::Unpack(w);
+    if (h.lock == LockState::kCompacting) {
+      Complete(rpc, Status::ObjectLocked("object under compaction"));
+      return;
+    }
+    if (h.lock == LockState::kTombstone || h.obj_id != req.addr.obj_id) {
+      Complete(rpc, Status::ObjectMoved("object moved during release"));
+      return;
+    }
+    if (h.lock == LockState::kWriteLocked) {
+      if (attempt > 4096) {
+        Complete(rpc, Status::ObjectLocked("object write-locked"));
+        return;
+      }
+      CpuRelax();
+      w = LoadHeaderWord(ptr);
+      continue;
+    }
+    const sim::VAddr old_home = HomeVaddrOf(h.home_page);
+    const sim::VAddr new_home = block->base();
+    if (old_home == new_home) break;  // nothing to release
+    ObjectHeader next = h;
+    next.home_page = HomePageOf(new_home);
+    if (CasHeaderWord(ptr, w, next.Pack())) {
+      auto ghost = node_->vaddr_tracker_.OnRehome(old_home, new_home);
+      if (ghost) ReleaseGhost(*ghost);
+      break;
+    }
+  }
+
+  // The canonical pointer now lives in the current block.
+  ReleasePtrResponse resp;
+  resp.addr = req.addr;
+  resp.addr.vaddr = block->SlotAddr(resolved->slot);
+  resp.addr.r_key = block->keys().r_key;
+  resp.addr.flags = 0;
+  EncodeResponse(resp, &rpc->response);
+  // Paper §4.1: the release itself adds ~0.3 us on top of the RPC.
+  Charge(rpc, 300);
+  Complete(rpc, Status::OK());
+}
+
+// ---------------------------------------------------------------------------
+// Bulk loader (benchmark/test path, bypasses the RPC wire).
+// ---------------------------------------------------------------------------
+
+void Worker::HandleBulk(BulkRequest* req) {
+  if (req->is_alloc) {
+    req->out_addrs.reserve(req->count);
+    for (size_t i = 0; i < req->count; ++i) {
+      auto addr = AllocObject(req->payload_size);
+      if (!addr.ok()) {
+        req->status = addr.status();
+        break;
+      }
+      // Deterministic payload for later verification.
+      const sim::VAddr base =
+          BlockBaseOf(addr->vaddr, node_->block_bytes());
+      const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+      alloc::Block* block = entry.block;
+      uint8_t* ptr = SlotPtr(base, block, block->SlotFor(addr->vaddr));
+      Buffer pattern(req->payload_size);
+      PatternFill(req->index_base + i, pattern.data(),
+                  static_cast<uint32_t>(pattern.size()));
+      WritePayload(ptr, block->slot_size(), /*version=*/1, pattern.data(),
+                   static_cast<uint32_t>(pattern.size()),
+                   node_->config().consistency);
+      req->out_addrs.push_back(*addr);
+    }
+  } else {
+    std::vector<GlobalAddr> not_mine;
+    for (const GlobalAddr& addr : req->free_addrs) {
+      const sim::VAddr base = BlockBaseOf(addr.vaddr, node_->block_bytes());
+      const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+      if (entry.block == nullptr) {
+        req->status = Status::StalePointer("bulk free: unknown block");
+        continue;
+      }
+      if (entry.block->owner_thread() != id_) {
+        not_mine.push_back(addr);
+        continue;
+      }
+      auto resolved = ResolveObject(addr);
+      if (!resolved.ok()) {
+        req->status = resolved.status();
+        continue;
+      }
+      Status st = FreeResolved(*resolved);
+      if (!st.ok()) req->status = std::move(st);
+    }
+    req->free_addrs = std::move(not_mine);  // returned for re-routing
+  }
+  req->done.store(true, std::memory_order_release);
+}
+
+}  // namespace corm::core

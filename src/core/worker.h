@@ -1,0 +1,191 @@
+// Worker: one CoRM worker thread (paper §2.2.2, §3.1.4).
+//
+// Each worker polls (a) its private inbox — ownership-bound operations
+// forwarded by peers, pointer-correction queries, compaction-protocol
+// messages — and (b) the shared RPC queue. Worker 0 additionally acts as
+// the compaction leader when a Compact control message arrives.
+//
+// Internal header: not part of the public API surface.
+
+#ifndef CORM_CORE_WORKER_H_
+#define CORM_CORE_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/block.h"
+#include "alloc/thread_allocator.h"
+#include "common/mpmc_queue.h"
+#include "common/random.h"
+#include "core/addr.h"
+#include "core/corm_node.h"
+#include "core/rpc_protocol.h"
+#include "rdma/rpc_transport.h"
+
+namespace corm::core {
+
+// --- Inter-worker message payloads (reply slots are caller-owned). --------
+
+struct CorrectionReply {
+  std::atomic<bool> done{false};
+  bool found = false;
+  uint32_t slot = 0;
+};
+
+struct CollectReply {
+  std::atomic<bool> done{false};
+  std::vector<std::unique_ptr<alloc::Block>> blocks;
+};
+
+struct StatsReply {
+  std::atomic<bool> done{false};
+  // granted/used bytes and block counts per size class.
+  std::vector<uint64_t> granted;
+  std::vector<uint64_t> used;
+  std::vector<uint64_t> nblocks;
+};
+
+struct CompactRequest {
+  std::atomic<bool> done{false};
+  uint32_t class_idx = 0;
+  Status status;
+  CompactionReport report;
+};
+
+struct BulkRequest {
+  std::atomic<bool> done{false};
+  bool is_alloc = false;
+  // Alloc inputs/outputs.
+  size_t count = 0;
+  uint32_t payload_size = 0;
+  uint64_t index_base = 0;  // pattern seed offset for determinism
+  std::vector<GlobalAddr> out_addrs;
+  // Free inputs.
+  std::vector<GlobalAddr> free_addrs;
+  Status status;
+};
+
+struct WorkerMsg {
+  enum class Kind : uint8_t {
+    kForwardedRpc,  // ownership-bound RPC (Free) routed to the block owner
+    kCorrection,    // pointer-correction query (thread messaging, §3.2.1)
+    kCollect,       // compaction stage 1: donate low-occupancy blocks
+    kStats,         // fragmentation accounting snapshot
+    kCompact,       // run a compaction as leader
+    kBulk,          // bulk alloc/free loader
+  };
+  Kind kind = Kind::kForwardedRpc;
+
+  rdma::RpcMessage* rpc = nullptr;  // kForwardedRpc
+
+  // kCorrection
+  const alloc::Block* block = nullptr;
+  uint16_t obj_id = 0;
+  CorrectionReply* correction = nullptr;
+
+  // kCollect
+  uint32_t class_idx = 0;
+  double max_occupancy = 0.0;
+  size_t max_blocks = 0;
+  CollectReply* collect = nullptr;
+
+  StatsReply* stats = nullptr;      // kStats
+  CompactRequest* compact = nullptr;  // kCompact
+  BulkRequest* bulk = nullptr;        // kBulk
+};
+
+class Worker {
+ public:
+  Worker(CormNode* node, int id);
+
+  // Thread body; returns when the node's stop flag is set.
+  void Run();
+
+  // Enqueues a message (any thread). Spins while the inbox is full.
+  void Send(WorkerMsg msg);
+
+  int id() const { return id_; }
+  alloc::ThreadAllocator* allocator() { return &allocator_; }
+
+  // Result of locating an object (public for internal free helpers).
+  struct Resolved {
+    alloc::Block* block = nullptr;
+    uint32_t slot = 0;
+    sim::VAddr base = 0;      // block base the client's pointer references
+    bool corrected = false;   // hint was stale; slot found via ID
+    bool old_block = false;   // pointer references a ghost base (§3.3)
+  };
+
+ private:
+  // --- Dispatch. ---------------------------------------------------------
+  void HandleInbox(WorkerMsg& msg);
+  void HandleRpc(rdma::RpcMessage* rpc, bool forwarded);
+
+  // --- RPC operation handlers. -------------------------------------------
+  void HandleAlloc(rdma::RpcMessage* rpc);
+  void HandleFree(rdma::RpcMessage* rpc, bool forwarded);
+  void HandleRead(rdma::RpcMessage* rpc);
+  void HandleWrite(rdma::RpcMessage* rpc);
+  void HandleReleasePtr(rdma::RpcMessage* rpc);
+
+  // --- Shared helpers. ----------------------------------------------------
+  // Locates the object referenced by `addr`: optimistic hinted-offset check
+  // first, then the configured correction strategy. Never blocks on locked
+  // objects (that is the caller's concern).
+  Result<Resolved> ResolveObject(const GlobalAddr& addr);
+
+  // Pointer correction backends (§3.2.1).
+  Result<uint32_t> CorrectViaOwner(alloc::Block* block, uint16_t obj_id);
+  Result<uint32_t> CorrectViaScan(const alloc::Block* block, sim::VAddr base,
+                                  uint16_t obj_id);
+
+  // Looks up an object ID in a block this worker owns.
+  Result<uint32_t> OwnerLookup(const alloc::Block* block, uint16_t obj_id);
+
+  // Allocates one object; returns its address. Used by RPC + bulk paths.
+  Result<GlobalAddr> AllocObject(uint32_t payload_size);
+  // Frees a resolved object (this worker must own the block).
+  Status FreeResolved(const Resolved& r);
+
+  // Byte pointer to a slot through the *client-visible* base (aliases
+  // resolve to the same frames after remap).
+  uint8_t* SlotPtr(sim::VAddr base, const alloc::Block* block, uint32_t slot);
+
+  // Generates a block-local object ID (unique when the class is
+  // compactable; paper §3.1.2).
+  Result<uint16_t> DrawObjectId(alloc::Block* block);
+
+  // True when blocks of this class can hold more objects than the ID space
+  // addresses (compaction disabled for it, §4.4.1).
+  bool ClassCompactable(uint32_t class_idx) const;
+
+  // Completes `rpc` with `st` and wakes the client.
+  static void Complete(rdma::RpcMessage* rpc, Status st);
+
+  // Releases a ghost range (tracker said its last homed object died).
+  void ReleaseGhost(const GhostToRelease& ghost);
+
+  // Destroys an empty block owned by this worker.
+  void MaybeReleaseEmptyBlock(alloc::Block* block);
+
+  // --- Compaction (leader side; implemented in compaction.cc). -----------
+  void RunCompaction(CompactRequest* req);
+  // Merges src into dst; assumes both owned by this worker and conflict-
+  // free. Returns number of objects that changed offset.
+  Result<size_t> MergeBlocks(std::unique_ptr<alloc::Block> src,
+                             alloc::Block* dst, CompactionReport* report);
+
+  void HandleBulk(BulkRequest* req);
+
+  CormNode* const node_;
+  const int id_;
+  alloc::ThreadAllocator allocator_;
+  MpmcQueue<WorkerMsg> inbox_;
+  Rng rng_;
+};
+
+}  // namespace corm::core
+
+#endif  // CORM_CORE_WORKER_H_

@@ -1,0 +1,72 @@
+#include "dsm/cluster.h"
+
+#include "common/logging.h"
+
+namespace corm::dsm {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  CORM_CHECK_GT(config_.num_nodes, 0);
+  CORM_CHECK_LE(config_.num_nodes, kMaxNodes);
+  nodes_.reserve(config_.num_nodes);
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    core::CormConfig node_config = config_.node_config;
+    node_config.seed = config_.node_config.seed + static_cast<uint64_t>(i);
+    nodes_.push_back(std::make_unique<core::CormNode>(node_config));
+    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+}
+
+int Cluster::PickNode() {
+  switch (config_.placement) {
+    case Placement::kRoundRobin:
+      break;
+    case Placement::kLeastLoaded: {
+      int best = -1;
+      uint64_t best_bytes = UINT64_MAX;
+      for (int i = 0; i < num_nodes(); ++i) {
+        if (IsDead(i)) continue;
+        const uint64_t bytes = nodes_[i]->ActiveMemoryBytes();
+        if (bytes < best_bytes) {
+          best_bytes = bytes;
+          best = i;
+        }
+      }
+      if (best >= 0) return best;
+      break;  // everything dead: fall through to round robin
+    }
+  }
+  // Round robin over live nodes.
+  for (int attempt = 0; attempt < num_nodes(); ++attempt) {
+    const int idx = static_cast<int>(
+        rr_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<uint64_t>(num_nodes()));
+    if (!IsDead(idx)) return idx;
+  }
+  return 0;  // all nodes dead; the op will fail with kNetworkError
+}
+
+Result<std::vector<core::CompactionReport>>
+Cluster::CompactAllIfFragmented() {
+  std::vector<core::CompactionReport> all;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (IsDead(i)) continue;
+    auto reports = nodes_[i]->CompactIfFragmented();
+    CORM_RETURN_NOT_OK(reports.status());
+    all.insert(all.end(), reports->begin(), reports->end());
+  }
+  return all;
+}
+
+uint64_t Cluster::TotalActiveMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->ActiveMemoryBytes();
+  return total;
+}
+
+uint64_t Cluster::TotalVirtualMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->VirtualMemoryBytes();
+  return total;
+}
+
+}  // namespace corm::dsm

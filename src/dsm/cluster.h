@@ -1,0 +1,89 @@
+// Cluster: multiple CoRM memory nodes composed into one distributed shared
+// memory (the paper's deployment setting, §1-§2: "the memory of multiple
+// different physical nodes is viewed as a single unified memory space").
+//
+// Each node is a full CormNode (own substrate, workers, RNIC); the node id
+// a pointer belongs to travels in the upper bits of the 128-bit pointer's
+// flags byte, so DSM pointers remain 128 bits and keep working across
+// compactions on their home node.
+
+#ifndef CORM_DSM_CLUSTER_H_
+#define CORM_DSM_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/corm_node.h"
+
+namespace corm::dsm {
+
+// Bits 1..7 of GlobalAddr::flags carry the owning node id (bit 0 remains
+// the kFlagOldBlock notification bit). 127 nodes suffice for the rack-scale
+// deployments the paper targets.
+inline constexpr int kMaxNodes = 127;
+
+inline int NodeOf(const core::GlobalAddr& addr) { return addr.flags >> 1; }
+
+inline void SetNode(core::GlobalAddr* addr, int node) {
+  addr->flags = static_cast<uint8_t>((addr->flags & 0x1) |
+                                     (static_cast<uint8_t>(node) << 1));
+}
+
+// Object placement policy for new allocations.
+enum class Placement {
+  kRoundRobin,    // spread allocations uniformly
+  kLeastLoaded,   // place on the node with the least active memory
+};
+
+struct ClusterConfig {
+  int num_nodes = 4;
+  core::CormConfig node_config;  // applied to every node
+  Placement placement = Placement::kRoundRobin;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  core::CormNode* node(int idx) { return nodes_[idx].get(); }
+  const ClusterConfig& config() const { return config_; }
+
+  // Picks a node for a new allocation per the placement policy.
+  int PickNode();
+
+  // --- Cluster-wide control plane. ---------------------------------------
+  // Runs the §3.1.3 fragmentation policy on every node.
+  Result<std::vector<core::CompactionReport>> CompactAllIfFragmented();
+  uint64_t TotalActiveMemoryBytes() const;
+  uint64_t TotalVirtualMemoryBytes() const;
+
+  // --- Failure injection (for the replication extension, §3.2.4). --------
+  // Marks a node unreachable: subsequent DSM operations to it fail with
+  // kNetworkError. The node process itself keeps running (the paper's
+  // fault model assumes full-process failure; we only need the
+  // reachability half to exercise client failover).
+  void KillNode(int idx) { dead_[idx]->store(true, std::memory_order_release); }
+  void ReviveNode(int idx) {
+    dead_[idx]->store(false, std::memory_order_release);
+  }
+  bool IsDead(int idx) const {
+    return dead_[idx]->load(std::memory_order_acquire);
+  }
+
+ private:
+  const ClusterConfig config_;
+  std::vector<std::unique_ptr<core::CormNode>> nodes_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
+  std::atomic<uint64_t> rr_{0};
+};
+
+}  // namespace corm::dsm
+
+#endif  // CORM_DSM_CLUSTER_H_

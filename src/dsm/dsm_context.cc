@@ -1,0 +1,109 @@
+#include "dsm/dsm_context.h"
+
+#include "common/logging.h"
+
+namespace corm::dsm {
+
+DsmContext::DsmContext(Cluster* cluster) : cluster_(cluster) {
+  contexts_.reserve(cluster_->num_nodes());
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    contexts_.push_back(core::Context::Create(cluster_->node(i)));
+  }
+}
+
+Result<core::Context*> DsmContext::Route(const core::GlobalAddr& addr) {
+  const int node = NodeOf(addr);
+  if (node >= cluster_->num_nodes()) {
+    return Status::InvalidArgument("pointer references an unknown node");
+  }
+  if (cluster_->IsDead(node)) {
+    return Status::NetworkError("node " + std::to_string(node) +
+                                " unreachable");
+  }
+  return contexts_[node].get();
+}
+
+Result<core::GlobalAddr> DsmContext::Alloc(size_t size) {
+  return AllocOn(cluster_->PickNode(), size);
+}
+
+Result<core::GlobalAddr> DsmContext::AllocOn(int node, size_t size) {
+  if (node < 0 || node >= cluster_->num_nodes()) {
+    return Status::InvalidArgument("bad node index");
+  }
+  if (cluster_->IsDead(node)) {
+    return Status::NetworkError("node " + std::to_string(node) +
+                                " unreachable");
+  }
+  auto addr = contexts_[node]->Alloc(size);
+  CORM_RETURN_NOT_OK(addr.status());
+  SetNode(&*addr, node);
+  return *addr;
+}
+
+Status DsmContext::Free(core::GlobalAddr* addr) {
+  auto ctx = Route(*addr);
+  CORM_RETURN_NOT_OK(ctx.status());
+  return (*ctx)->Free(addr);
+}
+
+// Ops that rewrite the pointer must re-stamp the node id afterwards: the
+// node-local server knows nothing about cluster routing bits.
+Status DsmContext::Read(core::GlobalAddr* addr, void* buf, size_t size) {
+  auto ctx = Route(*addr);
+  CORM_RETURN_NOT_OK(ctx.status());
+  const int node = NodeOf(*addr);
+  Status st = (*ctx)->Read(addr, buf, size);
+  if (st.ok()) SetNode(addr, node);
+  return st;
+}
+
+Status DsmContext::Write(core::GlobalAddr* addr, const void* buf,
+                         size_t size) {
+  auto ctx = Route(*addr);
+  CORM_RETURN_NOT_OK(ctx.status());
+  const int node = NodeOf(*addr);
+  Status st = (*ctx)->Write(addr, buf, size);
+  if (st.ok()) SetNode(addr, node);
+  return st;
+}
+
+Status DsmContext::DirectRead(const core::GlobalAddr& addr, void* buf,
+                              size_t size) {
+  auto ctx = Route(addr);
+  CORM_RETURN_NOT_OK(ctx.status());
+  // Strip the routing bits: the node-local consistency check compares the
+  // flags-free header fields only, but keep the old-block bit semantics.
+  return (*ctx)->DirectRead(addr, buf, size);
+}
+
+Status DsmContext::ScanRead(core::GlobalAddr* addr, void* buf, size_t size) {
+  auto ctx = Route(*addr);
+  CORM_RETURN_NOT_OK(ctx.status());
+  const int node = NodeOf(*addr);
+  Status st = (*ctx)->ScanRead(addr, buf, size);
+  if (st.ok()) SetNode(addr, node);
+  return st;
+}
+
+Status DsmContext::ReleasePtr(core::GlobalAddr* addr) {
+  auto ctx = Route(*addr);
+  CORM_RETURN_NOT_OK(ctx.status());
+  const int node = NodeOf(*addr);
+  Status st = (*ctx)->ReleasePtr(addr);
+  if (st.ok()) SetNode(addr, node);
+  return st;
+}
+
+Status DsmContext::ReadWithRecovery(core::GlobalAddr* addr, void* buf,
+                                    size_t size,
+                                    core::Context::MovedFallback fallback) {
+  auto ctx = Route(*addr);
+  CORM_RETURN_NOT_OK(ctx.status());
+  const int node = NodeOf(*addr);
+  Status st = (*ctx)->ReadWithRecovery(addr, buf, size, fallback);
+  if (st.ok()) SetNode(addr, node);
+  return st;
+}
+
+}  // namespace corm::dsm

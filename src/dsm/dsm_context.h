@@ -1,0 +1,55 @@
+// DsmContext: the Table 2 API over a whole cluster. Routes every operation
+// by the node id embedded in the pointer, re-stamping it after server-side
+// pointer corrections (objects never migrate between nodes — the paper's
+// compaction is node-local, §3.1.2: "CoRM can compact blocks ... belonging
+// to the same machine").
+
+#ifndef CORM_DSM_DSM_CONTEXT_H_
+#define CORM_DSM_DSM_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "dsm/cluster.h"
+
+namespace corm::dsm {
+
+class DsmContext {
+ public:
+  explicit DsmContext(Cluster* cluster);
+
+  DsmContext(const DsmContext&) = delete;
+  DsmContext& operator=(const DsmContext&) = delete;
+
+  // Allocates on a node chosen by the cluster's placement policy.
+  Result<core::GlobalAddr> Alloc(size_t size);
+  // Allocates on a specific node (replication and co-location want this).
+  Result<core::GlobalAddr> AllocOn(int node, size_t size);
+
+  Status Free(core::GlobalAddr* addr);
+  Status Read(core::GlobalAddr* addr, void* buf, size_t size);
+  Status Write(core::GlobalAddr* addr, const void* buf, size_t size);
+  Status DirectRead(const core::GlobalAddr& addr, void* buf, size_t size);
+  Status ScanRead(core::GlobalAddr* addr, void* buf, size_t size);
+  Status ReleasePtr(core::GlobalAddr* addr);
+  Status ReadWithRecovery(
+      core::GlobalAddr* addr, void* buf, size_t size,
+      core::Context::MovedFallback fallback =
+          core::Context::MovedFallback::kScanRead);
+
+  Cluster* cluster() { return cluster_; }
+  // The per-node client (stats inspection in tests/benches).
+  core::Context* context(int node) { return contexts_[node].get(); }
+
+ private:
+  // Validates the target node and returns its context, or kNetworkError.
+  Result<core::Context*> Route(const core::GlobalAddr& addr);
+
+  Cluster* const cluster_;
+  std::vector<std::unique_ptr<core::Context>> contexts_;
+};
+
+}  // namespace corm::dsm
+
+#endif  // CORM_DSM_DSM_CONTEXT_H_

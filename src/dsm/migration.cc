@@ -1,0 +1,117 @@
+#include "dsm/migration.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace corm::dsm {
+
+Status Migrator::Migrate(core::GlobalAddr* addr, size_t size,
+                         int target_node) {
+  if (target_node < 0 || target_node >= dsm_.cluster()->num_nodes()) {
+    return Status::InvalidArgument("bad target node");
+  }
+  if (NodeOf(*addr) == target_node) return Status::OK();
+
+  // Read the source object (with recovery: it may be mid-compaction).
+  std::vector<uint8_t> payload(size);
+  CORM_RETURN_NOT_OK(
+      dsm_.ReadWithRecovery(addr, payload.data(), size));
+
+  // Allocate + populate on the target before destroying the original, so
+  // a failure leaves the object intact at the source.
+  auto fresh = dsm_.AllocOn(target_node, size);
+  CORM_RETURN_NOT_OK(fresh.status());
+  Status st = dsm_.Write(&*fresh, payload.data(), size);
+  if (!st.ok()) {
+    dsm_.Free(&*fresh).ok();
+    return st;
+  }
+  core::GlobalAddr old = *addr;
+  st = dsm_.Free(&old);
+  if (!st.ok()) {
+    // Source free failed (e.g. node died between read and free): keep the
+    // new copy as canonical anyway; the source replica leaks until its
+    // node recovers. Surface nothing — the migration succeeded.
+  }
+  *addr = *fresh;
+  ++objects_migrated_;
+  bytes_migrated_ += size;
+  return Status::OK();
+}
+
+double Rebalancer::Imbalance() const {
+  uint64_t total = 0, max_bytes = 0;
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    const uint64_t bytes = cluster_->node(n)->ActiveMemoryBytes();
+    total += bytes;
+    max_bytes = std::max(max_bytes, bytes);
+  }
+  const double mean =
+      static_cast<double>(total) / cluster_->num_nodes();
+  return mean > 0 ? static_cast<double>(max_bytes) / mean : 1.0;
+}
+
+Result<RebalanceReport> Rebalancer::Rebalance(
+    std::vector<core::GlobalAddr>* objects,
+    const std::vector<uint32_t>& sizes, double tolerance) {
+  CORM_CHECK_EQ(objects->size(), sizes.size());
+  RebalanceReport report;
+  report.imbalance_before = Imbalance();
+
+  const int nodes = cluster_->num_nodes();
+  auto node_bytes = [&](int n) {
+    return cluster_->node(n)->ActiveMemoryBytes();
+  };
+  uint64_t total = 0;
+  for (int n = 0; n < nodes; ++n) total += node_bytes(n);
+  const auto mean = static_cast<uint64_t>(total / nodes);
+
+  // Group candidate objects by current node.
+  std::vector<std::vector<size_t>> by_node(nodes);
+  for (size_t i = 0; i < objects->size(); ++i) {
+    const int n = NodeOf((*objects)[i]);
+    if (n < nodes) by_node[n].push_back(i);
+  }
+
+  const uint64_t before_migrated = migrator_->objects_migrated();
+  const uint64_t before_bytes = migrator_->bytes_migrated();
+  for (int src = 0; src < nodes; ++src) {
+    if (cluster_->IsDead(src)) continue;
+    size_t cursor = 0;
+    while (node_bytes(src) > mean * tolerance &&
+           cursor < by_node[src].size()) {
+      // Pick the currently least-loaded live target.
+      int dst = -1;
+      uint64_t best = UINT64_MAX;
+      for (int n = 0; n < nodes; ++n) {
+        if (n == src || cluster_->IsDead(n)) continue;
+        if (node_bytes(n) < best) {
+          best = node_bytes(n);
+          dst = n;
+        }
+      }
+      if (dst < 0 || best >= mean) break;  // nowhere underloaded to move to
+      const size_t idx = by_node[src][cursor++];
+      Status st =
+          migrator_->Migrate(&(*objects)[idx], sizes[idx], dst);
+      if (!st.ok() && st.code() != StatusCode::kNetworkError) {
+        return st;
+      }
+    }
+  }
+  report.objects_migrated = migrator_->objects_migrated() - before_migrated;
+  report.bytes_migrated = migrator_->bytes_migrated() - before_bytes;
+
+  // Local compaction everywhere: migration punched holes at the sources.
+  auto compaction = cluster_->CompactAllIfFragmented();
+  CORM_RETURN_NOT_OK(compaction.status());
+  for (const auto& r : *compaction) {
+    report.blocks_freed_by_compaction += r.blocks_freed;
+  }
+  report.imbalance_after = Imbalance();
+  return report;
+}
+
+}  // namespace corm::dsm

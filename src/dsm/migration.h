@@ -1,0 +1,78 @@
+// Cross-node object migration and cluster rebalancing (extension).
+//
+// CoRM's compaction is deliberately node-local (§3.1.2) — it never needs
+// cross-node coordination. What it cannot fix is *imbalance between nodes*:
+// one node's memory can fill while others sit empty. This module adds the
+// missing DSM-level mechanism: migrating an object allocates a fresh copy
+// on the target node and frees the original, returning a new 128-bit
+// pointer (cross-node moves cannot preserve pointers — the virtual-address
+// remapping trick only works inside one machine's page tables).
+//
+// The Rebalancer composes the two mechanisms the way a deployment would:
+// move coarse imbalance between nodes by migration, then let each node's
+// compactor densify locally.
+
+#ifndef CORM_DSM_MIGRATION_H_
+#define CORM_DSM_MIGRATION_H_
+
+#include <vector>
+
+#include "dsm/dsm_context.h"
+
+namespace corm::dsm {
+
+class Migrator {
+ public:
+  explicit Migrator(Cluster* cluster) : dsm_(cluster) {}
+
+  // Moves the object at `addr` (payload `size` bytes) to `target_node`.
+  // On success `addr` points at the new replica; the original is freed.
+  // The old pointer value is dead afterwards — callers own the fan-out of
+  // the new pointer, exactly like after a ReleasePtr (§3.3).
+  Status Migrate(core::GlobalAddr* addr, size_t size, int target_node);
+
+  uint64_t objects_migrated() const { return objects_migrated_; }
+  uint64_t bytes_migrated() const { return bytes_migrated_; }
+
+  DsmContext* dsm() { return &dsm_; }
+
+ private:
+  DsmContext dsm_;
+  uint64_t objects_migrated_ = 0;
+  uint64_t bytes_migrated_ = 0;
+};
+
+// Balances active memory across nodes by migrating objects from nodes
+// above the cluster mean to nodes below it, then compacting every node.
+struct RebalanceReport {
+  uint64_t objects_migrated = 0;
+  uint64_t bytes_migrated = 0;
+  double imbalance_before = 0;  // max/mean active memory across nodes
+  double imbalance_after = 0;
+  size_t blocks_freed_by_compaction = 0;
+};
+
+class Rebalancer {
+ public:
+  Rebalancer(Cluster* cluster, Migrator* migrator)
+      : cluster_(cluster), migrator_(migrator) {}
+
+  // Migrates objects (provided by the caller, who owns the index of
+  // pointers) from overloaded nodes until every node is within
+  // `tolerance` of the mean, then runs the fragmentation policy
+  // everywhere. `objects` entries are updated in place with their sizes
+  // supplied in `sizes`.
+  Result<RebalanceReport> Rebalance(std::vector<core::GlobalAddr>* objects,
+                                    const std::vector<uint32_t>& sizes,
+                                    double tolerance = 1.10);
+
+ private:
+  double Imbalance() const;
+
+  Cluster* const cluster_;
+  Migrator* const migrator_;
+};
+
+}  // namespace corm::dsm
+
+#endif  // CORM_DSM_MIGRATION_H_

@@ -1,0 +1,90 @@
+#include "dsm/replication.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace corm::dsm {
+
+ReplicatedContext::ReplicatedContext(Cluster* cluster, int replication_factor)
+    : dsm_(cluster), k_(replication_factor) {
+  CORM_CHECK_GT(k_, 0);
+  CORM_CHECK_LE(k_, cluster->num_nodes());
+}
+
+Result<ReplicatedAddr> ReplicatedContext::Alloc(size_t size) {
+  ReplicatedAddr addr;
+  std::set<int> used;
+  // Place each replica on a distinct live node.
+  for (int r = 0; r < k_; ++r) {
+    int node = -1;
+    for (int attempt = 0; attempt < 4 * dsm_.cluster()->num_nodes();
+         ++attempt) {
+      const int candidate = dsm_.cluster()->PickNode();
+      if (!used.count(candidate) && !dsm_.cluster()->IsDead(candidate)) {
+        node = candidate;
+        break;
+      }
+    }
+    if (node < 0) {
+      // Unwind partial placement.
+      for (auto& replica : addr.replicas) dsm_.Free(&replica).ok();
+      return Status::NetworkError("not enough live nodes for replication");
+    }
+    used.insert(node);
+    auto replica = dsm_.AllocOn(node, size);
+    if (!replica.ok()) {
+      for (auto& r2 : addr.replicas) dsm_.Free(&r2).ok();
+      return replica.status();
+    }
+    addr.replicas.push_back(*replica);
+  }
+  return addr;
+}
+
+Status ReplicatedContext::Write(ReplicatedAddr* addr, const void* buf,
+                                size_t size) {
+  if (addr->IsNull()) return Status::InvalidArgument("null replicated addr");
+  for (size_t r = 0; r < addr->replicas.size(); ++r) {
+    Status st = dsm_.Write(&addr->replicas[r], buf, size);
+    if (st.ok()) continue;
+    if (st.code() == StatusCode::kNetworkError && r > 0) {
+      // Backup unreachable: degrade, keep the data durable on the rest.
+      ++degraded_writes_;
+      continue;
+    }
+    return st;  // primary unreachable or a hard error: surface it
+  }
+  return Status::OK();
+}
+
+Status ReplicatedContext::Read(ReplicatedAddr* addr, void* buf, size_t size) {
+  if (addr->IsNull()) return Status::InvalidArgument("null replicated addr");
+  Status last = Status::NetworkError("no replicas");
+  for (size_t r = 0; r < addr->replicas.size(); ++r) {
+    last = dsm_.ReadWithRecovery(&addr->replicas[r], buf, size);
+    if (last.ok()) {
+      if (r > 0) ++failovers_;
+      return last;
+    }
+    if (last.code() != StatusCode::kNetworkError) return last;
+    // Node unreachable: try the next replica.
+  }
+  return last;
+}
+
+Status ReplicatedContext::Free(ReplicatedAddr* addr) {
+  Status result;
+  for (auto& replica : addr->replicas) {
+    Status st = dsm_.Free(&replica);
+    // Unreachable replicas leak until re-replication; report the first
+    // hard error otherwise.
+    if (!st.ok() && st.code() != StatusCode::kNetworkError && result.ok()) {
+      result = st;
+    }
+  }
+  addr->replicas.clear();
+  return result;
+}
+
+}  // namespace corm::dsm

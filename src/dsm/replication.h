@@ -1,0 +1,69 @@
+// Primary-backup replication over the DSM cluster — the fault-tolerance
+// direction the paper leaves as future work (§3.2.4: "CoRM could employ a
+// fault-tolerant replication protocol to withstand failures").
+//
+// Model: every object lives on `replication_factor` distinct nodes; the
+// first replica is the primary. Writes go primary-first then to the
+// backups; reads prefer the primary's one-sided path and fail over to
+// backups when a node is unreachable. Compaction keeps running
+// independently on every node — replica pointers self-correct exactly like
+// ordinary CoRM pointers, which is the point of the exercise: CoRM's
+// compaction machinery composes with replication unchanged.
+//
+// Scope note: ordering concurrent writers across replicas needs a real
+// replication protocol (the paper cites [15, 18, 22, 42]); this extension
+// assumes the single-writer-per-object discipline common to those systems'
+// client-driven variants and focuses on failover + compaction interplay.
+
+#ifndef CORM_DSM_REPLICATION_H_
+#define CORM_DSM_REPLICATION_H_
+
+#include <vector>
+
+#include "dsm/dsm_context.h"
+
+namespace corm::dsm {
+
+// A replicated object handle: one 128-bit CoRM pointer per replica,
+// primary first.
+struct ReplicatedAddr {
+  std::vector<core::GlobalAddr> replicas;
+
+  bool IsNull() const { return replicas.empty(); }
+  const core::GlobalAddr& primary() const { return replicas.front(); }
+};
+
+class ReplicatedContext {
+ public:
+  ReplicatedContext(Cluster* cluster, int replication_factor);
+
+  // Allocates the object on `replication_factor` distinct live nodes.
+  Result<ReplicatedAddr> Alloc(size_t size);
+
+  // Writes primary-first, then backups. Fails (without rollback) when any
+  // *reachable* replica write fails; unreachable backups are skipped and
+  // counted — the caller re-replicates when the cluster heals.
+  Status Write(ReplicatedAddr* addr, const void* buf, size_t size);
+
+  // One-sided read with recovery from the primary; fails over to the next
+  // replica when a node is unreachable.
+  Status Read(ReplicatedAddr* addr, void* buf, size_t size);
+
+  // Frees every reachable replica.
+  Status Free(ReplicatedAddr* addr);
+
+  // Number of writes that skipped an unreachable backup (re-replication
+  // debt the caller owes).
+  uint64_t degraded_writes() const { return degraded_writes_; }
+  uint64_t failovers() const { return failovers_; }
+
+ private:
+  DsmContext dsm_;
+  const int k_;
+  uint64_t degraded_writes_ = 0;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace corm::dsm
+
+#endif  // CORM_DSM_REPLICATION_H_

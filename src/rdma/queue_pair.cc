@@ -1,0 +1,44 @@
+#include "rdma/queue_pair.h"
+
+namespace corm::rdma {
+
+namespace {
+// Paper §3.5: recovering a broken QP "can take few milliseconds".
+constexpr uint64_t kReconnectNs = 3'000'000;
+}  // namespace
+
+Result<uint64_t> QueuePair::Access(RKey r_key, sim::VAddr addr, void* buf,
+                                   size_t len, bool is_write) {
+  if (state_.load(std::memory_order_acquire) == State::kError) {
+    return Status::QpBroken("QP in error state; Reconnect() first");
+  }
+  bool broke_qp = false;
+  auto fault_ns = rnic_->MttAccess(r_key, addr, buf, len, is_write, &broke_qp);
+  if (broke_qp) {
+    state_.store(State::kError, std::memory_order_release);
+  }
+  if (!fault_ns.ok()) return fault_ns.status();
+  const uint64_t total_ns = rnic_->model().RdmaReadNs(len) + *fault_ns;
+  sim::Pace(total_ns);
+  return total_ns;
+}
+
+Result<uint64_t> QueuePair::Read(RKey r_key, sim::VAddr addr, void* buf,
+                                 size_t len) {
+  reads_issued_.fetch_add(1, std::memory_order_relaxed);
+  return Access(r_key, addr, buf, len, /*is_write=*/false);
+}
+
+Result<uint64_t> QueuePair::Write(RKey r_key, sim::VAddr addr,
+                                  const void* data, size_t len) {
+  return Access(r_key, addr, const_cast<void*>(data), len, /*is_write=*/true);
+}
+
+uint64_t QueuePair::Reconnect() {
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  sim::Pace(kReconnectNs);
+  state_.store(State::kConnected, std::memory_order_release);
+  return kReconnectNs;
+}
+
+}  // namespace corm::rdma

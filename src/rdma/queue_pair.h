@@ -1,0 +1,65 @@
+// Reliable-connected Queue Pair endpoint (client side).
+//
+// Only reliable QPs support one-sided RDMA reads (paper §2.2), so this is
+// the only QP type CoRM uses. A QP that performs an invalid access — wrong
+// r_key, out-of-bounds, or an access racing ibv_rereg_mr — transitions to
+// the error state and must be reconnected, which models the multi-
+// millisecond recovery cost the paper is careful to avoid.
+
+#ifndef CORM_RDMA_QUEUE_PAIR_H_
+#define CORM_RDMA_QUEUE_PAIR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/result.h"
+#include "rdma/rnic.h"
+#include "sim/latency_model.h"
+
+namespace corm::rdma {
+
+class QueuePair {
+ public:
+  enum class State { kConnected, kError };
+
+  // A QP connects to a remote RNIC. Latency constants come from the RNIC's
+  // model (both ends share the fabric).
+  explicit QueuePair(Rnic* remote_rnic) : rnic_(remote_rnic) {}
+
+  State state() const { return state_.load(std::memory_order_acquire); }
+
+  // One-sided RDMA read of `len` bytes at remote `addr` into `buf`.
+  // Returns the modeled round-trip nanoseconds (including any ODP faults),
+  // and paces the calling thread by that amount. On a remote access error
+  // the QP enters the error state and kQpBroken is returned.
+  Result<uint64_t> Read(RKey r_key, sim::VAddr addr, void* buf, size_t len);
+
+  // One-sided RDMA write (used by raw-RDMA baselines; CoRM itself issues
+  // writes via RPC).
+  Result<uint64_t> Write(RKey r_key, sim::VAddr addr, const void* data,
+                         size_t len);
+
+  // Re-establishes a broken connection. Models the paper's "few
+  // milliseconds" of reconnection cost.
+  uint64_t Reconnect();
+
+  uint64_t reads_issued() const {
+    return reads_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Result<uint64_t> Access(RKey r_key, sim::VAddr addr, void* buf, size_t len,
+                          bool is_write);
+
+  Rnic* const rnic_;
+  std::atomic<State> state_{State::kConnected};
+  std::atomic<uint64_t> reads_issued_{0};
+  std::atomic<uint64_t> reconnects_{0};
+};
+
+}  // namespace corm::rdma
+
+#endif  // CORM_RDMA_QUEUE_PAIR_H_

@@ -1,0 +1,275 @@
+#include "rdma/rnic.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace corm::rdma {
+
+Rnic::Rnic(sim::AddressSpace* address_space, sim::LatencyModel model)
+    : space_(address_space),
+      model_(model),
+      mtt_cache_(model.MttCacheEntries()) {
+  space_->AddNotifier(this);
+}
+
+void Rnic::ResetMttCache() {
+  for (auto& entry : mtt_cache_) entry.store(0, std::memory_order_relaxed);
+  stats_.mtt_cache_hits.store(0, std::memory_order_relaxed);
+  stats_.mtt_cache_misses.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Rnic::MttCacheAccess(sim::VAddr page) {
+  const uint64_t vpage = page >> sim::kVPageShift;
+  const size_t set =
+      (vpage * 0x9E3779B97F4A7C15ULL >> 17) % mtt_cache_.size();
+  auto& entry = mtt_cache_[set];
+  if (entry.load(std::memory_order_relaxed) == vpage) {
+    stats_.mtt_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  entry.store(vpage, std::memory_order_relaxed);
+  stats_.mtt_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  return model_.MttCacheMissNs();
+}
+
+Rnic::~Rnic() {
+  space_->RemoveNotifier(this);
+  // Drop all MTT frame references.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, mr] : regions_) {
+    std::lock_guard<std::mutex> elock(mr->entries_mu_);
+    for (auto& entry : mr->entries_) {
+      if (entry.valid) space_->physical_memory()->Unref(entry.frame);
+    }
+    mr->entries_.clear();
+  }
+}
+
+Result<MrKeys> Rnic::RegisterMemory(sim::VAddr base, size_t npages,
+                                    bool odp) {
+  if (sim::PageOffset(base) != 0 || npages == 0) {
+    return Status::InvalidArgument("RegisterMemory: bad range");
+  }
+  MrKeys keys;
+  std::shared_ptr<MemoryRegion> mr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys.l_key = next_key_;
+    keys.r_key = next_key_;
+    ++next_key_;
+    mr = std::make_shared<MemoryRegion>(base, npages, odp, keys);
+    regions_[keys.r_key] = mr;
+    by_base_[base] = mr;
+  }
+  // Pin + snapshot translations into the MTT.
+  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  for (size_t i = 0; i < npages; ++i) {
+    Status st = ResolveEntryLocked(mr.get(), i);
+    if (!st.ok()) {
+      // Unwind: drop what we pinned and remove the region.
+      for (size_t j = 0; j < i; ++j) {
+        space_->physical_memory()->Unref(mr->entries_[j].frame);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      regions_.erase(keys.r_key);
+      by_base_.erase(base);
+      return st;
+    }
+  }
+  return keys;
+}
+
+Status Rnic::DeregisterMemory(RKey r_key) {
+  std::shared_ptr<MemoryRegion> mr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = regions_.find(r_key);
+    if (it == regions_.end()) {
+      return Status::NotFound("DeregisterMemory: unknown r_key");
+    }
+    mr = it->second;
+    regions_.erase(it);
+    by_base_.erase(mr->base());
+  }
+  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  for (auto& entry : mr->entries_) {
+    if (entry.valid) {
+      space_->physical_memory()->Unref(entry.frame);
+      entry.valid = false;
+    }
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<MemoryRegion> Rnic::Lookup(RKey r_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(r_key);
+  return it == regions_.end() ? nullptr : it->second;
+}
+
+MemoryRegion* Rnic::FindRegion(RKey r_key) { return Lookup(r_key).get(); }
+
+Status Rnic::ResolveEntryLocked(MemoryRegion* mr, size_t page_idx) {
+  auto frame = space_->TranslatePage(mr->base_ + page_idx * sim::kVPageSize);
+  if (!frame.ok()) return frame.status();
+  auto& entry = mr->entries_[page_idx];
+  if (entry.valid) space_->physical_memory()->Unref(entry.frame);
+  entry.frame = *frame;
+  entry.valid = true;
+  space_->physical_memory()->Ref(entry.frame);
+  return Status::OK();
+}
+
+Result<uint64_t> Rnic::ReregMr(RKey r_key) {
+  CORM_RETURN_NOT_OK(BeginRereg(r_key));
+  CORM_RETURN_NOT_OK(EndRereg(r_key));
+  return model_.ReregMrNs();
+}
+
+Status Rnic::BeginRereg(RKey r_key) {
+  auto mr = Lookup(r_key);
+  if (!mr) return Status::NotFound("ReregMr: unknown r_key");
+  bool expected = false;
+  if (!mr->reregistering_.compare_exchange_strong(expected, true)) {
+    return Status::Internal("ReregMr: already re-registering");
+  }
+  stats_.reregs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Rnic::EndRereg(RKey r_key) {
+  auto mr = Lookup(r_key);
+  if (!mr) return Status::NotFound("ReregMr: unknown r_key");
+  {
+    std::lock_guard<std::mutex> elock(mr->entries_mu_);
+    for (size_t i = 0; i < mr->npages_; ++i) {
+      Status st = ResolveEntryLocked(mr.get(), i);
+      if (!st.ok()) {
+        mr->reregistering_.store(false);
+        return st;
+      }
+    }
+  }
+  mr->reregistering_.store(false);
+  return Status::OK();
+}
+
+Result<uint64_t> Rnic::AdviseMr(RKey r_key, sim::VAddr addr, size_t len) {
+  auto mr = Lookup(r_key);
+  if (!mr) return Status::NotFound("AdviseMr: unknown r_key");
+  if (!mr->Covers(addr, len)) {
+    return Status::InvalidArgument("AdviseMr: range outside region");
+  }
+  if (!mr->odp_) {
+    return Status::NotSupported("AdviseMr: region not registered with ODP");
+  }
+  const size_t first = (addr - mr->base_) >> sim::kVPageShift;
+  const size_t last = (addr + len - 1 - mr->base_) >> sim::kVPageShift;
+  uint64_t ns = 0;
+  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  for (size_t i = first; i <= last; ++i) {
+    if (!mr->entries_[i].valid) {
+      CORM_RETURN_NOT_OK(ResolveEntryLocked(mr.get(), i));
+      ns += model_.AdviseMrNs();
+      stats_.prefetches.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return ns;
+}
+
+Result<uint64_t> Rnic::MttAccess(RKey r_key, sim::VAddr addr, void* buf,
+                                 size_t len, bool is_write, bool* broke_qp) {
+  *broke_qp = false;
+  auto mr = Lookup(r_key);
+  if (!mr) {
+    // Invalid r_key: the IB spec says the QP moves to the error state.
+    *broke_qp = true;
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    return Status::QpBroken("remote access error: unknown r_key");
+  }
+  if (!mr->Covers(addr, len)) {
+    *broke_qp = true;
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    return Status::QpBroken("remote access error: out of region bounds");
+  }
+  if (mr->reregistering_.load(std::memory_order_acquire)) {
+    // Access while ibv_rereg_mr is in flight (paper §3.5, first strategy).
+    *broke_qp = true;
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    return Status::QpBroken("access during memory re-registration");
+  }
+
+  (is_write ? stats_.writes : stats_.reads)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t fault_ns = 0;
+  auto* cbuf = static_cast<uint8_t*>(buf);
+  sim::VAddr cur = addr;
+  size_t remaining = len;
+  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  while (remaining > 0) {
+    fault_ns += MttCacheAccess(cur);
+    const size_t page_idx = (cur - mr->base_) >> sim::kVPageShift;
+    auto& entry = mr->entries_[page_idx];
+    if (!entry.valid) {
+      if (!mr->odp_) {
+        *broke_qp = true;
+        stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+        return Status::QpBroken("MTT entry invalid on non-ODP region");
+      }
+      // ODP fault: re-resolve from the OS page table (modeled 63 us).
+      Status st = ResolveEntryLocked(mr.get(), page_idx);
+      if (!st.ok()) {
+        *broke_qp = true;
+        stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+        return Status::QpBroken("ODP fault on unmapped page: " + st.message());
+      }
+      fault_ns += model_.OdpMissNs();
+      stats_.odp_faults.fetch_add(1, std::memory_order_relaxed);
+    }
+    const size_t in_page =
+        std::min<size_t>(remaining, sim::kVPageSize - sim::PageOffset(cur));
+    uint8_t* frame_ptr = space_->physical_memory()->FrameData(entry.frame) +
+                         sim::PageOffset(cur);
+    if (is_write) {
+      std::memcpy(frame_ptr, cbuf, in_page);
+    } else {
+      std::memcpy(cbuf, frame_ptr, in_page);
+    }
+    cbuf += in_page;
+    cur += in_page;
+    remaining -= in_page;
+  }
+  return fault_ns;
+}
+
+void Rnic::OnMappingChange(sim::VAddr page) {
+  // Regions are disjoint: find the (at most one) region covering `page`
+  // via the base-ordered index, then invalidate under the region's lock.
+  std::shared_ptr<MemoryRegion> affected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_base_.upper_bound(page);
+    if (it != by_base_.begin()) {
+      --it;
+      auto& mr = it->second;
+      if (mr->odp_ && page >= mr->base_ && page < mr->base_ + mr->length()) {
+        affected = mr;
+      }
+    }
+  }
+  if (!affected) return;
+  const size_t idx = (page - affected->base()) >> sim::kVPageShift;
+  std::lock_guard<std::mutex> elock(affected->entries_mu_);
+  auto& entry = affected->entries_[idx];
+  if (entry.valid) {
+    space_->physical_memory()->Unref(entry.frame);
+    entry.valid = false;
+    entry.frame = sim::kInvalidFrame;
+  }
+}
+
+}  // namespace corm::rdma

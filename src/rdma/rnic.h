@@ -1,0 +1,179 @@
+// Simulated RDMA NIC (RNIC).
+//
+// The RNIC keeps its own Memory Translation Table (MTT): a *snapshot* of the
+// OS page-table entries taken when a memory region is registered
+// (paper §2.2.1, Fig. 2). Because it is a snapshot, remapping a page in the
+// AddressSpace does NOT update the RNIC unless one of the paper's three
+// repair strategies runs (§3.5):
+//
+//   1. ibv_rereg_mr  -> Rnic::ReregMr (keys preserved; QPs touching the
+//      region while re-registration is in flight break, per the IB spec);
+//   2. ODP           -> regions registered with odp=true subscribe to the
+//      AddressSpace MmuNotifier; a remap invalidates the affected MTT
+//      entries and the next RDMA access pays a ~63 us fault to re-resolve;
+//   3. ODP+prefetch  -> Rnic::AdviseMr eagerly re-resolves invalid entries.
+//
+// MTT entries hold references on their physical frames, modeling the page
+// pinning performed by real RDMA registration: a stale entry reads stale
+// (but live) data, never freed memory.
+
+#ifndef CORM_RDMA_RNIC_H_
+#define CORM_RDMA_RNIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/address_space.h"
+#include "sim/latency_model.h"
+#include "sim/physical_memory.h"
+
+namespace corm::rdma {
+
+using RKey = uint32_t;
+using LKey = uint32_t;
+
+// Keys returned by memory registration.
+struct MrKeys {
+  LKey l_key = 0;
+  RKey r_key = 0;
+};
+
+// One registered memory region and its MTT entries.
+class MemoryRegion {
+ public:
+  MemoryRegion(sim::VAddr base, size_t npages, bool odp, MrKeys keys)
+      : base_(base), npages_(npages), odp_(odp), keys_(keys) {
+    entries_.resize(npages);
+  }
+
+  sim::VAddr base() const { return base_; }
+  size_t npages() const { return npages_; }
+  size_t length() const { return npages_ * sim::kVPageSize; }
+  bool odp() const { return odp_; }
+  const MrKeys& keys() const { return keys_; }
+
+  bool Covers(sim::VAddr addr, size_t len) const {
+    return addr >= base_ && addr + len <= base_ + length();
+  }
+
+ private:
+  friend class Rnic;
+
+  struct MttEntry {
+    sim::FrameId frame = sim::kInvalidFrame;
+    bool valid = false;  // false => ODP fault required (or never resolved)
+  };
+
+  const sim::VAddr base_;
+  const size_t npages_;
+  const bool odp_;
+  const MrKeys keys_;
+
+  mutable std::mutex entries_mu_;  // guards entries_
+  std::vector<MttEntry> entries_;
+  // Set while ibv_rereg_mr is in flight; accesses then break the QP.
+  std::atomic<bool> reregistering_{false};
+};
+
+// Counters for observing RNIC behaviour in tests and benches.
+struct RnicStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> odp_faults{0};
+  std::atomic<uint64_t> prefetches{0};
+  std::atomic<uint64_t> reregs{0};
+  std::atomic<uint64_t> qp_breaks{0};
+  std::atomic<uint64_t> mtt_cache_hits{0};
+  std::atomic<uint64_t> mtt_cache_misses{0};
+};
+
+class Rnic : public sim::MmuNotifier {
+ public:
+  // `model` selects the latency constants (ConnectX-3 vs -5).
+  Rnic(sim::AddressSpace* address_space, sim::LatencyModel model);
+  ~Rnic() override;
+
+  Rnic(const Rnic&) = delete;
+  Rnic& operator=(const Rnic&) = delete;
+
+  // --- Registration (ibv_reg_mr). -------------------------------------
+  // Registers [base, base + npages * page) and snapshots translations into
+  // the MTT. With odp=true the entries start valid but become invalid on
+  // remap (they re-resolve lazily); with odp=false they are immutable until
+  // ReregMr.
+  Result<MrKeys> RegisterMemory(sim::VAddr base, size_t npages, bool odp);
+
+  // Deregisters and drops MTT frame references.
+  Status DeregisterMemory(RKey r_key);
+
+  // --- The three §3.5 repair strategies. --------------------------------
+  // ibv_rereg_mr: refreshes all MTT entries from the page table, preserving
+  // keys. Models the dangerous window: while in flight, RDMA access to the
+  // region breaks the QP. Returns the modeled duration (ns).
+  Result<uint64_t> ReregMr(RKey r_key);
+
+  // ibv_advise_mr(PREFETCH): re-resolves invalid ODP entries in the given
+  // range. Returns modeled ns.
+  Result<uint64_t> AdviseMr(RKey r_key, sim::VAddr addr, size_t len);
+
+  // --- Data path used by QueuePair. -----------------------------------
+  // Reads/writes `len` bytes at `addr` through the MTT. Returns modeled ns
+  // spent in MTT faults (0 when all entries were valid). `broke_qp` is set
+  // when the access hit a region under re-registration.
+  Result<uint64_t> MttAccess(RKey r_key, sim::VAddr addr, void* buf,
+                             size_t len, bool is_write, bool* broke_qp);
+
+  // MmuNotifier: the OS remapped `page`; invalidate ODP entries.
+  void OnMappingChange(sim::VAddr page) override;
+
+  // Testing hooks: splits ReregMr into an explicit window so races can be
+  // injected deterministically.
+  Status BeginRereg(RKey r_key);
+  Status EndRereg(RKey r_key);
+
+  const sim::LatencyModel& model() const { return model_; }
+  const RnicStats& stats() const { return stats_; }
+  sim::AddressSpace* address_space() const { return space_; }
+
+  // Looks up a region by r_key (testing / QP validation).
+  MemoryRegion* FindRegion(RKey r_key);
+
+  // Resets the MTT translation cache (benches isolate configurations).
+  void ResetMttCache();
+
+ private:
+  // Resolves entry `page_idx` of `mr` from the OS page table, taking a
+  // frame reference. Caller holds mr->entries_mu_.
+  Status ResolveEntryLocked(MemoryRegion* mr, size_t page_idx);
+
+  // Returns the region owning r_key, or null.
+  std::shared_ptr<MemoryRegion> Lookup(RKey r_key);
+
+  // Models the RNIC's bounded translation cache (§4.2.2): direct-mapped
+  // over virtual pages. Returns the modeled miss penalty (0 on hit).
+  uint64_t MttCacheAccess(sim::VAddr page);
+
+  sim::AddressSpace* const space_;
+  const sim::LatencyModel model_;
+
+  std::mutex mu_;  // guards regions_, by_base_ and next_key_
+  std::unordered_map<RKey, std::shared_ptr<MemoryRegion>> regions_;
+  // Disjoint regions ordered by base vaddr: O(log n) page->region lookup
+  // for MMU-notifier invalidations.
+  std::map<sim::VAddr, std::shared_ptr<MemoryRegion>> by_base_;
+  uint32_t next_key_ = 1;
+  RnicStats stats_;
+  // Direct-mapped translation cache: cached vpage per set (0 = empty).
+  std::vector<std::atomic<uint64_t>> mtt_cache_;
+};
+
+}  // namespace corm::rdma
+
+#endif  // CORM_RDMA_RNIC_H_

@@ -1,0 +1,105 @@
+// RPC transport over the simulated RDMA fabric (paper §2.2.2, Fig. 3).
+//
+// Remote peers push RPC requests "directly into the RPC queue" (modeled by
+// the lock-free MPMC queue); the DSM worker threads poll that queue, serve
+// the request and reply. A client has at most one outstanding request and
+// spins on the completion flag, like an RDMA client polling its CQ.
+
+#ifndef CORM_RDMA_RPC_TRANSPORT_H_
+#define CORM_RDMA_RPC_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/mpmc_queue.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "sim/latency_model.h"
+
+namespace corm::rdma {
+
+// One in-flight RPC. Owned by the caller; the server fills response/status
+// and sets done last (release), which the spinning client observes
+// (acquire).
+struct RpcMessage {
+  Buffer request;
+  Buffer response;
+  Status status;
+  // Modeled server-side processing nanoseconds the handler charged (the
+  // paper's "+0.5 us for Alloc/Free" style extras); lets clients account
+  // full modeled operation latency without a wall clock.
+  uint64_t server_extra_ns = 0;
+  std::atomic<bool> done{false};
+};
+
+// Token-style rate limiter modeling the RNIC's two-sided message rate: the
+// aggregate Send/Recv throughput of the server NIC is what caps RPC ops/s
+// in the paper's Fig. 12 (~700 Kreq/s), independent of worker CPU. Uses the
+// global SimTimeScale; disabled at scale 0 (unit tests).
+class NicMessageRateLimiter {
+ public:
+  // rate 0 disables limiting.
+  explicit NicMessageRateLimiter(uint64_t msgs_per_sec = 0) {
+    SetRate(msgs_per_sec);
+  }
+
+  void SetRate(uint64_t msgs_per_sec) {
+    interval_ns_.store(
+        msgs_per_sec == 0 ? 0 : 1'000'000'000ULL / msgs_per_sec,
+        std::memory_order_relaxed);
+  }
+
+  // Blocks (spins) until the caller's message slot is due.
+  void Acquire();
+
+ private:
+  std::atomic<uint64_t> interval_ns_{0};
+  std::atomic<uint64_t> next_slot_ns_{0};
+};
+
+// The shared inbound request queue on the server node.
+class RpcQueue {
+ public:
+  explicit RpcQueue(size_t capacity_pow2 = 4096) : queue_(capacity_pow2) {}
+
+  NicMessageRateLimiter* rate_limiter() { return &limiter_; }
+
+  // Enqueues a request; false when the queue is full (client backs off).
+  bool Push(RpcMessage* msg) { return queue_.TryPush(msg); }
+
+  // Dequeues the next request, or nullptr when the queue is empty.
+  RpcMessage* Poll() {
+    auto msg = queue_.TryPop();
+    return msg ? *msg : nullptr;
+  }
+
+  size_t ApproxDepth() const { return queue_.ApproxSize(); }
+
+ private:
+  MpmcQueue<RpcMessage*> queue_;
+  NicMessageRateLimiter limiter_;
+};
+
+// Client-side RPC endpoint: pushes requests into a remote RpcQueue and
+// spins for the completion, pacing the modeled network time of both legs.
+class RpcClient {
+ public:
+  RpcClient(RpcQueue* queue, sim::LatencyModel model)
+      : queue_(queue), model_(model) {}
+
+  // Synchronous call. On return, `msg->response`/`msg->status` are filled.
+  // Returns the modeled network round-trip (excludes server compute, which
+  // elapses for real while the client spins).
+  uint64_t Call(RpcMessage* msg);
+
+  const sim::LatencyModel& model() const { return model_; }
+
+ private:
+  RpcQueue* const queue_;
+  const sim::LatencyModel model_;
+};
+
+}  // namespace corm::rdma
+
+#endif  // CORM_RDMA_RPC_TRANSPORT_H_

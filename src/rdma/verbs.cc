@@ -1,0 +1,93 @@
+#include "rdma/verbs.h"
+
+#include <vector>
+
+#include "common/cpu_relax.h"
+#include "common/logging.h"
+
+namespace corm::rdma {
+
+void CompletionQueue::Push(WorkCompletion wc) {
+  while (!queue_.TryPush(wc)) {
+    CpuRelax();  // CQ sized by contract; back-pressure instead of overrun
+  }
+}
+
+MessagePipe::MessagePipe(sim::LatencyModel model, size_t ring_pow2)
+    : model_(model) {
+  a_.pipe_ = this;
+  b_.pipe_ = this;
+  a_.peer_ = &b_;
+  b_.peer_ = &a_;
+  a_.ring_ = std::make_unique<MpmcQueue<Endpoint::PostedRecv>>(ring_pow2);
+  b_.ring_ = std::make_unique<MpmcQueue<Endpoint::PostedRecv>>(ring_pow2);
+}
+
+Status MessagePipe::Endpoint::PostRecv(uint64_t wr_id, size_t capacity) {
+  if (broken_.load(std::memory_order_acquire)) {
+    return Status::QpBroken("endpoint in error state");
+  }
+  if (!ring_->TryPush(PostedRecv{wr_id, capacity})) {
+    return Status::InvalidArgument("receive ring full");
+  }
+  return Status::OK();
+}
+
+Status MessagePipe::Endpoint::PostSend(uint64_t wr_id, Slice payload) {
+  if (broken_.load(std::memory_order_acquire) ||
+      peer_->broken_.load(std::memory_order_acquire)) {
+    return Status::QpBroken("endpoint in error state");
+  }
+  // Consume the peer's next posted receive (FIFO, like an RQ).
+  auto posted = peer_->ring_->TryPop();
+  if (!posted) {
+    // RNR: receiver not ready. Retriable (generous rnr_retry).
+    return Status::NetworkError("receiver not ready (no posted receive)");
+  }
+  if (payload.size() > posted->capacity) {
+    // IBV_WC_LOC_LEN_ERR: fatal for the connection.
+    broken_.store(true, std::memory_order_release);
+    peer_->broken_.store(true, std::memory_order_release);
+    WorkCompletion wc;
+    wc.op = WorkCompletion::Op::kRecv;
+    wc.wr_id = posted->wr_id;
+    wc.status = Status::QpBroken("message exceeds posted receive buffer");
+    peer_->cq_.Push(wc);
+    return Status::QpBroken("message exceeds posted receive buffer");
+  }
+
+  // Deliver: one wire traversal of modeled time.
+  sim::Pace(pipe_->model_.RpcNs(payload.size()) / 2);
+  {
+    std::lock_guard<std::mutex> lock(peer_->delivered_mu_);
+    peer_->delivered_.push_back(
+        Delivered{posted->wr_id, MakeBuffer(payload)});
+  }
+  WorkCompletion recv_wc;
+  recv_wc.op = WorkCompletion::Op::kRecv;
+  recv_wc.wr_id = posted->wr_id;
+  recv_wc.byte_len = static_cast<uint32_t>(payload.size());
+  peer_->cq_.Push(recv_wc);
+
+  WorkCompletion send_wc;
+  send_wc.op = WorkCompletion::Op::kSend;
+  send_wc.wr_id = wr_id;
+  send_wc.byte_len = static_cast<uint32_t>(payload.size());
+  cq_.Push(send_wc);
+  return Status::OK();
+}
+
+Result<Buffer> MessagePipe::Endpoint::TakeReceived(uint64_t wr_id) {
+  std::lock_guard<std::mutex> lock(delivered_mu_);
+  for (size_t i = 0; i < delivered_.size(); ++i) {
+    if (delivered_[i].wr_id == wr_id) {
+      Buffer out = std::move(delivered_[i].data);
+      delivered_[i] = std::move(delivered_.back());
+      delivered_.pop_back();
+      return out;
+    }
+  }
+  return Status::NotFound("no delivered payload for wr_id");
+}
+
+}  // namespace corm::rdma

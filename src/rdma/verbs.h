@@ -1,0 +1,119 @@
+// Two-sided verbs: SEND/RECV work queues with completion queues, the
+// messaging primitive the paper's RPCs are built from (§4.1: "RPC
+// operations are implemented using raw Send/Recv RDMA operations").
+//
+// Semantics follow ibverbs' reliable-connected QPs:
+//  * the receiver must pre-post receive buffers (PostRecv); an arriving
+//    SEND consumes one in FIFO order;
+//  * a SEND arriving when no receive is posted is an RNR
+//    (receiver-not-ready) condition — modeled as a retriable failure, as
+//    with a generous rnr_retry setting;
+//  * completions are reported through CompletionQueues: the sender's CQ
+//    signals when the message was delivered, the receiver's CQ signals
+//    data arrival with the consumed buffer's id;
+//  * a SEND larger than the posted receive buffer is a fatal QP error
+//    (IBV_WC_LOC_LEN_ERR breaks the connection).
+
+#ifndef CORM_RDMA_VERBS_H_
+#define CORM_RDMA_VERBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/mpmc_queue.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "sim/latency_model.h"
+
+namespace corm::rdma {
+
+// One completion entry (ibv_wc).
+struct WorkCompletion {
+  enum class Op : uint8_t { kSend, kRecv };
+  Op op = Op::kSend;
+  uint64_t wr_id = 0;      // caller-chosen id of the completed work request
+  uint32_t byte_len = 0;   // kRecv: bytes received
+  Status status;           // non-OK on QP errors
+};
+
+// Completion queue (ibv_cq): consumers poll it.
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(size_t capacity_pow2 = 1024)
+      : queue_(capacity_pow2) {}
+
+  // Returns the next completion, or nullopt when empty.
+  std::optional<WorkCompletion> Poll() { return queue_.TryPop(); }
+
+  // Internal (the fabric pushes completions). Spins if full — a real CQ
+  // overrun is a fatal error; sizing is the application's contract.
+  void Push(WorkCompletion wc);
+
+ private:
+  MpmcQueue<WorkCompletion> queue_;
+};
+
+// A connected pair of two-sided endpoints. Create one per client-server
+// link; both ends share it (the "wire").
+class MessagePipe {
+ public:
+  // `model` provides the modeled send latency; receive rings hold
+  // `ring_pow2` posted buffers.
+  MessagePipe(sim::LatencyModel model, size_t ring_pow2 = 256);
+
+  // An endpoint of the pipe (the QP's two-sided half + its CQs).
+  class Endpoint {
+   public:
+    // Posts a receive buffer of `capacity` bytes identified by `wr_id`.
+    // Fails when the ring is full.
+    Status PostRecv(uint64_t wr_id, size_t capacity);
+
+    // Sends `payload` to the peer. Blocks (paced) for the modeled wire
+    // time; the peer's CQ gets a kRecv completion carrying the data into
+    // its posted buffer, this endpoint's CQ gets a kSend completion.
+    // Returns kNetworkError on RNR (peer has no posted receive) — the
+    // caller retries; returns kQpBroken when the message exceeds the
+    // posted buffer (fatal, per ibverbs).
+    Status PostSend(uint64_t wr_id, Slice payload);
+
+    // This endpoint's completion queue.
+    CompletionQueue* cq() { return &cq_; }
+
+    // Retrieves the payload delivered into the receive with `wr_id`
+    // (after its kRecv completion was polled).
+    Result<Buffer> TakeReceived(uint64_t wr_id);
+
+   private:
+    friend class MessagePipe;
+    struct PostedRecv {
+      uint64_t wr_id;
+      size_t capacity;
+    };
+    struct Delivered {
+      uint64_t wr_id;
+      Buffer data;
+    };
+
+    MessagePipe* pipe_ = nullptr;
+    Endpoint* peer_ = nullptr;
+    CompletionQueue cq_;
+    std::unique_ptr<MpmcQueue<PostedRecv>> ring_;
+    std::mutex delivered_mu_;
+    std::vector<Delivered> delivered_;
+    std::atomic<bool> broken_{false};
+  };
+
+  Endpoint* a() { return &a_; }
+  Endpoint* b() { return &b_; }
+
+ private:
+  const sim::LatencyModel model_;
+  Endpoint a_, b_;
+};
+
+}  // namespace corm::rdma
+
+#endif  // CORM_RDMA_VERBS_H_

@@ -1,0 +1,84 @@
+#include "rdma/write_ring.h"
+
+#include <cstring>
+
+#include "common/byte_units.h"
+#include "common/logging.h"
+
+namespace corm::rdma {
+
+Result<WriteRing> WriteRing::Create(sim::AddressSpace* space, Rnic* rnic,
+                                    uint32_t slots, uint32_t slot_bytes) {
+  if (slots == 0 || slot_bytes <= kSlotHeader) {
+    return Status::InvalidArgument("bad ring geometry");
+  }
+  const size_t bytes = static_cast<size_t>(slots) * slot_bytes;
+  const size_t npages = (bytes + sim::kVPageSize - 1) / sim::kVPageSize;
+  sim::VAddr base = space->ReserveRange(npages);
+  Status st = space->MapFresh(base, npages);
+  if (!st.ok()) {
+    space->ReleaseRange(base, npages);
+    return st;
+  }
+  auto keys = rnic->RegisterMemory(base, npages, /*odp=*/true);
+  if (!keys.ok()) {
+    CORM_CHECK(space->Unmap(base, npages).ok());
+    space->ReleaseRange(base, npages);
+    return keys.status();
+  }
+  return WriteRing(space, rnic, base, npages, *keys, slots, slot_bytes);
+}
+
+WriteRing::~WriteRing() {
+  if (space_ == nullptr) return;  // moved-from
+  rnic_->DeregisterMemory(keys_.r_key).ok();
+  space_->Unmap(base_, npages_).ok();
+  space_->ReleaseRange(base_, npages_);
+  space_ = nullptr;
+}
+
+bool WriteRing::Poll(Buffer* out) {
+  const sim::VAddr slot_addr =
+      base_ + static_cast<uint64_t>(head_) * slot_bytes_;
+  uint8_t* slot = space_->TranslatePtr(slot_addr);
+  CORM_CHECK(slot != nullptr);
+  // The valid byte is flipped last by the producer (atomic byte).
+  auto& valid = *reinterpret_cast<std::atomic<uint8_t>*>(slot + 4);
+  if (valid.load(std::memory_order_acquire) == 0) return false;
+  uint32_t len;
+  std::memcpy(&len, slot, 4);
+  CORM_CHECK_LE(len, capacity());
+  out->assign(slot + kSlotHeader, slot + kSlotHeader + len);
+  valid.store(0, std::memory_order_release);
+  head_ = (head_ + 1) % slots_;
+  return true;
+}
+
+Status WriteRingProducer::Push(Slice payload) {
+  if (payload.size() > capacity()) {
+    return Status::InvalidArgument("message exceeds ring slot");
+  }
+  if (in_flight_ >= slots_) {
+    return Status::NetworkError("ring credits exhausted");
+  }
+  // Serialize: len | valid=1 | payload. One RDMA write covers the slot
+  // prefix; the valid byte ordering is preserved because the consumer only
+  // trusts the slot after seeing valid != 0 and the write is delivered
+  // atomically by the simulated fabric (as HERD relies on the NIC's
+  // left-to-right delivery of the last cacheline).
+  Buffer wire(5 + payload.size());
+  const auto len = static_cast<uint32_t>(payload.size());
+  std::memcpy(wire.data(), &len, 4);
+  wire[4] = 1;
+  std::memcpy(wire.data() + 5, payload.data(), payload.size());
+
+  const sim::VAddr slot_addr =
+      base_ + static_cast<uint64_t>(tail_) * slot_bytes_;
+  auto ns = qp_->Write(r_key_, slot_addr, wire.data(), wire.size());
+  CORM_RETURN_NOT_OK(ns.status());
+  tail_ = (tail_ + 1) % slots_;
+  ++in_flight_;
+  return Status::OK();
+}
+
+}  // namespace corm::rdma

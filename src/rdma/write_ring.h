@@ -1,0 +1,131 @@
+// One-sided-write RPC ingress (paper §2.2.2: "The handling of RPC requests
+// can be accelerated with RDMA by letting remote peers push the RPC
+// requests directly to the RPC queue [21]" — the FaSST/HERD-style design).
+//
+// A WriteRing is a ring of fixed-size message slots living in *registered
+// server memory*: the client claims its next slot locally (it is the only
+// writer of its ring) and RDMA-writes the message there; the server thread
+// polls slot headers — no NIC receive processing, no posted buffers.
+//
+// Slot wire format (within a slot of `slot_bytes`):
+//   u32 len  | u8 valid | payload[len]
+// The writer writes payload first and flips `valid` last (a real
+// implementation orders this with the RDMA write's last-byte guarantee);
+// the poller clears `valid` after consuming.
+
+#ifndef CORM_RDMA_WRITE_RING_H_
+#define CORM_RDMA_WRITE_RING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "rdma/queue_pair.h"
+#include "rdma/rnic.h"
+#include "sim/address_space.h"
+
+namespace corm::rdma {
+
+// Server-side ring: owns registered memory that remote peers write into.
+class WriteRing {
+ public:
+  // Allocates and registers `slots` slots of `slot_bytes` each (rounded up
+  // to whole pages) in `space`, on `rnic`.
+  static Result<WriteRing> Create(sim::AddressSpace* space, Rnic* rnic,
+                                  uint32_t slots, uint32_t slot_bytes);
+
+  // Move-only; the moved-from ring releases ownership of the registered
+  // memory (space_ == nullptr marks the hollow state).
+  WriteRing(WriteRing&& other) noexcept { *this = std::move(other); }
+  WriteRing& operator=(WriteRing&& other) noexcept {
+    if (this != &other) {
+      this->~WriteRing();
+      space_ = other.space_;
+      rnic_ = other.rnic_;
+      base_ = other.base_;
+      npages_ = other.npages_;
+      keys_ = other.keys_;
+      slots_ = other.slots_;
+      slot_bytes_ = other.slot_bytes_;
+      head_ = other.head_;
+      other.space_ = nullptr;
+    }
+    return *this;
+  }
+  ~WriteRing();
+
+  // Remote-access coordinates handed to the producer at connect time.
+  sim::VAddr base() const { return base_; }
+  RKey r_key() const { return keys_.r_key; }
+  uint32_t slots() const { return slots_; }
+  uint32_t slot_bytes() const { return slot_bytes_; }
+  // Usable payload bytes per message.
+  uint32_t capacity() const { return slot_bytes_ - kSlotHeader; }
+
+  // Consumer side (server thread): returns the next valid message, or
+  // false. The slot is released (valid flag cleared) before returning.
+  bool Poll(Buffer* out);
+
+ private:
+  static constexpr uint32_t kSlotHeader = 5;  // u32 len + u8 valid
+
+  WriteRing(sim::AddressSpace* space, Rnic* rnic, sim::VAddr base,
+            size_t npages, MrKeys keys, uint32_t slots, uint32_t slot_bytes)
+      : space_(space),
+        rnic_(rnic),
+        base_(base),
+        npages_(npages),
+        keys_(keys),
+        slots_(slots),
+        slot_bytes_(slot_bytes) {}
+
+  sim::AddressSpace* space_ = nullptr;
+  Rnic* rnic_ = nullptr;
+  sim::VAddr base_ = 0;
+  size_t npages_ = 0;
+  MrKeys keys_;
+  uint32_t slots_ = 0;
+  uint32_t slot_bytes_ = 0;
+  uint32_t head_ = 0;  // next slot the consumer expects
+};
+
+// Client-side producer: RDMA-writes messages into a remote WriteRing.
+class WriteRingProducer {
+ public:
+  // `qp` must be connected to the ring's RNIC.
+  WriteRingProducer(QueuePair* qp, sim::VAddr ring_base, RKey r_key,
+                    uint32_t slots, uint32_t slot_bytes)
+      : qp_(qp),
+        base_(ring_base),
+        r_key_(r_key),
+        slots_(slots),
+        slot_bytes_(slot_bytes) {}
+
+  uint32_t capacity() const { return slot_bytes_ - 5; }
+
+  // Pushes one message. Returns kInvalidArgument when the payload exceeds
+  // the slot capacity. If the ring is full (consumer lagging by a whole
+  // ring), the oldest unconsumed slot would be overwritten — like real
+  // HERD rings, the producer must bound its outstanding messages; this
+  // implementation tracks credits and returns kNetworkError instead.
+  Status Push(Slice payload);
+
+  // The consumer grants credits out of band (here: the caller confirms
+  // consumption, e.g. on receiving the RPC response).
+  void GrantCredit() {
+    if (in_flight_ > 0) --in_flight_;
+  }
+
+ private:
+  QueuePair* const qp_;
+  const sim::VAddr base_;
+  const RKey r_key_;
+  const uint32_t slots_;
+  const uint32_t slot_bytes_;
+  uint32_t tail_ = 0;       // next slot this producer writes
+  uint32_t in_flight_ = 0;  // unconfirmed messages
+};
+
+}  // namespace corm::rdma
+
+#endif  // CORM_RDMA_WRITE_RING_H_

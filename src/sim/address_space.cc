@@ -1,0 +1,211 @@
+#include "sim/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace corm::sim {
+
+AddressSpace::~AddressSpace() {
+  // Drop page-table references so PhysicalMemory accounting stays balanced
+  // when address spaces are torn down in tests.
+  for (const auto& [page, frame] : page_table_) {
+    phys_->Unref(frame);
+  }
+}
+
+VAddr AddressSpace::ReserveRange(size_t npages) {
+  CORM_CHECK_GT(npages, 0u);
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_pages_ += npages;
+  auto it = free_ranges_.find(npages);
+  if (it != free_ranges_.end()) {
+    VAddr base = it->second;
+    free_ranges_.erase(it);
+    return base;
+  }
+  VAddr base = next_vaddr_;
+  next_vaddr_ += npages * kVPageSize;
+  return base;
+}
+
+void AddressSpace::ReleaseRange(VAddr base, size_t npages) {
+  CORM_CHECK_EQ(PageOffset(base), 0u);
+  std::lock_guard<std::mutex> lock(mu_);
+  CORM_CHECK_GE(reserved_pages_, npages);
+  reserved_pages_ -= npages;
+  free_ranges_.emplace(npages, base);
+}
+
+Status AddressSpace::MapFresh(VAddr base, size_t npages) {
+  if (PageOffset(base) != 0) {
+    return Status::InvalidArgument("MapFresh: base not page aligned");
+  }
+  std::vector<FrameId> frames;
+  frames.reserve(npages);
+  for (size_t i = 0; i < npages; ++i) {
+    auto frame = phys_->AllocFrame();
+    if (!frame.ok()) {
+      // Roll back partial allocation.
+      for (FrameId f : frames) phys_->Unref(f);
+      return frame.status();
+    }
+    frames.push_back(*frame);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < npages; ++i) {
+    VAddr page = base + i * kVPageSize;
+    CORM_CHECK(page_table_.find(page) == page_table_.end())
+        << "MapFresh over an existing mapping at " << page;
+    page_table_[page] = frames[i];  // AllocFrame's ref becomes the PT ref
+  }
+  return Status::OK();
+}
+
+Status AddressSpace::MapFrames(VAddr base, const std::vector<FrameId>& frames) {
+  if (PageOffset(base) != 0) {
+    return Status::InvalidArgument("MapFrames: base not page aligned");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    VAddr page = base + i * kVPageSize;
+    CORM_CHECK(page_table_.find(page) == page_table_.end())
+        << "MapFrames over an existing mapping";
+    phys_->Ref(frames[i]);
+    page_table_[page] = frames[i];
+  }
+  return Status::OK();
+}
+
+Status AddressSpace::Remap(VAddr base, VAddr target, size_t npages) {
+  if (PageOffset(base) != 0 || PageOffset(target) != 0) {
+    return Status::InvalidArgument("Remap: addresses not page aligned");
+  }
+  std::vector<VAddr> changed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Validate both ranges first so the operation is all-or-nothing.
+    for (size_t i = 0; i < npages; ++i) {
+      if (page_table_.find(base + i * kVPageSize) == page_table_.end() ||
+          page_table_.find(target + i * kVPageSize) == page_table_.end()) {
+        return Status::InvalidArgument("Remap: unmapped page in range");
+      }
+    }
+    for (size_t i = 0; i < npages; ++i) {
+      VAddr src_page = base + i * kVPageSize;
+      VAddr dst_page = target + i * kVPageSize;
+      FrameId old_frame = page_table_[src_page];
+      FrameId new_frame = page_table_[dst_page];
+      if (old_frame == new_frame) continue;
+      phys_->Ref(new_frame);    // PT ref for the new mapping
+      phys_->Unref(old_frame);  // old PT ref dropped
+      page_table_[src_page] = new_frame;
+      changed.push_back(src_page);
+    }
+  }
+  for (VAddr page : changed) NotifyChange(page);
+  return Status::OK();
+}
+
+Status AddressSpace::Unmap(VAddr base, size_t npages) {
+  if (PageOffset(base) != 0) {
+    return Status::InvalidArgument("Unmap: base not page aligned");
+  }
+  std::vector<VAddr> changed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < npages; ++i) {
+      VAddr page = base + i * kVPageSize;
+      auto it = page_table_.find(page);
+      if (it == page_table_.end()) {
+        return Status::InvalidArgument("Unmap: page not mapped");
+      }
+      phys_->Unref(it->second);
+      page_table_.erase(it);
+      changed.push_back(page);
+    }
+  }
+  for (VAddr page : changed) NotifyChange(page);
+  return Status::OK();
+}
+
+Result<FrameId> AddressSpace::TranslatePage(VAddr addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(PageBase(addr));
+  if (it == page_table_.end()) {
+    return Status::NotFound("page not mapped");
+  }
+  return it->second;
+}
+
+uint8_t* AddressSpace::TranslatePtr(VAddr addr) const {
+  FrameId frame;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = page_table_.find(PageBase(addr));
+    if (it == page_table_.end()) return nullptr;
+    frame = it->second;
+  }
+  return phys_->FrameData(frame) + PageOffset(addr);
+}
+
+Status AddressSpace::ReadVirtual(VAddr addr, void* out, size_t size) const {
+  auto* dst = static_cast<uint8_t*>(out);
+  while (size > 0) {
+    const size_t in_page = std::min<size_t>(size, kVPageSize - PageOffset(addr));
+    const uint8_t* src = TranslatePtr(addr);
+    if (src == nullptr) return Status::NotFound("ReadVirtual: unmapped page");
+    std::memcpy(dst, src, in_page);
+    dst += in_page;
+    addr += in_page;
+    size -= in_page;
+  }
+  return Status::OK();
+}
+
+Status AddressSpace::WriteVirtual(VAddr addr, const void* data, size_t size) {
+  const auto* src = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    const size_t in_page = std::min<size_t>(size, kVPageSize - PageOffset(addr));
+    uint8_t* dst = TranslatePtr(addr);
+    if (dst == nullptr) return Status::NotFound("WriteVirtual: unmapped page");
+    std::memcpy(dst, src, in_page);
+    src += in_page;
+    addr += in_page;
+    size -= in_page;
+  }
+  return Status::OK();
+}
+
+void AddressSpace::AddNotifier(MmuNotifier* notifier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notifiers_.push_back(notifier);
+}
+
+void AddressSpace::RemoveNotifier(MmuNotifier* notifier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notifiers_.erase(std::remove(notifiers_.begin(), notifiers_.end(), notifier),
+                   notifiers_.end());
+}
+
+void AddressSpace::NotifyChange(VAddr page) {
+  std::vector<MmuNotifier*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = notifiers_;
+  }
+  for (MmuNotifier* n : snapshot) n->OnMappingChange(page);
+}
+
+size_t AddressSpace::mapped_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_table_.size();
+}
+
+size_t AddressSpace::reserved_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_pages_;
+}
+
+}  // namespace corm::sim

@@ -1,0 +1,33 @@
+#include "sim/latency_model.h"
+
+#include <chrono>
+#include <thread>
+
+namespace corm::sim {
+
+std::atomic<double>& SimTimeScale() {
+  static std::atomic<double> scale{1.0};
+  return scale;
+}
+
+double SetSimTimeScale(double scale) {
+  return SimTimeScale().exchange(scale);
+}
+
+void Pace(uint64_t ns) {
+  const double scale = SimTimeScale().load(std::memory_order_relaxed);
+  if (scale <= 0.0 || ns == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<uint64_t>(
+          static_cast<double>(ns) * scale));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy wait with a scheduler yield: sub-microsecond sleeps are not
+    // schedulable reliably, and a spinning client models an RDMA client
+    // polling its completion queue; the yield keeps oversubscribed hosts
+    // (e.g. single-CPU CI machines) making progress.
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace corm::sim

@@ -1,0 +1,110 @@
+#include "sim/mem_file.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace corm::sim {
+
+MemFileManager::~MemFileManager() {
+  // Drop the file-owner references of any still-allocated pages.
+  for (auto& file : files_) {
+    for (FrameId frame : file.page_frames) {
+      if (frame != kInvalidFrame) phys_->Unref(frame);
+    }
+  }
+}
+
+Result<PhysBlock> MemFileManager::AllocBlock(size_t npages) {
+  if (npages == 0 || npages > kFilePages) {
+    return Status::InvalidArgument("AllocBlock: bad page count");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // First-fit over existing files' free extents.
+  int32_t fd = -1;
+  uint32_t page_offset = 0;
+  for (size_t f = 0; f < files_.size() && fd < 0; ++f) {
+    auto& extents = files_[f].free_extents;
+    for (auto it = extents.begin(); it != extents.end(); ++it) {
+      if (it->second >= npages) {
+        fd = static_cast<int32_t>(f);
+        page_offset = it->first;
+        const uint32_t remaining = it->second - static_cast<uint32_t>(npages);
+        extents.erase(it);
+        if (remaining > 0) {
+          extents.emplace(page_offset + static_cast<uint32_t>(npages),
+                          remaining);
+        }
+        break;
+      }
+    }
+  }
+  if (fd < 0) {
+    // "memfd_create": open a new 16 MiB file.
+    fd = static_cast<int32_t>(files_.size());
+    File file;
+    if (npages < kFilePages) {
+      file.free_extents.emplace(static_cast<uint32_t>(npages),
+                                static_cast<uint32_t>(kFilePages - npages));
+    }
+    file.page_frames.assign(kFilePages, kInvalidFrame);
+    files_.push_back(std::move(file));
+    page_offset = 0;
+  }
+
+  PhysBlock block;
+  block.id = {fd, page_offset};
+  // One contiguous slab per block: CoRM blocks are linearly addressable
+  // (slots may straddle page boundaries within a block).
+  auto frames = phys_->AllocContiguousFrames(npages);
+  if (!frames.ok()) {
+    // Roll back: return the extent.
+    files_[fd].free_extents.emplace(page_offset,
+                                    static_cast<uint32_t>(npages));
+    return frames.status();
+  }
+  block.frames = std::move(*frames);
+  for (size_t i = 0; i < npages; ++i) {
+    files_[fd].page_frames[page_offset + i] = block.frames[i];
+  }
+  return block;
+}
+
+void MemFileManager::FreeBlock(const PhysBlock& block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CORM_CHECK_GE(block.id.fd, 0);
+  CORM_CHECK_LT(static_cast<size_t>(block.id.fd), files_.size());
+  File& file = files_[block.id.fd];
+  for (size_t i = 0; i < block.frames.size(); ++i) {
+    const uint32_t page = block.id.page_offset + static_cast<uint32_t>(i);
+    CORM_CHECK_EQ(file.page_frames[page], block.frames[i]);
+    phys_->Unref(block.frames[i]);
+    file.page_frames[page] = kInvalidFrame;
+  }
+  // Return the extent; coalesce with both neighbours (O(log n)).
+  uint32_t offset = block.id.page_offset;
+  uint32_t npages = static_cast<uint32_t>(block.frames.size());
+  auto next = file.free_extents.lower_bound(offset);
+  if (next != file.free_extents.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      npages += prev->second;
+      file.free_extents.erase(prev);
+    }
+  }
+  if (next != file.free_extents.end() &&
+      offset + npages == next->first) {
+    npages += next->second;
+    file.free_extents.erase(next);
+  }
+  file.free_extents.emplace(offset, npages);
+}
+
+size_t MemFileManager::open_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+}  // namespace corm::sim

@@ -1,0 +1,74 @@
+// Emulation of CoRM's memfd_create-based physical block allocation
+// (paper §3.1.1): anonymous in-RAM files of 16 MiB; a physical block is
+// identified by the tuple (file descriptor, page offset in the file).
+
+#ifndef CORM_SIM_MEM_FILE_H_
+#define CORM_SIM_MEM_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/physical_memory.h"
+
+namespace corm::sim {
+
+// Identifier of a physical block inside the memfd file pool.
+struct PhysBlockId {
+  int32_t fd = -1;            // which 16 MiB file
+  uint32_t page_offset = 0;   // first page within the file
+
+  bool operator==(const PhysBlockId&) const = default;
+};
+
+// A physical block: its identity plus the frames backing it. The file owns
+// one reference per frame for as long as the block is allocated.
+struct PhysBlock {
+  PhysBlockId id;
+  std::vector<FrameId> frames;
+};
+
+// Allocates physical blocks out of simulated 16 MiB memfd files, reducing
+// the number of "file descriptors" exactly as the paper describes.
+class MemFileManager {
+ public:
+  static constexpr size_t kFileBytes = 16 * kMiB;
+  static constexpr size_t kFilePages = kFileBytes / kFrameSize;
+
+  explicit MemFileManager(PhysicalMemory* phys) : phys_(phys) {}
+  ~MemFileManager();
+
+  MemFileManager(const MemFileManager&) = delete;
+  MemFileManager& operator=(const MemFileManager&) = delete;
+
+  // Allocates `npages` physically contiguous-in-file pages. npages must be
+  // <= kFilePages.
+  Result<PhysBlock> AllocBlock(size_t npages);
+
+  // Releases the block's pages back to its file (hole punch); drops the
+  // file's frame references. Frames stay alive while mappings/MTT entries
+  // still reference them.
+  void FreeBlock(const PhysBlock& block);
+
+  // Number of simulated open file descriptors.
+  size_t open_files() const;
+
+ private:
+  struct File {
+    // Free extents within the file: page_offset -> npages, coalesced with
+    // neighbours on insert (O(log n) per free).
+    std::map<uint32_t, uint32_t> free_extents;
+    std::vector<FrameId> page_frames;  // kInvalidFrame when unallocated
+  };
+
+  PhysicalMemory* const phys_;
+
+  mutable std::mutex mu_;
+  std::vector<File> files_;
+};
+
+}  // namespace corm::sim
+
+#endif  // CORM_SIM_MEM_FILE_H_

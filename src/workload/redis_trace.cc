@@ -1,0 +1,90 @@
+#include "workload/redis_trace.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "common/byte_units.h"
+#include "common/random.h"
+
+namespace corm::workload {
+
+namespace {
+constexpr uint32_t kKeySize = 8;
+
+// Appends one key+value pair; returns the indices of the two alloc ops.
+std::pair<uint64_t, uint64_t> AppendEntry(Trace* trace, uint32_t value_size) {
+  const uint64_t key_op = trace->size();
+  trace->push_back({TraceOp::Kind::kAlloc, kKeySize, 0});
+  const uint64_t val_op = trace->size();
+  trace->push_back({TraceOp::Kind::kAlloc, value_size, 0});
+  return {key_op, val_op};
+}
+}  // namespace
+
+Trace MakeRedisTraceT1(uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  trace.reserve(20'000);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto value_size =
+        static_cast<uint32_t>(1 + rng.Uniform(16 * kKiB));
+    AppendEntry(&trace, value_size);
+  }
+  return trace;
+}
+
+Trace MakeRedisTraceT2(uint64_t seed) {
+  (void)seed;  // fully deterministic
+  Trace trace;
+  struct Entry {
+    uint64_t key_op, val_op;
+    uint64_t bytes;
+  };
+  std::deque<Entry> lru;  // front = oldest
+  uint64_t cached_bytes = 0;
+  const uint64_t capacity = 100 * kMiB;
+
+  auto insert = [&](uint32_t value_size) {
+    auto [key_op, val_op] = AppendEntry(&trace, value_size);
+    const uint64_t bytes = kKeySize + value_size;
+    lru.push_back({key_op, val_op, bytes});
+    cached_bytes += bytes;
+    while (cached_bytes > capacity) {
+      const Entry& victim = lru.front();
+      trace.push_back({TraceOp::Kind::kFree, 0, victim.key_op});
+      trace.push_back({TraceOp::Kind::kFree, 0, victim.val_op});
+      cached_bytes -= victim.bytes;
+      lru.pop_front();
+    }
+  };
+
+  for (int i = 0; i < 700'000; ++i) insert(150);
+  for (int i = 0; i < 170'000; ++i) insert(300);
+  return trace;
+}
+
+Trace MakeRedisTraceT3(uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  for (int i = 0; i < 5; ++i) {
+    AppendEntry(&trace, 160 * kKiB);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> batch;
+  batch.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    batch.push_back(AppendEntry(&trace, 150));
+  }
+  // Remove 25,000 random keys from the last batch.
+  for (uint64_t i = batch.size(); i > 1; --i) {
+    std::swap(batch[i - 1], batch[rng.Uniform(i)]);
+  }
+  for (int i = 0; i < 25'000; ++i) {
+    trace.push_back({TraceOp::Kind::kFree, 0, batch[i].first});
+    trace.push_back({TraceOp::Kind::kFree, 0, batch[i].second});
+  }
+  return trace;
+}
+
+}  // namespace corm::workload

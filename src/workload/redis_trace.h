@@ -1,0 +1,31 @@
+// Redis memory traces (paper §4.4.3): reconstructions of the allocation
+// patterns the paper extracted from the memefficiency unit test of Redis
+// v5.0.7. The trace contents follow the paper's verbatim descriptions; see
+// DESIGN.md §2 for the substitution note.
+
+#ifndef CORM_WORKLOAD_REDIS_TRACE_H_
+#define CORM_WORKLOAD_REDIS_TRACE_H_
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace corm::workload {
+
+// redis-mem-t1: default Redis configuration; 10,000 keys of 8 bytes each
+// with values of sizes ranging from 1 B to 16 KiB (uniform).
+Trace MakeRedisTraceT1(uint64_t seed);
+
+// redis-mem-t2: Redis as an LRU cache capped at 100 MiB. First 700,000
+// 8-byte keys with 150-byte values, then 170,000 8-byte keys with 300-byte
+// values; insertions beyond the capacity evict (free) the oldest entries.
+Trace MakeRedisTraceT2(uint64_t seed);
+
+// redis-mem-t3: default configuration; 5 keys holding 160 KiB data
+// structures, then 50,000 keys with 150-byte values, then removal of
+// 25,000 keys from that last batch.
+Trace MakeRedisTraceT3(uint64_t seed);
+
+}  // namespace corm::workload
+
+#endif  // CORM_WORKLOAD_REDIS_TRACE_H_

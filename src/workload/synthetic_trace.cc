@@ -1,0 +1,32 @@
+#include "workload/synthetic_trace.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+
+namespace corm::workload {
+
+Trace MakeSyntheticTrace(uint64_t count, uint32_t object_size,
+                         double dealloc_rate, uint64_t seed) {
+  Trace trace;
+  trace.reserve(count + static_cast<uint64_t>(count * dealloc_rate) + 1);
+  for (uint64_t i = 0; i < count; ++i) {
+    trace.push_back({TraceOp::Kind::kAlloc, object_size, 0});
+  }
+  std::vector<uint64_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  // Fisher-Yates shuffle with the deterministic project Rng.
+  for (uint64_t i = count; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  const auto to_free = static_cast<uint64_t>(count * dealloc_rate);
+  for (uint64_t i = 0; i < to_free; ++i) {
+    trace.push_back({TraceOp::Kind::kFree, 0, order[i]});
+  }
+  return trace;
+}
+
+}  // namespace corm::workload

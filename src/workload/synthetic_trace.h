@@ -1,0 +1,20 @@
+// Synthetic allocation-spike traces (paper §4.4.2, Figure 17): allocate N
+// objects of one size, then randomly deallocate a fixed fraction.
+
+#ifndef CORM_WORKLOAD_SYNTHETIC_TRACE_H_
+#define CORM_WORKLOAD_SYNTHETIC_TRACE_H_
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace corm::workload {
+
+// `count` allocations of `object_size` bytes followed by frees of a random
+// `dealloc_rate` fraction of them (uniformly chosen, order shuffled).
+Trace MakeSyntheticTrace(uint64_t count, uint32_t object_size,
+                         double dealloc_rate, uint64_t seed);
+
+}  // namespace corm::workload
+
+#endif  // CORM_WORKLOAD_SYNTHETIC_TRACE_H_

@@ -1,0 +1,22 @@
+// Allocation traces: the input format of the memory studies (paper §4.4).
+
+#ifndef CORM_WORKLOAD_TRACE_H_
+#define CORM_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace corm::workload {
+
+struct TraceOp {
+  enum class Kind : uint8_t { kAlloc, kFree };
+  Kind kind = Kind::kAlloc;
+  uint32_t size = 0;    // kAlloc: object size in bytes
+  uint64_t target = 0;  // kFree: index of the trace op that allocated it
+};
+
+using Trace = std::vector<TraceOp>;
+
+}  // namespace corm::workload
+
+#endif  // CORM_WORKLOAD_TRACE_H_

@@ -1,0 +1,74 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace corm::workload {
+
+Status SaveTrace(const Trace& trace, std::ostream* out) {
+  *out << "# corm trace v1: " << trace.size() << " ops\n";
+  for (const TraceOp& op : trace) {
+    if (op.kind == TraceOp::Kind::kAlloc) {
+      *out << "a " << op.size << "\n";
+    } else {
+      *out << "f " << op.target << "\n";
+    }
+  }
+  return out->good() ? Status::OK() : Status::Internal("write failed");
+}
+
+Status SaveTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::InvalidArgument("cannot open " + path);
+  return SaveTrace(trace, &file);
+}
+
+Result<Trace> LoadTrace(std::istream* in) {
+  Trace trace;
+  std::unordered_set<uint64_t> freed;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    char op = 0;
+    tokens >> op;
+    if (op == 'a') {
+      uint64_t size = 0;
+      tokens >> size;
+      if (!tokens || size == 0) {
+        return Status::InvalidArgument("bad alloc at line " +
+                                       std::to_string(line_no));
+      }
+      trace.push_back(
+          {TraceOp::Kind::kAlloc, static_cast<uint32_t>(size), 0});
+    } else if (op == 'f') {
+      uint64_t target = 0;
+      tokens >> target;
+      if (!tokens || target >= trace.size() ||
+          trace[target].kind != TraceOp::Kind::kAlloc) {
+        return Status::InvalidArgument("bad free target at line " +
+                                       std::to_string(line_no));
+      }
+      if (!freed.insert(target).second) {
+        return Status::InvalidArgument("double free at line " +
+                                       std::to_string(line_no));
+      }
+      trace.push_back({TraceOp::Kind::kFree, 0, target});
+    } else {
+      return Status::InvalidArgument("unknown op at line " +
+                                     std::to_string(line_no));
+    }
+  }
+  return trace;
+}
+
+Result<Trace> LoadTraceFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::InvalidArgument("cannot open " + path);
+  return LoadTrace(&file);
+}
+
+}  // namespace corm::workload

@@ -1,0 +1,31 @@
+#include "workload/trace_runner.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace corm::workload {
+
+TraceResult RunTrace(const Trace& trace, baseline::SimConfig config,
+                     const alloc::SizeClassTable* classes) {
+  baseline::AllocatorSim sim(config, classes);
+  std::vector<baseline::SimHandle> handles(trace.size(), 0);
+  for (uint64_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    if (op.kind == TraceOp::Kind::kAlloc) {
+      handles[i] = sim.Alloc(op.size);
+    } else {
+      CORM_CHECK_LT(op.target, i);
+      sim.Free(handles[op.target]);
+    }
+  }
+  TraceResult result;
+  result.active_bytes_before = sim.ActiveBytes();
+  result.live_bytes = sim.LiveBytes();
+  result.ideal_bytes = sim.IdealBytes();
+  result.compaction = sim.Compact();
+  result.active_bytes_after = sim.ActiveBytes();
+  return result;
+}
+
+}  // namespace corm::workload

@@ -1,0 +1,30 @@
+// Replays allocation traces through the compaction simulator and reports
+// the active-memory measurements used by Figures 17-19.
+
+#ifndef CORM_WORKLOAD_TRACE_RUNNER_H_
+#define CORM_WORKLOAD_TRACE_RUNNER_H_
+
+#include <cstdint>
+
+#include "alloc/size_classes.h"
+#include "baseline/compaction_sim.h"
+#include "workload/trace.h"
+
+namespace corm::workload {
+
+struct TraceResult {
+  uint64_t active_bytes_before = 0;  // after replay, before compaction
+  uint64_t active_bytes_after = 0;   // after running compaction to fixpoint
+  uint64_t ideal_bytes = 0;          // ideal compactor bound
+  uint64_t live_bytes = 0;
+  baseline::CompactionOutcome compaction;
+};
+
+// Replays `trace` through a fresh AllocatorSim with the given configuration
+// and size classes, then compacts.
+TraceResult RunTrace(const Trace& trace, baseline::SimConfig config,
+                     const alloc::SizeClassTable* classes);
+
+}  // namespace corm::workload
+
+#endif  // CORM_WORKLOAD_TRACE_RUNNER_H_

@@ -1,0 +1,57 @@
+// YCSB-style key/operation generator (paper §4.2.2; Cooper et al. [12]).
+
+#ifndef CORM_WORKLOAD_YCSB_H_
+#define CORM_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace corm::workload {
+
+struct YcsbConfig {
+  uint64_t num_keys = 1'000'000;
+  // 0 = uniform; the paper's skewed runs use Zipf theta in [0.6, 0.99].
+  double zipf_theta = 0.0;
+  // Fraction of reads; the paper uses 100:0, 95:5 and 50:50 mixes.
+  double read_fraction = 1.0;
+  uint64_t seed = 1;
+};
+
+class YcsbGenerator {
+ public:
+  struct Op {
+    bool is_read;
+    uint64_t key;
+  };
+
+  explicit YcsbGenerator(YcsbConfig config)
+      : config_(config), rng_(config.seed ^ 0x5bd1e995) {
+    if (config_.zipf_theta > 0.0) {
+      zipf_ = std::make_unique<ZipfGenerator>(config_.num_keys,
+                                              config_.zipf_theta,
+                                              config_.seed);
+    }
+  }
+
+  Op Next() {
+    Op op;
+    op.is_read = rng_.NextDouble() < config_.read_fraction;
+    op.key = zipf_ ? zipf_->Next() : rng_.Uniform(config_.num_keys);
+    if (op.key >= config_.num_keys) op.key = config_.num_keys - 1;
+    return op;
+  }
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  const YcsbConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+};
+
+}  // namespace corm::workload
+
+#endif  // CORM_WORKLOAD_YCSB_H_

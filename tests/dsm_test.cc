@@ -1,0 +1,382 @@
+// Tests for the multi-node DSM layer and the primary-backup replication
+// extension (paper §3.2.4 future work).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/object_layout.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_context.h"
+#include "dsm/migration.h"
+#include "dsm/replication.h"
+
+namespace corm::dsm {
+namespace {
+
+using core::GlobalAddr;
+using core::PatternCheck;
+using core::PatternFill;
+
+ClusterConfig SmallCluster(int nodes = 3) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.node_config.num_workers = 1;  // keep thread count sane on 1 CPU
+  return config;
+}
+
+TEST(NodeStampTest, RoundTripsAndPreservesOldBlockBit) {
+  GlobalAddr addr;
+  SetNode(&addr, 93);
+  EXPECT_EQ(NodeOf(addr), 93);
+  addr.flags |= GlobalAddr::kFlagOldBlock;
+  EXPECT_EQ(NodeOf(addr), 93);
+  EXPECT_TRUE(addr.ReferencesOldBlock());
+  SetNode(&addr, 5);
+  EXPECT_EQ(NodeOf(addr), 5);
+  EXPECT_TRUE(addr.ReferencesOldBlock());
+}
+
+TEST(DsmTest, RoundRobinSpreadsAllocations) {
+  Cluster cluster(SmallCluster(3));
+  DsmContext ctx(&cluster);
+  std::set<int> nodes;
+  std::vector<GlobalAddr> addrs;
+  for (int i = 0; i < 12; ++i) {
+    auto addr = ctx.Alloc(56);
+    ASSERT_TRUE(addr.ok());
+    nodes.insert(NodeOf(*addr));
+    addrs.push_back(*addr);
+  }
+  EXPECT_EQ(nodes.size(), 3u);
+  for (auto& addr : addrs) EXPECT_TRUE(ctx.Free(&addr).ok());
+}
+
+TEST(DsmTest, CrossNodeReadWrite) {
+  Cluster cluster(SmallCluster(3));
+  DsmContext ctx(&cluster);
+  std::vector<uint8_t> in(100), out(100);
+  for (int node = 0; node < 3; ++node) {
+    auto addr = ctx.AllocOn(node, 100);
+    ASSERT_TRUE(addr.ok());
+    EXPECT_EQ(NodeOf(*addr), node);
+    PatternFill(node, in.data(), 100);
+    ASSERT_TRUE(ctx.Write(&*addr, in.data(), 100).ok());
+    EXPECT_EQ(NodeOf(*addr), node) << "routing bits lost after write";
+    ASSERT_TRUE(ctx.DirectRead(*addr, out.data(), 100).ok());
+    EXPECT_EQ(in, out);
+  }
+}
+
+TEST(DsmTest, LeastLoadedPlacementPrefersEmptyNode) {
+  ClusterConfig config = SmallCluster(2);
+  config.placement = Placement::kLeastLoaded;
+  Cluster cluster(config);
+  DsmContext ctx(&cluster);
+  // Preload node 0 heavily.
+  auto preload = cluster.node(0)->BulkAlloc(5000, 56);
+  ASSERT_TRUE(preload.ok());
+  int on_node1 = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto addr = ctx.Alloc(56);
+    ASSERT_TRUE(addr.ok());
+    on_node1 += NodeOf(*addr) == 1;
+  }
+  EXPECT_GE(on_node1, 19);  // virtually everything lands on the empty node
+}
+
+TEST(DsmTest, PointersSurviveNodeLocalCompaction) {
+  Cluster cluster(SmallCluster(2));
+  DsmContext ctx(&cluster);
+  std::vector<GlobalAddr> addrs;
+  std::vector<uint8_t> buf(56);
+  for (int i = 0; i < 512; ++i) {
+    auto addr = ctx.Alloc(56);
+    ASSERT_TRUE(addr.ok());
+    PatternFill(i, buf.data(), 56);
+    ASSERT_TRUE(ctx.Write(&*addr, buf.data(), 56).ok());
+    addrs.push_back(*addr);
+  }
+  std::vector<GlobalAddr> survivors;
+  std::vector<int> idx;
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    // Free alternating *pairs* so each node (round-robin placement) loses
+    // every other of its own objects rather than one node losing all.
+    if ((i / 2) % 2 == 0) {
+      ASSERT_TRUE(ctx.Free(&addrs[i]).ok());
+    } else {
+      survivors.push_back(addrs[i]);
+      idx.push_back(static_cast<int>(i));
+    }
+  }
+  auto reports = cluster.CompactAllIfFragmented();
+  ASSERT_TRUE(reports.ok());
+  EXPECT_FALSE(reports->empty());
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    ASSERT_TRUE(ctx.ReadWithRecovery(&survivors[i], buf.data(), 56).ok());
+    EXPECT_TRUE(PatternCheck(idx[i], buf.data(), 56));
+    EXPECT_EQ(NodeOf(survivors[i]), idx[i] % 2 == 1 ? NodeOf(survivors[i])
+                                                    : NodeOf(survivors[i]));
+  }
+}
+
+TEST(DsmTest, DeadNodeOperationsFailWithNetworkError) {
+  Cluster cluster(SmallCluster(2));
+  DsmContext ctx(&cluster);
+  auto addr = ctx.AllocOn(1, 56);
+  ASSERT_TRUE(addr.ok());
+  cluster.KillNode(1);
+  std::vector<uint8_t> buf(56);
+  EXPECT_EQ(ctx.Read(&*addr, buf.data(), 56).code(),
+            StatusCode::kNetworkError);
+  EXPECT_EQ(ctx.Write(&*addr, buf.data(), 56).code(),
+            StatusCode::kNetworkError);
+  EXPECT_EQ(ctx.AllocOn(1, 56).status().code(), StatusCode::kNetworkError);
+  // Placement avoids the dead node.
+  for (int i = 0; i < 8; ++i) {
+    auto fresh = ctx.Alloc(56);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(NodeOf(*fresh), 0);
+  }
+  cluster.ReviveNode(1);
+  EXPECT_TRUE(ctx.Read(&*addr, buf.data(), 56).ok());
+}
+
+// --- Replication ------------------------------------------------------------
+
+TEST(ReplicationTest, ReplicasLandOnDistinctNodes) {
+  Cluster cluster(SmallCluster(3));
+  ReplicatedContext rctx(&cluster, 3);
+  auto addr = rctx.Alloc(56);
+  ASSERT_TRUE(addr.ok());
+  std::set<int> nodes;
+  for (const auto& replica : addr->replicas) nodes.insert(NodeOf(replica));
+  EXPECT_EQ(nodes.size(), 3u);
+  EXPECT_TRUE(rctx.Free(&*addr).ok());
+}
+
+TEST(ReplicationTest, ReadsFailOverWhenPrimaryDies) {
+  Cluster cluster(SmallCluster(3));
+  ReplicatedContext rctx(&cluster, 2);
+  auto addr = rctx.Alloc(100);
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> in(100), out(100);
+  PatternFill(5, in.data(), 100);
+  ASSERT_TRUE(rctx.Write(&*addr, in.data(), 100).ok());
+
+  cluster.KillNode(NodeOf(addr->primary()));
+  ASSERT_TRUE(rctx.Read(&*addr, out.data(), 100).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(rctx.failovers(), 1u);
+}
+
+TEST(ReplicationTest, WritesDegradeWhenBackupDies) {
+  Cluster cluster(SmallCluster(3));
+  ReplicatedContext rctx(&cluster, 2);
+  auto addr = rctx.Alloc(100);
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> in(100), out(100);
+  const int backup = NodeOf(addr->replicas[1]);
+  cluster.KillNode(backup);
+  PatternFill(6, in.data(), 100);
+  ASSERT_TRUE(rctx.Write(&*addr, in.data(), 100).ok());
+  EXPECT_EQ(rctx.degraded_writes(), 1u);
+  // Data durable on the primary.
+  ASSERT_TRUE(rctx.Read(&*addr, out.data(), 100).ok());
+  EXPECT_EQ(in, out);
+  // A dead *primary* makes writes fail loudly instead.
+  cluster.ReviveNode(backup);
+  cluster.KillNode(NodeOf(addr->primary()));
+  EXPECT_EQ(rctx.Write(&*addr, in.data(), 100).code(),
+            StatusCode::kNetworkError);
+}
+
+TEST(ReplicationTest, ReplicasSurviveCompactionOnEveryNode) {
+  Cluster cluster(SmallCluster(3));
+  ReplicatedContext rctx(&cluster, 3);
+  DsmContext filler(&cluster);
+  std::vector<ReplicatedAddr> objects;
+  std::vector<GlobalAddr> chaff;
+  std::vector<uint8_t> buf(56);
+  for (int i = 0; i < 100; ++i) {
+    auto addr = rctx.Alloc(56);
+    ASSERT_TRUE(addr.ok());
+    PatternFill(i, buf.data(), 56);
+    ASSERT_TRUE(rctx.Write(&*addr, buf.data(), 56).ok());
+    objects.push_back(*addr);
+    // Interleave chaff that gets freed to create fragmentation.
+    for (int c = 0; c < 6; ++c) {
+      auto extra = filler.Alloc(56);
+      ASSERT_TRUE(extra.ok());
+      chaff.push_back(*extra);
+    }
+  }
+  for (auto& extra : chaff) ASSERT_TRUE(filler.Free(&extra).ok());
+  auto reports = cluster.CompactAllIfFragmented();
+  ASSERT_TRUE(reports.ok());
+  EXPECT_FALSE(reports->empty());
+  // Every replica of every object readable with intact data, even with one
+  // node down.
+  cluster.KillNode(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rctx.Read(&objects[i], buf.data(), 56).ok()) << i;
+    EXPECT_TRUE(PatternCheck(i, buf.data(), 56));
+  }
+}
+
+// --- Migration / rebalancing -------------------------------------------------
+
+TEST(MigrationTest, MigrateMovesObjectAndData) {
+  Cluster cluster(SmallCluster(2));
+  Migrator migrator(&cluster);
+  auto* ctx = migrator.dsm();
+  auto addr = ctx->AllocOn(0, 100);
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> in(100), out(100);
+  PatternFill(11, in.data(), 100);
+  ASSERT_TRUE(ctx->Write(&*addr, in.data(), 100).ok());
+
+  ASSERT_TRUE(migrator.Migrate(&*addr, 100, 1).ok());
+  EXPECT_EQ(NodeOf(*addr), 1);
+  ASSERT_TRUE(ctx->DirectRead(*addr, out.data(), 100).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(migrator.objects_migrated(), 1u);
+  EXPECT_EQ(migrator.bytes_migrated(), 100u);
+  // Source memory fully released (the migrated object was node 0's only
+  // one, so its block went back to the OS).
+  EXPECT_EQ(cluster.node(0)->ActiveMemoryBytes(), 0u);
+}
+
+TEST(MigrationTest, MigrateToSameNodeIsNoop) {
+  Cluster cluster(SmallCluster(2));
+  Migrator migrator(&cluster);
+  auto addr = migrator.dsm()->AllocOn(0, 56);
+  ASSERT_TRUE(addr.ok());
+  const GlobalAddr before = *addr;
+  ASSERT_TRUE(migrator.Migrate(&*addr, 56, 0).ok());
+  EXPECT_EQ(addr->vaddr, before.vaddr);
+  EXPECT_EQ(migrator.objects_migrated(), 0u);
+}
+
+TEST(MigrationTest, MigrateToDeadNodeFailsObjectIntact) {
+  Cluster cluster(SmallCluster(2));
+  Migrator migrator(&cluster);
+  auto* ctx = migrator.dsm();
+  auto addr = ctx->AllocOn(0, 56);
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> in(56), out(56);
+  PatternFill(3, in.data(), 56);
+  ASSERT_TRUE(ctx->Write(&*addr, in.data(), 56).ok());
+  cluster.KillNode(1);
+  EXPECT_EQ(migrator.Migrate(&*addr, 56, 1).code(),
+            StatusCode::kNetworkError);
+  // The object is untouched at the source.
+  ASSERT_TRUE(ctx->DirectRead(*addr, out.data(), 56).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(MigrationTest, RebalanceEvensOutSkewedCluster) {
+  Cluster cluster(SmallCluster(3));
+  Migrator migrator(&cluster);
+  auto* ctx = migrator.dsm();
+  // All objects on node 0: maximal imbalance.
+  std::vector<GlobalAddr> objects;
+  std::vector<uint32_t> sizes;
+  std::vector<uint8_t> buf(120);
+  for (int i = 0; i < 600; ++i) {
+    auto addr = ctx->AllocOn(0, 120);
+    ASSERT_TRUE(addr.ok());
+    PatternFill(i, buf.data(), 120);
+    ASSERT_TRUE(ctx->Write(&*addr, buf.data(), 120).ok());
+    objects.push_back(*addr);
+    sizes.push_back(120);
+  }
+  Rebalancer rebalancer(&cluster, &migrator);
+  auto report = rebalancer.Rebalance(&objects, sizes, 1.10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->objects_migrated, 0u);
+  EXPECT_LT(report->imbalance_after, report->imbalance_before);
+  EXPECT_LT(report->imbalance_after, 1.5);
+  // Every object still readable with intact data wherever it landed.
+  for (size_t i = 0; i < objects.size(); ++i) {
+    ASSERT_TRUE(ctx->ReadWithRecovery(&objects[i], buf.data(), 120).ok());
+    EXPECT_TRUE(PatternCheck(i, buf.data(), 120)) << i;
+  }
+}
+
+TEST(ReplicationTest, AllocFailsWithoutEnoughLiveNodes) {
+  Cluster cluster(SmallCluster(2));
+  ReplicatedContext rctx(&cluster, 2);
+  cluster.KillNode(0);
+  EXPECT_EQ(rctx.Alloc(56).status().code(), StatusCode::kNetworkError);
+}
+
+// Randomized cluster churn: allocations, frees, writes, migrations,
+// node-local compactions and transient node failures interleave; every
+// live object must stay intact and routable throughout.
+TEST(DsmChurnTest, RandomizedOpsPreserveEveryObject) {
+  Cluster cluster(SmallCluster(3));
+  Migrator migrator(&cluster);
+  auto* ctx = migrator.dsm();
+  Rebalancer rebalancer(&cluster, &migrator);
+  Rng rng(2026);
+
+  struct LiveObj {
+    GlobalAddr addr;
+    uint64_t pattern;
+    uint32_t size;
+  };
+  std::vector<LiveObj> live;
+  uint64_t next_pattern = 0;
+  std::vector<uint8_t> buf(512);
+  int dead_node = -1;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.45 || live.empty()) {
+      const uint32_t size = 24u << rng.Uniform(4);  // 24..192
+      auto addr = ctx->Alloc(size);
+      if (!addr.ok()) continue;  // placement can fail while a node is dead
+      PatternFill(next_pattern, buf.data(), size);
+      if (ctx->Write(&*addr, buf.data(), size).ok()) {
+        live.push_back({*addr, next_pattern++, size});
+      }
+    } else if (dice < 0.75) {
+      const size_t victim = rng.Uniform(live.size());
+      if (NodeOf(live[victim].addr) == dead_node) continue;
+      ASSERT_TRUE(ctx->Free(&live[victim].addr).ok());
+      live[victim] = live.back();
+      live.pop_back();
+    } else if (dice < 0.85) {
+      const size_t idx = rng.Uniform(live.size());
+      const int target = static_cast<int>(rng.Uniform(3));
+      if (target == dead_node || NodeOf(live[idx].addr) == dead_node) {
+        continue;
+      }
+      Status st =
+          migrator.Migrate(&live[idx].addr, live[idx].size, target);
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kNetworkError) << st;
+    } else if (dice < 0.95) {
+      ASSERT_TRUE(cluster.CompactAllIfFragmented().ok());
+    } else if (dead_node < 0) {
+      dead_node = static_cast<int>(rng.Uniform(3));
+      cluster.KillNode(dead_node);
+    } else {
+      cluster.ReviveNode(dead_node);
+      dead_node = -1;
+    }
+  }
+  if (dead_node >= 0) cluster.ReviveNode(dead_node);
+
+  // Final sweep: everything alive, intact, routable.
+  ASSERT_TRUE(cluster.CompactAllIfFragmented().ok());
+  for (const LiveObj& obj : live) {
+    GlobalAddr addr = obj.addr;
+    ASSERT_TRUE(ctx->ReadWithRecovery(&addr, buf.data(), obj.size).ok());
+    EXPECT_TRUE(PatternCheck(obj.pattern, buf.data(), obj.size));
+  }
+}
+
+}  // namespace
+}  // namespace corm::dsm

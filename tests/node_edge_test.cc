@@ -1,0 +1,272 @@
+// Edge cases and failure injection on the CoRM node: oversized ops, stale
+// keys, compaction bounds, ID-width limits, and RNIC cache accounting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/client.h"
+#include "core/corm_node.h"
+#include "core/object_layout.h"
+
+namespace corm::core {
+namespace {
+
+CormConfig SmallConfig() {
+  CormConfig config;
+  config.num_workers = 2;
+  config.block_pages = 1;
+  return config;
+}
+
+TEST(NodeEdgeTest, ReadLargerThanObjectRejected) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  auto addr = ctx->Alloc(24);  // class 32, capacity 24
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> buf(64);
+  EXPECT_EQ(ctx->Read(&*addr, buf.data(), 64).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ctx->DirectRead(*addr, buf.data(), 64).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NodeEdgeTest, WriteLargerThanObjectRejected) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  auto addr = ctx->Alloc(24);
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> buf(64, 1);
+  EXPECT_EQ(ctx->Write(&*addr, buf.data(), 64).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NodeEdgeTest, ZeroByteObjectsWork) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  auto addr = ctx->Alloc(0);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_TRUE(ctx->Free(&*addr).ok());
+}
+
+TEST(NodeEdgeTest, BogusObjectIdNotFound) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  auto keeper = ctx->Alloc(24);
+  ASSERT_TRUE(keeper.ok());
+  GlobalAddr bogus = *keeper;
+  bogus.obj_id = static_cast<uint16_t>(~keeper->obj_id);
+  std::vector<uint8_t> buf(24);
+  Status st = ctx->Read(&bogus, buf.data(), 24);
+  EXPECT_TRUE(st.IsNotFound() || st.IsObjectMoved()) << st;
+  EXPECT_FALSE(ctx->ScanRead(&bogus, buf.data(), 24).ok());
+}
+
+TEST(NodeEdgeTest, CompactionMaxBlocksBoundsTheRun) {
+  CormConfig config = SmallConfig();
+  config.compaction_max_blocks = 4;  // §4.3.2: bound the unavailability
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  auto addrs = node.BulkAlloc(1024, 56);
+  ASSERT_TRUE(addrs.ok());
+  std::vector<GlobalAddr> doomed;
+  for (size_t i = 0; i < addrs->size(); i += 2) doomed.push_back((*addrs)[i]);
+  ASSERT_TRUE(node.BulkFree(doomed).ok());
+  auto report = node.Compact(*node.ClassForPayload(56));
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->blocks_collected, 4u);
+}
+
+TEST(NodeEdgeTest, CollectionSkipsFullBlocks) {
+  CormConfig config = SmallConfig();
+  config.num_workers = 1;
+  config.collection_max_occupancy = 0.5;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  // Two full blocks (64 objects of class 64 each): nothing to collect.
+  auto addrs = node.BulkAlloc(128, 56);
+  ASSERT_TRUE(addrs.ok());
+  auto report = node.Compact(*node.ClassForPayload(56));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->blocks_collected, 0u);
+  EXPECT_EQ(report->blocks_freed, 0u);
+}
+
+TEST(NodeEdgeTest, NarrowIdWidthDisablesSmallClasses) {
+  CormConfig config = SmallConfig();
+  config.object_id_bits = 4;  // 16 IDs; class 32 has 128 slots per 4 KiB
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  auto addr = ctx->Alloc(24);
+  ASSERT_TRUE(addr.ok());
+  auto small = node.Compact(*node.ClassForPayload(24));
+  EXPECT_EQ(small.status().code(), StatusCode::kNotSupported);
+  // A big class (2048 B -> 2 slots <= 16 IDs) is still compactable.
+  auto big = node.Compact(*node.ClassForPayload(2000));
+  EXPECT_TRUE(big.ok()) << big.status();
+}
+
+TEST(NodeEdgeTest, ObjectIdsRespectWidth) {
+  CormConfig config = SmallConfig();
+  config.object_id_bits = 8;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  for (int i = 0; i < 100; ++i) {
+    auto addr = ctx->Alloc(2000);
+    ASSERT_TRUE(addr.ok());
+    EXPECT_LT(addr->obj_id, 256) << "ID wider than configured";
+  }
+}
+
+TEST(NodeEdgeTest, IdsUniqueWithinBlock) {
+  CormConfig config = SmallConfig();
+  config.num_workers = 1;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  std::set<std::pair<sim::VAddr, uint16_t>> seen;
+  for (int i = 0; i < 512; ++i) {
+    auto addr = ctx->Alloc(56);
+    ASSERT_TRUE(addr.ok());
+    const sim::VAddr base = BlockBaseOf(addr->vaddr, node.block_bytes());
+    EXPECT_TRUE(seen.insert({base, addr->obj_id}).second)
+        << "duplicate ID in one block";
+  }
+}
+
+TEST(NodeEdgeTest, MttCacheCountersMove) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  auto addrs = node.BulkAlloc(4096, 56);  // many pages
+  ASSERT_TRUE(addrs.ok());
+  node.rnic()->ResetMttCache();
+  std::vector<uint8_t> buf(56);
+  for (size_t i = 0; i < addrs->size(); i += 7) {
+    ASSERT_TRUE(ctx->DirectRead((*addrs)[i], buf.data(), 56).ok());
+  }
+  const auto& stats = node.rnic()->stats();
+  EXPECT_GT(stats.mtt_cache_misses.load() + stats.mtt_cache_hits.load(), 0u);
+  // Re-reading the same object repeatedly must hit.
+  const uint64_t misses_before = stats.mtt_cache_misses.load();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ctx->DirectRead((*addrs)[0], buf.data(), 56).ok());
+  }
+  EXPECT_LE(stats.mtt_cache_misses.load(), misses_before + 1);
+}
+
+TEST(NodeEdgeTest, GhostReleaseInvalidatesOldRKey) {
+  CormConfig config = SmallConfig();
+  config.num_workers = 1;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  auto addrs = node.BulkAlloc(256, 56);
+  ASSERT_TRUE(addrs.ok());
+  std::vector<GlobalAddr> doomed, survivors;
+  for (size_t i = 0; i < addrs->size(); ++i) {
+    (i % 2 ? doomed : survivors).push_back((*addrs)[i]);
+  }
+  ASSERT_TRUE(node.BulkFree(doomed).ok());
+  ASSERT_TRUE(node.Compact(*node.ClassForPayload(56)).ok());
+  // Re-home every survivor; ghosts drain. Keep the original pointers.
+  std::vector<GlobalAddr> originals = survivors;
+  for (auto& addr : survivors) ASSERT_TRUE(ctx->ReleasePtr(&addr).ok());
+  ASSERT_EQ(node.vaddr_ghosts_for_testing(), 0u);
+  // Original pointers into released ghost ranges are dead (the address no
+  // longer resolves, or its MR is gone and the QP breaks); pointers whose
+  // blocks survived the merge as destinations still work. At least one
+  // ghost existed, so at least one original pointer must be dead.
+  std::vector<uint8_t> buf(56);
+  size_t dead = 0;
+  for (const GlobalAddr& stale : originals) {
+    Status st = ctx->DirectRead(stale, buf.data(), 56);
+    if (st.ok()) continue;
+    EXPECT_TRUE(st.IsQpBroken() || st.IsObjectMoved() || st.IsStalePointer())
+        << st;
+    ++dead;
+    GlobalAddr rpc_stale = stale;
+    Status st2 = ctx->Read(&rpc_stale, buf.data(), 56);
+    EXPECT_TRUE(st2.IsStalePointer() || st2.IsNotFound() || st2.ok()) << st2;
+  }
+  EXPECT_GT(dead, 0u);
+}
+
+TEST(NodeEdgeTest, BulkAllocDeterministicPatterns) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  auto addrs = node.BulkAlloc(100, 56);
+  ASSERT_TRUE(addrs.ok());
+  std::vector<uint8_t> buf(56);
+  for (size_t i = 0; i < addrs->size(); ++i) {
+    ASSERT_TRUE(ctx->DirectRead((*addrs)[i], buf.data(), 56).ok());
+    EXPECT_TRUE(PatternCheck(i, buf.data(), 56)) << i;
+  }
+}
+
+TEST(NodeEdgeTest, FragmentationListsAllActiveClasses) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  ASSERT_TRUE(ctx->Alloc(24).ok());
+  ASSERT_TRUE(ctx->Alloc(500).ok());
+  auto frag = node.Fragmentation();
+  size_t active = 0;
+  for (const auto& cls : frag) active += cls.num_blocks > 0;
+  EXPECT_EQ(active, 2u);
+}
+
+// Stale r_key after a block is fully destroyed: the QP must break, exactly
+// like a revoked registration on real hardware.
+TEST(NodeEdgeTest, DirectReadAfterBlockDestroyedBreaksQp) {
+  CormConfig config = SmallConfig();
+  config.num_workers = 1;
+  CormNode node(config);
+  auto ctx = Context::Create(&node);
+  auto addr = ctx->Alloc(24);
+  ASSERT_TRUE(addr.ok());
+  GlobalAddr stale = *addr;
+  ASSERT_TRUE(ctx->Free(&*addr).ok());  // last object: block destroyed
+  std::vector<uint8_t> buf(24);
+  EXPECT_TRUE(ctx->DirectRead(stale, buf.data(), 24).IsQpBroken());
+  EXPECT_EQ(ctx->stats().qp_reconnects, 1u);
+  // The context auto-reconnected; live objects still readable.
+  auto fresh = ctx->Alloc(24);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(ctx->DirectRead(*fresh, buf.data(), 24).ok());
+}
+
+TEST(NodeEdgeTest, DebugReportMentionsState) {
+  CormNode node(SmallConfig());
+  auto ctx = Context::Create(&node);
+  ASSERT_TRUE(ctx->Alloc(24).ok());
+  const std::string report = node.DebugReport();
+  EXPECT_NE(report.find("CormNode: 2 workers"), std::string::npos);
+  EXPECT_NE(report.find("class 32"), std::string::npos);
+  EXPECT_NE(report.find("1 allocs"), std::string::npos);
+}
+
+// Determinism: identical configuration and op sequence produce identical
+// allocator decisions (seeded RNG everywhere) — a property the benches and
+// trace studies rely on.
+TEST(NodeEdgeTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    CormConfig config = SmallConfig();
+    config.seed = 777;
+    CormNode node(config);
+    auto addrs = node.BulkAlloc(500, 56);
+    CORM_CHECK(addrs.ok());
+    std::vector<GlobalAddr> doomed;
+    for (size_t i = 0; i < addrs->size(); i += 2) {
+      doomed.push_back((*addrs)[i]);
+    }
+    CORM_CHECK(node.BulkFree(doomed).ok());
+    auto report = node.Compact(*node.ClassForPayload(56));
+    CORM_CHECK(report.ok());
+    return std::tuple<size_t, size_t, uint64_t>(
+        report->blocks_freed, report->objects_relocated,
+        node.ActiveMemoryBytes());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace corm::core

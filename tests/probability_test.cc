@@ -1,0 +1,127 @@
+// Tests for the §3.4 compaction-probability model, including a Monte-Carlo
+// cross-check of the closed-form formula.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "core/probability.h"
+
+namespace corm::core {
+namespace {
+
+TEST(ProbabilityTest, BoundaryCases) {
+  // Empty blocks always compactable.
+  EXPECT_EQ(CompactionProbability(256, 16, 0, 5), 1.0);
+  EXPECT_EQ(CompactionProbability(256, 16, 5, 0), 1.0);
+  // Over capacity: never.
+  EXPECT_EQ(CompactionProbability(256, 16, 10, 7), 0.0);
+  // Exactly at capacity: allowed.
+  EXPECT_GT(CompactionProbability(256, 16, 8, 8), 0.0);
+}
+
+TEST(ProbabilityTest, Symmetry) {
+  for (uint64_t b1 = 1; b1 <= 8; ++b1) {
+    for (uint64_t b2 = 1; b2 + b1 <= 16; ++b2) {
+      EXPECT_NEAR(CompactionProbability(256, 16, b1, b2),
+                  CompactionProbability(256, 16, b2, b1), 1e-12);
+    }
+  }
+}
+
+TEST(ProbabilityTest, MonotoneInIdSpace) {
+  // Larger ID space => higher probability (paper §3.4).
+  double prev = 0;
+  for (int bits : {6, 8, 10, 12, 16}) {
+    const double p = CormCompactionProbability(bits, 16, 8, 8);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ProbabilityTest, MeshEqualsCormWhenIdSpaceEqualsSlots) {
+  // Paper: "for 16 byte objects, a 4 KiB block can store 256 objects ...
+  // if CoRM would use 8-bit IDs, then it would have the same compaction
+  // probability as Mesh."
+  const uint64_t s = 256;
+  for (uint64_t b = 8; b <= 128; b *= 2) {
+    EXPECT_NEAR(CormCompactionProbability(8, s, b, b),
+                MeshCompactionProbability(s, b, b), 1e-12);
+  }
+}
+
+TEST(ProbabilityTest, CormBeatsMeshForLargerObjects) {
+  // 128-byte objects in 4 KiB blocks: s = 32 slots; CoRM-8 has n = 256.
+  const uint64_t s = 32;
+  const uint64_t b = 12;
+  EXPECT_GT(CormCompactionProbability(8, s, b, b),
+            MeshCompactionProbability(s, b, b));
+  // Large objects at 50% occupancy: Mesh is near zero, CoRM-16 near one
+  // (Fig. 7 rightmost panel).
+  const uint64_t s2 = 16, b2 = 8;
+  EXPECT_LT(MeshCompactionProbability(s2, b2, b2), 0.01);
+  EXPECT_GT(CormCompactionProbability(16, s2, b2, b2), 0.99);
+}
+
+TEST(ProbabilityTest, UnaddressableClassIsZero) {
+  // Blocks holding more objects than 2^bits: CoRM cannot compact (§4.4.1).
+  EXPECT_EQ(CormCompactionProbability(8, 512, 1, 1), 0.0);
+  EXPECT_GT(CormCompactionProbability(16, 512, 1, 1), 0.0);
+}
+
+TEST(ProbabilityTest, ClosedFormMatchesDirectProduct) {
+  // p = prod_{i=0..b2-1} (n - b1 - i) / (n - i)
+  const uint64_t n = 256, b1 = 17, b2 = 23;
+  double direct = 1.0;
+  for (uint64_t i = 0; i < b2; ++i) {
+    direct *= static_cast<double>(n - b1 - i) / static_cast<double>(n - i);
+  }
+  EXPECT_NEAR(CompactionProbability(n, 64, b1, b2), direct, 1e-12);
+}
+
+// Monte-Carlo cross-check across a sweep of configurations.
+class ProbabilityMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, uint64_t>> {};
+
+TEST_P(ProbabilityMonteCarlo, MatchesSimulation) {
+  const int bits = std::get<0>(GetParam());
+  const uint64_t s = std::get<1>(GetParam());
+  const uint64_t b = std::get<2>(GetParam());
+  if (2 * b > s) GTEST_SKIP() << "over capacity";
+  const uint64_t n = 1ULL << bits;
+
+  Rng rng(bits * 1000 + s * 10 + b);
+  const int kTrials = 20000;
+  int compactable = 0;
+  std::unordered_set<uint32_t> ids1, ids2;
+  for (int t = 0; t < kTrials; ++t) {
+    ids1.clear();
+    ids2.clear();
+    while (ids1.size() < b) ids1.insert(static_cast<uint32_t>(rng.Uniform(n)));
+    while (ids2.size() < b) ids2.insert(static_cast<uint32_t>(rng.Uniform(n)));
+    bool conflict = false;
+    for (uint32_t id : ids2) {
+      if (ids1.count(id)) {
+        conflict = true;
+        break;
+      }
+    }
+    compactable += !conflict;
+  }
+  const double expected = CormCompactionProbability(bits, s, b, b);
+  const double measured = static_cast<double>(compactable) / kTrials;
+  EXPECT_NEAR(measured, expected, 0.02)
+      << "bits=" << bits << " s=" << s << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProbabilityMonteCarlo,
+    ::testing::Combine(::testing::Values(8, 12, 16),
+                       ::testing::Values<uint64_t>(16, 64, 256),
+                       ::testing::Values<uint64_t>(2, 8, 32, 96)));
+
+}  // namespace
+}  // namespace corm::core

@@ -1,0 +1,279 @@
+// Tests for the simulated RNIC: MTT snapshot semantics, the remap hazard,
+// and the paper's three §3.5 repair strategies.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "rdma/queue_pair.h"
+#include "rdma/rnic.h"
+#include "rdma/rpc_transport.h"
+#include "sim/address_space.h"
+#include "sim/mem_file.h"
+#include "sim/physical_memory.h"
+
+namespace corm::rdma {
+namespace {
+
+using sim::AddressSpace;
+using sim::kVPageSize;
+using sim::LatencyModel;
+using sim::MemFileManager;
+using sim::PhysicalMemory;
+using sim::VAddr;
+
+class RnicTest : public ::testing::Test {
+ protected:
+  RnicTest() : space_(&phys_), rnic_(&space_, LatencyModel{}) {}
+
+  // Maps `npages` fresh pages and returns the base.
+  VAddr MapPages(size_t npages) {
+    VAddr base = space_.ReserveRange(npages);
+    EXPECT_TRUE(space_.MapFresh(base, npages).ok());
+    return base;
+  }
+
+  PhysicalMemory phys_;
+  AddressSpace space_;
+  Rnic rnic_;
+};
+
+TEST_F(RnicTest, RegisterAndRead) {
+  VAddr base = MapPages(1);
+  const char data[] = "remote memory";
+  ASSERT_TRUE(space_.WriteVirtual(base + 64, data, sizeof(data)).ok());
+  auto keys = rnic_.RegisterMemory(base, 1, /*odp=*/false);
+  ASSERT_TRUE(keys.ok());
+
+  QueuePair qp(&rnic_);
+  char out[sizeof(data)] = {};
+  auto ns = qp.Read(keys->r_key, base + 64, out, sizeof(out));
+  ASSERT_TRUE(ns.ok());
+  EXPECT_STREQ(out, data);
+  EXPECT_GE(*ns, 1700u);  // at least the modeled RTT
+  EXPECT_EQ(qp.state(), QueuePair::State::kConnected);
+}
+
+TEST_F(RnicTest, ReadSpansPages) {
+  VAddr base = MapPages(2);
+  std::vector<uint8_t> data(kVPageSize, 0x7A);
+  ASSERT_TRUE(
+      space_.WriteVirtual(base + kVPageSize / 2, data.data(), data.size())
+          .ok());
+  auto keys = rnic_.RegisterMemory(base, 2, false);
+  ASSERT_TRUE(keys.ok());
+  QueuePair qp(&rnic_);
+  std::vector<uint8_t> out(kVPageSize);
+  ASSERT_TRUE(
+      qp.Read(keys->r_key, base + kVPageSize / 2, out.data(), out.size())
+          .ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(RnicTest, InvalidKeyBreaksQp) {
+  QueuePair qp(&rnic_);
+  char buf[8];
+  auto st = qp.Read(/*r_key=*/999, 0x1000, buf, 8);
+  EXPECT_TRUE(st.status().IsQpBroken());
+  EXPECT_EQ(qp.state(), QueuePair::State::kError);
+  // Further ops fail until reconnect.
+  EXPECT_TRUE(qp.Read(999, 0x1000, buf, 8).status().IsQpBroken());
+  qp.Reconnect();
+  EXPECT_EQ(qp.state(), QueuePair::State::kConnected);
+  EXPECT_EQ(qp.reconnects(), 1u);
+}
+
+TEST_F(RnicTest, OutOfBoundsBreaksQp) {
+  VAddr base = MapPages(1);
+  auto keys = rnic_.RegisterMemory(base, 1, false);
+  ASSERT_TRUE(keys.ok());
+  QueuePair qp(&rnic_);
+  char buf[64];
+  auto st = qp.Read(keys->r_key, base + kVPageSize - 8, buf, 64);
+  EXPECT_TRUE(st.status().IsQpBroken());
+}
+
+// The central hazard (paper §2.2.1): the OS remaps a page but the RNIC MTT
+// still holds the old snapshot -> one-sided reads return the *old* frame's
+// bytes while CPU reads see the new mapping.
+TEST_F(RnicTest, StaleMttReadsOldFrameAfterRemap) {
+  VAddr a = MapPages(1);
+  VAddr b = MapPages(1);
+  const uint32_t old_marker = 0x0DDF00D;
+  const uint32_t new_marker = 0xB16B00B5;
+  ASSERT_TRUE(space_.WriteVirtual(a, &old_marker, 4).ok());
+  ASSERT_TRUE(space_.WriteVirtual(b, &new_marker, 4).ok());
+  auto keys = rnic_.RegisterMemory(a, 1, /*odp=*/false);
+  ASSERT_TRUE(keys.ok());
+
+  ASSERT_TRUE(space_.Remap(a, b, 1).ok());
+  // CPU sees the new mapping...
+  uint32_t cpu = 0;
+  ASSERT_TRUE(space_.ReadVirtual(a, &cpu, 4).ok());
+  EXPECT_EQ(cpu, new_marker);
+  // ...but RDMA through the stale MTT still reads the old frame.
+  QueuePair qp(&rnic_);
+  uint32_t rdma = 0;
+  ASSERT_TRUE(qp.Read(keys->r_key, a, &rdma, 4).ok());
+  EXPECT_EQ(rdma, old_marker);
+}
+
+// Strategy 1: ibv_rereg_mr refreshes the MTT, preserves keys, and breaks
+// QPs that access the region mid-re-registration.
+TEST_F(RnicTest, ReregRepairsTranslationAndPreservesKey) {
+  VAddr a = MapPages(1);
+  VAddr b = MapPages(1);
+  const uint32_t marker = 0xCAFE;
+  ASSERT_TRUE(space_.WriteVirtual(b, &marker, 4).ok());
+  auto keys = rnic_.RegisterMemory(a, 1, false);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(space_.Remap(a, b, 1).ok());
+
+  auto ns = rnic_.ReregMr(keys->r_key);
+  ASSERT_TRUE(ns.ok());
+  EXPECT_GE(*ns, 8000u);
+
+  QueuePair qp(&rnic_);
+  uint32_t out = 0;
+  ASSERT_TRUE(qp.Read(keys->r_key, a, &out, 4).ok());  // same r_key!
+  EXPECT_EQ(out, marker);
+}
+
+TEST_F(RnicTest, AccessDuringReregBreaksQp) {
+  VAddr a = MapPages(1);
+  auto keys = rnic_.RegisterMemory(a, 1, false);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(rnic_.BeginRereg(keys->r_key).ok());
+  QueuePair qp(&rnic_);
+  char buf[8];
+  auto st = qp.Read(keys->r_key, a, buf, 8);
+  EXPECT_TRUE(st.status().IsQpBroken());
+  EXPECT_EQ(qp.state(), QueuePair::State::kError);
+  ASSERT_TRUE(rnic_.EndRereg(keys->r_key).ok());
+  qp.Reconnect();
+  EXPECT_TRUE(qp.Read(keys->r_key, a, buf, 8).ok());
+  EXPECT_GE(rnic_.stats().qp_breaks.load(), 1u);
+}
+
+// Strategy 2: ODP — the remap invalidates the MTT entry via the MMU
+// notifier; the next read faults (~63 us) and then sees the new frame.
+TEST_F(RnicTest, OdpInvalidatesAndFaults) {
+  VAddr a = MapPages(1);
+  VAddr b = MapPages(1);
+  const uint32_t marker = 0xFACade;
+  ASSERT_TRUE(space_.WriteVirtual(b, &marker, 4).ok());
+  auto keys = rnic_.RegisterMemory(a, 1, /*odp=*/true);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(space_.Remap(a, b, 1).ok());
+
+  QueuePair qp(&rnic_);
+  uint32_t out = 0;
+  auto first = qp.Read(keys->r_key, a, &out, 4);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(out, marker);                   // correct data immediately
+  EXPECT_GE(*first, 63000u);                // paid the ODP miss
+  EXPECT_EQ(rnic_.stats().odp_faults.load(), 1u);
+  auto second = qp.Read(keys->r_key, a, &out, 4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(*second, 10000u);               // subsequent reads are fast
+  EXPECT_EQ(rnic_.stats().odp_faults.load(), 1u);
+}
+
+// Strategy 3: ODP + ibv_advise_mr prefetch avoids the first-read fault.
+TEST_F(RnicTest, AdvisePrefetchAvoidsFault) {
+  VAddr a = MapPages(1);
+  VAddr b = MapPages(1);
+  auto keys = rnic_.RegisterMemory(a, 1, true);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(space_.Remap(a, b, 1).ok());
+
+  auto advise = rnic_.AdviseMr(keys->r_key, a, kVPageSize);
+  ASSERT_TRUE(advise.ok());
+  EXPECT_NEAR(static_cast<double>(*advise), 4550, 200);
+
+  QueuePair qp(&rnic_);
+  uint32_t out;
+  auto ns = qp.Read(keys->r_key, a, &out, 4);
+  ASSERT_TRUE(ns.ok());
+  EXPECT_LT(*ns, 10000u);  // no fault
+  EXPECT_EQ(rnic_.stats().odp_faults.load(), 0u);
+  EXPECT_EQ(rnic_.stats().prefetches.load(), 1u);
+}
+
+TEST_F(RnicTest, AdviseOnNonOdpRegionRejected) {
+  VAddr a = MapPages(1);
+  auto keys = rnic_.RegisterMemory(a, 1, false);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(rnic_.AdviseMr(keys->r_key, a, kVPageSize).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(RnicTest, DeregisterInvalidatesKey) {
+  VAddr a = MapPages(1);
+  auto keys = rnic_.RegisterMemory(a, 1, false);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(rnic_.DeregisterMemory(keys->r_key).ok());
+  QueuePair qp(&rnic_);
+  char buf[4];
+  EXPECT_TRUE(qp.Read(keys->r_key, a, buf, 4).status().IsQpBroken());
+}
+
+TEST_F(RnicTest, MttPinsFrames) {
+  VAddr a = MapPages(1);
+  auto keys = rnic_.RegisterMemory(a, 1, false);
+  ASSERT_TRUE(keys.ok());
+  // Mapping ref + MTT ref.
+  auto frame = space_.TranslatePage(a);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(phys_.RefCount(*frame), 2u);
+  ASSERT_TRUE(space_.Unmap(a, 1).ok());
+  EXPECT_EQ(phys_.live_frames(), 1u);  // still pinned by the RNIC
+  ASSERT_TRUE(rnic_.DeregisterMemory(keys->r_key).ok());
+  EXPECT_EQ(phys_.live_frames(), 0u);
+}
+
+TEST_F(RnicTest, RdmaWrite) {
+  VAddr a = MapPages(1);
+  auto keys = rnic_.RegisterMemory(a, 1, false);
+  ASSERT_TRUE(keys.ok());
+  QueuePair qp(&rnic_);
+  const uint64_t value = 0x123456789abcdef0ULL;
+  ASSERT_TRUE(qp.Write(keys->r_key, a + 8, &value, 8).ok());
+  uint64_t cpu = 0;
+  ASSERT_TRUE(space_.ReadVirtual(a + 8, &cpu, 8).ok());
+  EXPECT_EQ(cpu, value);
+}
+
+// --- RPC transport -----------------------------------------------------------
+
+TEST(RpcTransportTest, RequestResponseRoundTrip) {
+  RpcQueue queue;
+  RpcClient client(&queue, LatencyModel{});
+
+  std::thread server([&] {
+    RpcMessage* msg = nullptr;
+    while ((msg = queue.Poll()) == nullptr) {
+    }
+    msg->response = Buffer(msg->request.rbegin(), msg->request.rend());
+    msg->status = Status::OK();
+    msg->done.store(true, std::memory_order_release);
+  });
+
+  RpcMessage msg;
+  msg.request = {1, 2, 3};
+  client.Call(&msg);
+  server.join();
+  EXPECT_TRUE(msg.status.ok());
+  EXPECT_EQ(msg.response, (Buffer{3, 2, 1}));
+}
+
+TEST(RpcTransportTest, RateLimiterDisabledAtZeroScale) {
+  NicMessageRateLimiter limiter(1);  // 1 msg/s — would stall if active
+  limiter.Acquire();                 // must return instantly at scale 0
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace corm::rdma

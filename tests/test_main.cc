@@ -1,0 +1,13 @@
+// Shared gtest main: disables latency pacing so tests run at full speed
+// (modeled durations are still returned and asserted on; they are just not
+// slept).
+
+#include <gtest/gtest.h>
+
+#include "sim/latency_model.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  corm::sim::SetSimTimeScale(0.0);
+  return RUN_ALL_TESTS();
+}

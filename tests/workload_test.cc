@@ -1,0 +1,212 @@
+// Tests for the workload generators and the trace runner.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "alloc/size_classes.h"
+#include "common/byte_units.h"
+#include "workload/redis_trace.h"
+#include "workload/synthetic_trace.h"
+#include "workload/trace_io.h"
+#include "workload/trace_runner.h"
+#include "workload/ycsb.h"
+
+namespace corm::workload {
+namespace {
+
+TEST(SyntheticTraceTest, StructureMatchesParameters) {
+  Trace trace = MakeSyntheticTrace(1000, 256, 0.4, 1);
+  size_t allocs = 0, frees = 0;
+  std::set<uint64_t> freed;
+  for (const TraceOp& op : trace) {
+    if (op.kind == TraceOp::Kind::kAlloc) {
+      ++allocs;
+      EXPECT_EQ(op.size, 256u);
+    } else {
+      ++frees;
+      EXPECT_TRUE(freed.insert(op.target).second) << "double free in trace";
+      EXPECT_LT(op.target, 1000u);
+    }
+  }
+  EXPECT_EQ(allocs, 1000u);
+  EXPECT_EQ(frees, 400u);
+}
+
+TEST(SyntheticTraceTest, DeterministicPerSeed) {
+  Trace a = MakeSyntheticTrace(500, 64, 0.5, 7);
+  Trace b = MakeSyntheticTrace(500, 64, 0.5, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+  }
+}
+
+TEST(RedisTraceTest, T1Contents) {
+  Trace trace = MakeRedisTraceT1(1);
+  EXPECT_EQ(trace.size(), 20000u);  // 10k keys + 10k values, no frees
+  uint64_t keys = 0;
+  for (const TraceOp& op : trace) {
+    ASSERT_EQ(op.kind, TraceOp::Kind::kAlloc);
+    if (op.size == 8) {
+      ++keys;
+    } else {
+      EXPECT_GE(op.size, 1u);
+      EXPECT_LE(op.size, 16 * kKiB);
+    }
+  }
+  EXPECT_EQ(keys, 10000u);
+}
+
+TEST(RedisTraceTest, T2EvictsAtCapacity) {
+  Trace trace = MakeRedisTraceT2(1);
+  uint64_t allocs = 0, frees = 0;
+  int64_t live_bytes = 0;
+  std::map<uint64_t, uint32_t> alloc_sizes;
+  int64_t peak = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    if (op.kind == TraceOp::Kind::kAlloc) {
+      ++allocs;
+      alloc_sizes[i] = op.size;
+      live_bytes += op.size;
+    } else {
+      ++frees;
+      live_bytes -= alloc_sizes.at(op.target);
+    }
+    peak = std::max(peak, live_bytes);
+  }
+  EXPECT_EQ(allocs, 2u * (700'000 + 170'000));
+  EXPECT_GT(frees, 0u) << "LRU must evict beyond 100 MiB";
+  EXPECT_LE(peak, static_cast<int64_t>(101 * kMiB));
+  // Cache ends full (within one entry of capacity).
+  EXPECT_GT(live_bytes, static_cast<int64_t>(99 * kMiB));
+}
+
+TEST(RedisTraceTest, T3RemovesHalfTheBatch) {
+  Trace trace = MakeRedisTraceT3(1);
+  uint64_t big = 0, small_vals = 0, frees = 0;
+  for (const TraceOp& op : trace) {
+    if (op.kind == TraceOp::Kind::kFree) {
+      ++frees;
+    } else if (op.size == 160 * kKiB) {
+      ++big;
+    } else if (op.size == 150) {
+      ++small_vals;
+    }
+  }
+  EXPECT_EQ(big, 5u);
+  EXPECT_EQ(small_vals, 50000u);
+  EXPECT_EQ(frees, 2u * 25000);  // key + value per removed entry
+}
+
+TEST(TraceRunnerTest, SyntheticTraceThroughSimulator) {
+  auto classes = alloc::SizeClassTable::JemallocLike(256 * kKiB);
+  baseline::SimConfig config;
+  config.algorithm = baseline::Algorithm::kCorm;
+  config.id_bits = 16;
+  config.block_bytes = kMiB;
+  Trace trace = MakeSyntheticTrace(20000, 2048, 0.7, 3);
+  TraceResult result = RunTrace(trace, config, &classes);
+  EXPECT_EQ(result.live_bytes, 6000u * 2048);
+  EXPECT_LE(result.active_bytes_after, result.active_bytes_before);
+  EXPECT_GE(result.active_bytes_after, result.ideal_bytes);
+  EXPECT_GT(result.compaction.merges, 0u);
+}
+
+TEST(TraceRunnerTest, RedisTracesRunUnderAllAlgorithms) {
+  auto classes = alloc::SizeClassTable::JemallocLike(256 * kKiB);
+  Trace trace = MakeRedisTraceT3(1);
+  uint64_t mesh_after = 0, corm_after = 0;
+  for (auto algo :
+       {baseline::Algorithm::kNone, baseline::Algorithm::kMesh,
+        baseline::Algorithm::kCorm, baseline::Algorithm::kHybrid}) {
+    baseline::SimConfig config;
+    config.algorithm = algo;
+    config.id_bits = 16;
+    config.block_bytes = kMiB;
+    config.num_threads = 8;
+    TraceResult result = RunTrace(trace, config, &classes);
+    EXPECT_GE(result.active_bytes_after, result.live_bytes);
+    if (algo == baseline::Algorithm::kMesh) mesh_after = result.active_bytes_after;
+    if (algo == baseline::Algorithm::kHybrid) corm_after = result.active_bytes_after;
+  }
+  // Hybrid CoRM-16 is at least competitive with Mesh on t3 (§4.4.3 shows
+  // an improvement; allow a small overhead-induced slack).
+  EXPECT_LE(corm_after, mesh_after + mesh_after / 10);
+}
+
+// --- Trace I/O ----------------------------------------------------------------
+
+TEST(TraceIoTest, SaveLoadRoundTrip) {
+  Trace trace = MakeSyntheticTrace(500, 128, 0.5, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveTrace(trace, &buffer).ok());
+  auto loaded = LoadTrace(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].kind, trace[i].kind);
+    EXPECT_EQ((*loaded)[i].size, trace[i].size);
+    EXPECT_EQ((*loaded)[i].target, trace[i].target);
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  auto parse = [](const std::string& text) {
+    std::stringstream in(text);
+    return LoadTrace(&in).status();
+  };
+  EXPECT_TRUE(parse("x 5\n").code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(parse("a 0\n").code() == StatusCode::kInvalidArgument);
+  // Free of a non-alloc line / forward reference / double free.
+  EXPECT_TRUE(parse("f 0\n").code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(parse("a 8\nf 0\nf 0\n").code() ==
+              StatusCode::kInvalidArgument);
+  EXPECT_TRUE(parse("a 8\nf 1\n").code() == StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoTest, CommentsAndBlanksIgnored) {
+  std::stringstream in("# header\n\na 64\n# mid\nf 0\n");
+  auto trace = LoadTrace(&in);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 2u);
+  EXPECT_EQ((*trace)[1].target, 0u);  // indices count trace ops, not lines
+}
+
+// --- YCSB -------------------------------------------------------------------
+
+TEST(YcsbTest, ReadFractionRespected) {
+  YcsbConfig config;
+  config.num_keys = 1000;
+  config.read_fraction = 0.95;
+  YcsbGenerator gen(config);
+  int reads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) reads += gen.Next().is_read;
+  EXPECT_NEAR(static_cast<double>(reads) / n, 0.95, 0.01);
+}
+
+TEST(YcsbTest, UniformKeysCoverSpace) {
+  YcsbConfig config;
+  config.num_keys = 100;
+  YcsbGenerator gen(config);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(gen.Next().key);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(YcsbTest, ZipfSkewsToHead) {
+  YcsbConfig config;
+  config.num_keys = 1'000'000;
+  config.zipf_theta = 0.99;
+  YcsbGenerator gen(config);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) head += gen.Next().key < 1000;
+  EXPECT_GT(head, n / 4);  // the hot head dominates
+}
+
+}  // namespace
+}  // namespace corm::workload
