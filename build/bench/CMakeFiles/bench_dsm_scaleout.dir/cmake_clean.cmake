@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsm_scaleout.dir/bench_dsm_scaleout.cc.o"
+  "CMakeFiles/bench_dsm_scaleout.dir/bench_dsm_scaleout.cc.o.d"
+  "bench_dsm_scaleout"
+  "bench_dsm_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsm_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_probability.dir/bench_fig07_probability.cc.o"
+  "CMakeFiles/bench_fig07_probability.dir/bench_fig07_probability.cc.o.d"
+  "bench_fig07_probability"
+  "bench_fig07_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

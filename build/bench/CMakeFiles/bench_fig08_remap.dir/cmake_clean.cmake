@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_remap.dir/bench_fig08_remap.cc.o"
+  "CMakeFiles/bench_fig08_remap.dir/bench_fig08_remap.cc.o.d"
+  "bench_fig08_remap"
+  "bench_fig08_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_latency_direct.dir/bench_fig09_latency_direct.cc.o"
+  "CMakeFiles/bench_fig09_latency_direct.dir/bench_fig09_latency_direct.cc.o.d"
+  "bench_fig09_latency_direct"
+  "bench_fig09_latency_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_latency_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_latency_indirect.dir/bench_fig10_latency_indirect.cc.o"
+  "CMakeFiles/bench_fig10_latency_indirect.dir/bench_fig10_latency_indirect.cc.o.d"
+  "bench_fig10_latency_indirect"
+  "bench_fig10_latency_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_latency_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_conflicts.dir/bench_fig13_conflicts.cc.o"
+  "CMakeFiles/bench_fig13_conflicts.dir/bench_fig13_conflicts.cc.o.d"
+  "bench_fig13_conflicts"
+  "bench_fig13_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

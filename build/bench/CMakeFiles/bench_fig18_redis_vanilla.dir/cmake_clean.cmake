@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_redis_vanilla.dir/bench_fig18_redis_vanilla.cc.o"
+  "CMakeFiles/bench_fig18_redis_vanilla.dir/bench_fig18_redis_vanilla.cc.o.d"
+  "bench_fig18_redis_vanilla"
+  "bench_fig18_redis_vanilla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_redis_vanilla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

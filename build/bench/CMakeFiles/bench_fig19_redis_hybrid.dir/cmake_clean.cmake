@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_redis_hybrid.dir/bench_fig19_redis_hybrid.cc.o"
+  "CMakeFiles/bench_fig19_redis_hybrid.dir/bench_fig19_redis_hybrid.cc.o.d"
+  "bench_fig19_redis_hybrid"
+  "bench_fig19_redis_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_redis_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

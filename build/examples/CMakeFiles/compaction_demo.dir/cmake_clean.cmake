@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_demo.dir/compaction_demo.cpp.o"
+  "CMakeFiles/compaction_demo.dir/compaction_demo.cpp.o.d"
+  "compaction_demo"
+  "compaction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_shell.dir/corm_shell.cpp.o"
+  "CMakeFiles/corm_shell.dir/corm_shell.cpp.o.d"
+  "corm_shell"
+  "corm_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_cluster.dir/dsm_cluster.cpp.o"
+  "CMakeFiles/dsm_cluster.dir/dsm_cluster.cpp.o.d"
+  "dsm_cluster"
+  "dsm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_runner.dir/ycsb_runner.cpp.o"
+  "CMakeFiles/ycsb_runner.dir/ycsb_runner.cpp.o.d"
+  "ycsb_runner"
+  "ycsb_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/block.cc" "src/alloc/CMakeFiles/corm_alloc.dir/block.cc.o" "gcc" "src/alloc/CMakeFiles/corm_alloc.dir/block.cc.o.d"
+  "/root/repo/src/alloc/block_allocator.cc" "src/alloc/CMakeFiles/corm_alloc.dir/block_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/corm_alloc.dir/block_allocator.cc.o.d"
+  "/root/repo/src/alloc/fragmentation.cc" "src/alloc/CMakeFiles/corm_alloc.dir/fragmentation.cc.o" "gcc" "src/alloc/CMakeFiles/corm_alloc.dir/fragmentation.cc.o.d"
+  "/root/repo/src/alloc/size_classes.cc" "src/alloc/CMakeFiles/corm_alloc.dir/size_classes.cc.o" "gcc" "src/alloc/CMakeFiles/corm_alloc.dir/size_classes.cc.o.d"
+  "/root/repo/src/alloc/thread_allocator.cc" "src/alloc/CMakeFiles/corm_alloc.dir/thread_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/corm_alloc.dir/thread_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/corm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/corm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

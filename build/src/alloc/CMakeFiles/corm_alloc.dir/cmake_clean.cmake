@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_alloc.dir/block.cc.o"
+  "CMakeFiles/corm_alloc.dir/block.cc.o.d"
+  "CMakeFiles/corm_alloc.dir/block_allocator.cc.o"
+  "CMakeFiles/corm_alloc.dir/block_allocator.cc.o.d"
+  "CMakeFiles/corm_alloc.dir/fragmentation.cc.o"
+  "CMakeFiles/corm_alloc.dir/fragmentation.cc.o.d"
+  "CMakeFiles/corm_alloc.dir/size_classes.cc.o"
+  "CMakeFiles/corm_alloc.dir/size_classes.cc.o.d"
+  "CMakeFiles/corm_alloc.dir/thread_allocator.cc.o"
+  "CMakeFiles/corm_alloc.dir/thread_allocator.cc.o.d"
+  "libcorm_alloc.a"
+  "libcorm_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_baseline.dir/compaction_sim.cc.o"
+  "CMakeFiles/corm_baseline.dir/compaction_sim.cc.o.d"
+  "libcorm_baseline.a"
+  "libcorm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_common.dir/histogram.cc.o"
+  "CMakeFiles/corm_common.dir/histogram.cc.o.d"
+  "CMakeFiles/corm_common.dir/status.cc.o"
+  "CMakeFiles/corm_common.dir/status.cc.o.d"
+  "libcorm_common.a"
+  "libcorm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

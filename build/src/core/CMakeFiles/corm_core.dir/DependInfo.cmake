@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/corm_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/corm_core.dir/client.cc.o.d"
+  "/root/repo/src/core/compaction.cc" "src/core/CMakeFiles/corm_core.dir/compaction.cc.o" "gcc" "src/core/CMakeFiles/corm_core.dir/compaction.cc.o.d"
+  "/root/repo/src/core/corm_node.cc" "src/core/CMakeFiles/corm_core.dir/corm_node.cc.o" "gcc" "src/core/CMakeFiles/corm_core.dir/corm_node.cc.o.d"
+  "/root/repo/src/core/object_layout.cc" "src/core/CMakeFiles/corm_core.dir/object_layout.cc.o" "gcc" "src/core/CMakeFiles/corm_core.dir/object_layout.cc.o.d"
+  "/root/repo/src/core/probability.cc" "src/core/CMakeFiles/corm_core.dir/probability.cc.o" "gcc" "src/core/CMakeFiles/corm_core.dir/probability.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/core/CMakeFiles/corm_core.dir/worker.cc.o" "gcc" "src/core/CMakeFiles/corm_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/corm_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/corm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/corm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

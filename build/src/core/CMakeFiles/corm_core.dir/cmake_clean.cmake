@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_core.dir/client.cc.o"
+  "CMakeFiles/corm_core.dir/client.cc.o.d"
+  "CMakeFiles/corm_core.dir/compaction.cc.o"
+  "CMakeFiles/corm_core.dir/compaction.cc.o.d"
+  "CMakeFiles/corm_core.dir/corm_node.cc.o"
+  "CMakeFiles/corm_core.dir/corm_node.cc.o.d"
+  "CMakeFiles/corm_core.dir/object_layout.cc.o"
+  "CMakeFiles/corm_core.dir/object_layout.cc.o.d"
+  "CMakeFiles/corm_core.dir/probability.cc.o"
+  "CMakeFiles/corm_core.dir/probability.cc.o.d"
+  "CMakeFiles/corm_core.dir/worker.cc.o"
+  "CMakeFiles/corm_core.dir/worker.cc.o.d"
+  "libcorm_core.a"
+  "libcorm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/cluster.cc" "src/dsm/CMakeFiles/corm_dsm.dir/cluster.cc.o" "gcc" "src/dsm/CMakeFiles/corm_dsm.dir/cluster.cc.o.d"
+  "/root/repo/src/dsm/dsm_context.cc" "src/dsm/CMakeFiles/corm_dsm.dir/dsm_context.cc.o" "gcc" "src/dsm/CMakeFiles/corm_dsm.dir/dsm_context.cc.o.d"
+  "/root/repo/src/dsm/migration.cc" "src/dsm/CMakeFiles/corm_dsm.dir/migration.cc.o" "gcc" "src/dsm/CMakeFiles/corm_dsm.dir/migration.cc.o.d"
+  "/root/repo/src/dsm/replication.cc" "src/dsm/CMakeFiles/corm_dsm.dir/replication.cc.o" "gcc" "src/dsm/CMakeFiles/corm_dsm.dir/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/corm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/corm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/corm_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/corm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/corm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

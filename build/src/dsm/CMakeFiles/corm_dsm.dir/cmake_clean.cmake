@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_dsm.dir/cluster.cc.o"
+  "CMakeFiles/corm_dsm.dir/cluster.cc.o.d"
+  "CMakeFiles/corm_dsm.dir/dsm_context.cc.o"
+  "CMakeFiles/corm_dsm.dir/dsm_context.cc.o.d"
+  "CMakeFiles/corm_dsm.dir/migration.cc.o"
+  "CMakeFiles/corm_dsm.dir/migration.cc.o.d"
+  "CMakeFiles/corm_dsm.dir/replication.cc.o"
+  "CMakeFiles/corm_dsm.dir/replication.cc.o.d"
+  "libcorm_dsm.a"
+  "libcorm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

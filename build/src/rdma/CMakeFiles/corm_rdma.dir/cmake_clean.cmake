@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_rdma.dir/queue_pair.cc.o"
+  "CMakeFiles/corm_rdma.dir/queue_pair.cc.o.d"
+  "CMakeFiles/corm_rdma.dir/rnic.cc.o"
+  "CMakeFiles/corm_rdma.dir/rnic.cc.o.d"
+  "CMakeFiles/corm_rdma.dir/rpc_transport.cc.o"
+  "CMakeFiles/corm_rdma.dir/rpc_transport.cc.o.d"
+  "CMakeFiles/corm_rdma.dir/verbs.cc.o"
+  "CMakeFiles/corm_rdma.dir/verbs.cc.o.d"
+  "CMakeFiles/corm_rdma.dir/write_ring.cc.o"
+  "CMakeFiles/corm_rdma.dir/write_ring.cc.o.d"
+  "libcorm_rdma.a"
+  "libcorm_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

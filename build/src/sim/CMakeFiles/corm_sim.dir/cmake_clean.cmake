@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_sim.dir/address_space.cc.o"
+  "CMakeFiles/corm_sim.dir/address_space.cc.o.d"
+  "CMakeFiles/corm_sim.dir/latency_model.cc.o"
+  "CMakeFiles/corm_sim.dir/latency_model.cc.o.d"
+  "CMakeFiles/corm_sim.dir/mem_file.cc.o"
+  "CMakeFiles/corm_sim.dir/mem_file.cc.o.d"
+  "CMakeFiles/corm_sim.dir/physical_memory.cc.o"
+  "CMakeFiles/corm_sim.dir/physical_memory.cc.o.d"
+  "libcorm_sim.a"
+  "libcorm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_workload.dir/redis_trace.cc.o"
+  "CMakeFiles/corm_workload.dir/redis_trace.cc.o.d"
+  "CMakeFiles/corm_workload.dir/synthetic_trace.cc.o"
+  "CMakeFiles/corm_workload.dir/synthetic_trace.cc.o.d"
+  "CMakeFiles/corm_workload.dir/trace_io.cc.o"
+  "CMakeFiles/corm_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/corm_workload.dir/trace_runner.cc.o"
+  "CMakeFiles/corm_workload.dir/trace_runner.cc.o.d"
+  "libcorm_workload.a"
+  "libcorm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checksum_mode_test.dir/checksum_mode_test.cc.o"
+  "CMakeFiles/checksum_mode_test.dir/checksum_mode_test.cc.o.d"
+  "checksum_mode_test"
+  "checksum_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checksum_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_sim_test.dir/compaction_sim_test.cc.o"
+  "CMakeFiles/compaction_sim_test.dir/compaction_sim_test.cc.o.d"
+  "compaction_sim_test"
+  "compaction_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corm_test_main.dir/test_main.cc.o"
+  "CMakeFiles/corm_test_main.dir/test_main.cc.o.d"
+  "libcorm_test_main.a"
+  "libcorm_test_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corm_test_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaddr_tracker_test.dir/vaddr_tracker_test.cc.o"
+  "CMakeFiles/vaddr_tracker_test.dir/vaddr_tracker_test.cc.o.d"
+  "vaddr_tracker_test"
+  "vaddr_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaddr_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

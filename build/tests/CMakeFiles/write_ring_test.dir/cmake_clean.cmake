@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_ring_test.dir/write_ring_test.cc.o"
+  "CMakeFiles/write_ring_test.dir/write_ring_test.cc.o.d"
+  "write_ring_test"
+  "write_ring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
