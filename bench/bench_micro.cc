@@ -127,7 +127,8 @@ void BM_AllocFree(benchmark::State& state) {
   for (auto _ : state) {
     auto addr = ctx->Alloc(24);
     benchmark::DoNotOptimize(addr);
-    ctx->Free(&*addr);
+    Status st = ctx->Free(&*addr);
+    benchmark::DoNotOptimize(st);
   }
 }
 BENCHMARK(BM_AllocFree);

@@ -58,7 +58,9 @@ class CacheClient {
   void Del(const std::string& key) {
     auto it = index_.find(key);
     if (it == index_.end()) return;
-    ctx_->Free(&it->second.addr);
+    // Best-effort: the entry leaves the index even if the free raced a
+    // compaction and needs the server to reclaim it later.
+    (void)ctx_->Free(&it->second.addr);
     index_.erase(it);
   }
 

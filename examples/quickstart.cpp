@@ -47,14 +47,15 @@ int main() {
 
   // Read it back three ways.
   char buf[100] = {};
-  ctx->Read(&*addr, buf, sizeof(message));  // RPC read (server corrects)
+  if (!ctx->Read(&*addr, buf, sizeof(message)).ok()) return 1;  // RPC read
   std::printf("RPC read      : %s\n", buf);
   std::memset(buf, 0, sizeof(buf));
-  ctx->DirectRead(*addr, buf, sizeof(message));  // one-sided, lock-free
+  // One-sided, lock-free read.
+  if (!ctx->DirectRead(*addr, buf, sizeof(message)).ok()) return 1;
   std::printf("RDMA read     : %s\n", buf);
   std::memset(buf, 0, sizeof(buf));
   GlobalAddr scan_addr = *addr;
-  ctx->ScanRead(&scan_addr, buf, sizeof(message));  // block scan
+  if (!ctx->ScanRead(&scan_addr, buf, sizeof(message)).ok()) return 1;
   std::printf("RDMA scan read: %s\n", buf);
 
   // Fragment the node a little and compact.
@@ -63,7 +64,9 @@ int main() {
     auto extra = ctx->Alloc(100);
     if (extra.ok()) extras.push_back(*extra);
   }
-  for (size_t i = 0; i < extras.size(); i += 2) ctx->Free(&extras[i]);
+  for (size_t i = 0; i < extras.size(); i += 2) {
+    if (!ctx->Free(&extras[i]).ok()) return 1;
+  }
   std::printf("before compaction: %s active\n",
               corm::FormatBytes(node.ActiveMemoryBytes()).c_str());
   auto report = node.CompactIfFragmented();
@@ -82,8 +85,8 @@ int main() {
   }
 
   // Release the old virtual address (§3.3) and free the object.
-  ctx->ReleasePtr(&*addr);
-  ctx->Free(&*addr);
+  if (!ctx->ReleasePtr(&*addr).ok()) return 1;
+  if (!ctx->Free(&*addr).ok()) return 1;
   std::printf("done. node stats: %llu RPC reads, %llu direct reads served\n",
               static_cast<unsigned long long>(node.stats().rpc_reads.load()),
               static_cast<unsigned long long>(

@@ -1,5 +1,7 @@
 #include "alloc/block.h"
 
+#include <string>
+
 #include "common/logging.h"
 
 namespace corm::alloc {
@@ -71,6 +73,48 @@ std::optional<uint32_t> Block::FindId(ObjectId id) const {
   auto it = id_map_.find(id);
   if (it == id_map_.end()) return std::nullopt;
   return it->second;
+}
+
+Status Block::AuditConsistency(bool expect_ids) const {
+  // 1. Bitmap tail bits beyond num_slots_ must never be set.
+  for (uint32_t slot = num_slots_; slot < bitmap_.size() * 64; ++slot) {
+    if ((bitmap_[slot / 64] >> (slot % 64)) & 1) {
+      return Status::Internal("block audit: bit set beyond num_slots");
+    }
+  }
+  // 2. Bitmap population must equal the used-slot counter.
+  uint32_t popcount = 0;
+  for (uint64_t word : bitmap_) {
+    popcount += static_cast<uint32_t>(__builtin_popcountll(word));
+  }
+  if (popcount != used_slots_) {
+    return Status::Internal("block audit: bitmap population " +
+                            std::to_string(popcount) +
+                            " != used_slots " + std::to_string(used_slots_));
+  }
+  if (!expect_ids) return Status::OK();
+  // 3. The ID map must describe exactly the allocated slots: one entry per
+  //    live object, each pointing at an allocated, in-range slot, with no
+  //    two IDs sharing a slot.
+  if (id_map_.size() != used_slots_) {
+    return Status::Internal("block audit: id map size " +
+                            std::to_string(id_map_.size()) +
+                            " != used_slots " + std::to_string(used_slots_));
+  }
+  std::vector<bool> seen(num_slots_, false);
+  for (const auto& [id, slot] : id_map_) {
+    if (slot >= num_slots_) {
+      return Status::Internal("block audit: id map slot out of range");
+    }
+    if (!SlotAllocated(slot)) {
+      return Status::Internal("block audit: id map points at a free slot");
+    }
+    if (seen[slot]) {
+      return Status::Internal("block audit: two object IDs share a slot");
+    }
+    seen[slot] = true;
+  }
+  return Status::OK();
 }
 
 }  // namespace corm::alloc

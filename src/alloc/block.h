@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sanitizer.h"
+#include "common/status.h"
 #include "rdma/rnic.h"
 #include "sim/address_space.h"
 #include "sim/mem_file.h"
@@ -91,13 +93,27 @@ class Block {
   std::vector<GhostRef>& aliases() { return aliases_; }
   const std::vector<GhostRef>& aliases() const { return aliases_; }
 
+  // --- Invariant audit (always compiled; see common/sanitizer.h). ----------
+  // Cross-checks the three redundant views of the block's occupancy: the
+  // slot bitmap, the used-slot counter, and the object-ID map. Any
+  // disagreement means an alloc/free/compaction path corrupted accounting.
+  // `expect_ids` is false for classes with compaction disabled (§4.4.1),
+  // where the ID map is not maintained.
+  Status AuditConsistency(bool expect_ids = true) const;
+
   // --- Owner bookkeeping. --------------------------------------------------
   // The owner is written by ownership-transfer protocols and read by other
   // workers routing correction/free messages, hence atomic. -1 = in transit.
+  // The acquire/release pair (plus the TSan annotation in the setter) is the
+  // happens-before edge that publishes all block metadata written by the
+  // previous owner to the next one.
   int owner_thread() const {
-    return owner_thread_.load(std::memory_order_acquire);
+    const int t = owner_thread_.load(std::memory_order_acquire);
+    CORM_TSAN_ACQUIRE(&owner_thread_);
+    return t;
   }
   void set_owner_thread(int t) {
+    CORM_TSAN_RELEASE(&owner_thread_);
     owner_thread_.store(t, std::memory_order_release);
   }
 

@@ -45,7 +45,7 @@ Result<std::unique_ptr<Block>> BlockAllocator::AllocBlock(uint32_t class_idx) {
     return keys.status();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     ++blocks_allocated_;
   }
   return std::make_unique<Block>(base, std::move(*phys), class_idx, slot_size,
@@ -58,7 +58,7 @@ void BlockAllocator::DestroyBlock(std::unique_ptr<Block> block) {
   CORM_CHECK(space_->Unmap(block->base(), block->npages()).ok());
   files_->FreeBlock(block->phys());
   space_->ReleaseRange(block->base(), block->npages());
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<RankedSpinLock> lock(mu_);
   ++blocks_destroyed_;
 }
 
@@ -119,7 +119,7 @@ Result<uint64_t> BlockAllocator::MergeRemap(Block* src, Block* dst) {
   src->mutable_phys()->id = {-1, 0};  // no file backing of its own
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     ++merges_;
   }
   // Note: no pacing here — the caller holds locks that must not be held for
@@ -132,6 +132,26 @@ void BlockAllocator::ReleaseGhost(sim::VAddr base, size_t npages,
   CORM_CHECK(rnic_->DeregisterMemory(r_key).ok());
   CORM_CHECK(space_->Unmap(base, npages).ok());
   space_->ReleaseRange(base, npages);
+}
+
+Status BlockAllocator::AuditCounters() const {
+  uint64_t allocated, destroyed, merges;
+  {
+    std::lock_guard<RankedSpinLock> lock(mu_);
+    allocated = blocks_allocated_;
+    destroyed = blocks_destroyed_;
+    merges = merges_;
+  }
+  // Every destroyed or merged-away block was once allocated; a merge
+  // retires its source exactly once (MergeRemap), so the two sinks can
+  // never outrun the source counter.
+  if (destroyed + merges > allocated) {
+    return Status::Internal(
+        "block allocator audit: destroyed + merged > allocated (" +
+        std::to_string(destroyed) + " + " + std::to_string(merges) + " > " +
+        std::to_string(allocated) + ")");
+  }
+  return Status::OK();
 }
 
 }  // namespace corm::alloc

@@ -18,6 +18,7 @@
 
 #include "alloc/block.h"
 #include "alloc/size_classes.h"
+#include "common/lock_rank.h"
 #include "common/result.h"
 #include "rdma/rnic.h"
 #include "sim/address_space.h"
@@ -83,10 +84,26 @@ class BlockAllocator {
   sim::AddressSpace* address_space() const { return space_; }
   rdma::Rnic* rnic() const { return rnic_; }
 
-  // Counters.
-  uint64_t blocks_allocated() const { return blocks_allocated_; }
-  uint64_t blocks_destroyed() const { return blocks_destroyed_; }
-  uint64_t merges() const { return merges_; }
+  // Counters. Read under the same lock as the writers: benchmarks and the
+  // audit poll them while workers allocate, so unlocked reads would race.
+  uint64_t blocks_allocated() const {
+    std::lock_guard<RankedSpinLock> lock(mu_);
+    return blocks_allocated_;
+  }
+  uint64_t blocks_destroyed() const {
+    std::lock_guard<RankedSpinLock> lock(mu_);
+    return blocks_destroyed_;
+  }
+  uint64_t merges() const {
+    std::lock_guard<RankedSpinLock> lock(mu_);
+    return merges_;
+  }
+
+  // Invariant audit (always compiled): the lifecycle counters must account
+  // for every block — allocations cover destructions plus merges (a merged
+  // source is retired, never destroyed twice), and the address space must
+  // not have leaked mapped pages relative to the net live block count.
+  Status AuditCounters() const;
 
  private:
   sim::AddressSpace* const space_;
@@ -95,7 +112,9 @@ class BlockAllocator {
   const SizeClassTable* const classes_;
   const BlockAllocatorConfig config_;
 
-  std::mutex mu_;
+  // Guards the counters; ranked so that any accidental re-entry from the
+  // substrate callbacks (which rank higher) is caught (see lock_rank.h).
+  mutable RankedSpinLock mu_{LockRank::kBlockAllocator};
   uint64_t blocks_allocated_ = 0;
   uint64_t blocks_destroyed_ = 0;
   uint64_t merges_ = 0;

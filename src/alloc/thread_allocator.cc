@@ -1,8 +1,11 @@
 #include "alloc/thread_allocator.h"
 
 #include <algorithm>
+#include <string>
 
+#include "common/lock_rank.h"
 #include "common/logging.h"
+#include "common/sanitizer.h"
 
 namespace corm::alloc {
 
@@ -37,6 +40,7 @@ Block* ThreadAllocator::PopNonFull(PerClass* pc) {
 
 Result<ThreadAllocator::Allocation> ThreadAllocator::Alloc(
     uint32_t class_idx) {
+  LockRankRegion region(LockRank::kThreadAllocator);
   CORM_CHECK_LT(class_idx, per_class_.size());
   PerClass& pc = per_class_[class_idx];
   bool new_block = false;
@@ -56,19 +60,29 @@ Result<ThreadAllocator::Allocation> ThreadAllocator::Alloc(
     // Lazily dropped from the nonfull stack by PopNonFull.
   }
   pc.used_bytes += block->slot_size();
+  if constexpr (kAuditEnabled) {
+    // Audit only the touched block: O(bitmap) per op keeps the hook usable
+    // in stress runs; the full cross-check runs via CormNode::Audit().
+    CORM_CHECK(block->AuditConsistency(/*expect_ids=*/false).ok());
+  }
   return Allocation{block, *slot, new_block};
 }
 
 bool ThreadAllocator::Free(Block* block, uint32_t slot) {
+  LockRankRegion region(LockRank::kThreadAllocator);
   CORM_CHECK_EQ(block->owner_thread(), thread_id_);
   PerClass& pc = per_class_[block->class_idx()];
   block->FreeSlot(slot);
   pc.used_bytes -= block->slot_size();
   PushNonFull(&pc, block);
+  if constexpr (kAuditEnabled) {
+    CORM_CHECK(block->AuditConsistency(/*expect_ids=*/false).ok());
+  }
   return block->Empty();
 }
 
 std::unique_ptr<Block> ThreadAllocator::DetachBlock(Block* block) {
+  LockRankRegion region(LockRank::kThreadAllocator);
   PerClass& pc = per_class_[block->class_idx()];
   auto it = std::find_if(pc.blocks.begin(), pc.blocks.end(),
                          [&](const auto& b) { return b.get() == block; });
@@ -86,6 +100,7 @@ std::unique_ptr<Block> ThreadAllocator::DetachBlock(Block* block) {
 }
 
 void ThreadAllocator::AdoptBlock(std::unique_ptr<Block> block) {
+  LockRankRegion region(LockRank::kThreadAllocator);
   CORM_CHECK(block != nullptr);
   PerClass& pc = per_class_[block->class_idx()];
   Block* raw = block.get();
@@ -98,6 +113,7 @@ void ThreadAllocator::AdoptBlock(std::unique_ptr<Block> block) {
 
 std::vector<std::unique_ptr<Block>> ThreadAllocator::CollectBlocks(
     uint32_t class_idx, double max_occupancy, size_t max_blocks) {
+  LockRankRegion region(LockRank::kThreadAllocator);
   PerClass& pc = per_class_[class_idx];
   std::vector<Block*> candidates;
   for (const auto& block : pc.blocks) {
@@ -132,6 +148,74 @@ uint64_t ThreadAllocator::UsedBytes(uint32_t class_idx) const {
 
 size_t ThreadAllocator::NumBlocks(uint32_t class_idx) const {
   return per_class_[class_idx].blocks.size();
+}
+
+Status ThreadAllocator::AuditClass(uint32_t class_idx, bool has_ids) const {
+  const PerClass& pc = per_class_[class_idx];
+  uint64_t used = 0;
+  size_t nonfull_flagged = 0;
+  for (const auto& block : pc.blocks) {
+    if (block->class_idx() != class_idx) {
+      return Status::Internal("allocator audit: block filed under wrong class");
+    }
+    if (block->owner_thread() != thread_id_) {
+      return Status::Internal("allocator audit: owned block has owner " +
+                              std::to_string(block->owner_thread()) +
+                              ", expected " + std::to_string(thread_id_));
+    }
+    CORM_RETURN_NOT_OK(block->AuditConsistency(has_ids));
+    used += static_cast<uint64_t>(block->used_slots()) * block->slot_size();
+    if (block->nonfull_listed()) ++nonfull_flagged;
+    if (!block->Full() && !block->nonfull_listed()) {
+      return Status::Internal(
+          "allocator audit: non-full block missing from the non-full stack");
+    }
+  }
+  if (used != pc.used_bytes) {
+    return Status::Internal("allocator audit: used_bytes counter " +
+                            std::to_string(pc.used_bytes) +
+                            " != slot accounting " + std::to_string(used));
+  }
+  // The non-full stack and the listed flags must agree: every entry is an
+  // owned block of this class flagged exactly once (no stale pointers that
+  // could dangle after an ownership transfer).
+  if (pc.nonfull.size() != nonfull_flagged) {
+    return Status::Internal("allocator audit: non-full stack has " +
+                            std::to_string(pc.nonfull.size()) +
+                            " entries, " + std::to_string(nonfull_flagged) +
+                            " blocks are flagged");
+  }
+  for (Block* entry : pc.nonfull) {
+    const bool owned =
+        std::any_of(pc.blocks.begin(), pc.blocks.end(),
+                    [&](const auto& b) { return b.get() == entry; });
+    if (!owned) {
+      return Status::Internal(
+          "allocator audit: non-full stack entry is not an owned block");
+    }
+    if (!entry->nonfull_listed()) {
+      return Status::Internal(
+          "allocator audit: non-full stack entry not flagged as listed");
+    }
+  }
+  return Status::OK();
+}
+
+Status ThreadAllocator::Audit(
+    const std::function<bool(uint32_t)>& class_has_ids) const {
+  for (uint32_t c = 0; c < per_class_.size(); ++c) {
+    // Without a predicate, only require ID-map bookkeeping from blocks that
+    // visibly maintain one (non-compactable classes never insert IDs).
+    const bool has_ids =
+        class_has_ids ? class_has_ids(c)
+                      : std::any_of(per_class_[c].blocks.begin(),
+                                    per_class_[c].blocks.end(),
+                                    [](const auto& b) {
+                                      return !b->id_map().empty();
+                                    });
+    CORM_RETURN_NOT_OK(AuditClass(c, has_ids));
+  }
+  return Status::OK();
 }
 
 }  // namespace corm::alloc

@@ -10,6 +10,7 @@
 #define CORM_ALLOC_THREAD_ALLOCATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,16 @@ class ThreadAllocator {
                                                     double max_occupancy,
                                                     size_t max_blocks);
 
+  // --- Invariant audit (always compiled; hot-path hooks are CORM_AUDIT). --
+  // Cross-checks this allocator's accounting against its blocks: the
+  // per-class used-byte counter vs the blocks' slot counts, the non-full
+  // stack (every entry must be an owned, flagged block of the class), and
+  // each block's own bitmap/ID-map consistency. `class_has_ids` says
+  // whether a class maintains the object-ID map (compaction enabled); when
+  // omitted, ID-map size checks are skipped for blocks with an empty map.
+  // Must be called from the owning thread, like every other method.
+  Status Audit(const std::function<bool(uint32_t)>& class_has_ids = {}) const;
+
   // --- Accounting (for fragmentation ratios, paper §3.1.3). -------------
   // Bytes of blocks held for `class_idx` (granted memory).
   uint64_t GrantedBytes(uint32_t class_idx) const;
@@ -74,6 +85,7 @@ class ThreadAllocator {
 
   void PushNonFull(PerClass* pc, Block* block);
   Block* PopNonFull(PerClass* pc);
+  Status AuditClass(uint32_t class_idx, bool has_ids) const;
 
   const int thread_id_;
   BlockAllocator* const block_allocator_;

@@ -1,0 +1,213 @@
+// Lock-order (deadlock) checker.
+//
+// Every instrumented lock (and lock-like critical region) carries a rank.
+// A thread may only acquire a lock whose rank is *strictly greater* than
+// every rank it already holds; critical *regions* (lock-free phases that
+// behave like locks for ordering purposes, e.g. the compaction leader's
+// merge phase) may re-enter at an equal rank. Any violation is an
+// acquisition order that could deadlock under a different interleaving —
+// caught deterministically on the first occurrence, no race needed.
+//
+// The rank table below is the documented lock hierarchy of the node
+// (outermost first). Keep it in sync with the acquisition paths:
+//
+//   compaction leader  ->  thread allocator  ->  node directory
+//     ->  block allocator  ->  {vaddr tracker | graveyard}  ->  substrate
+//
+// Checking is runtime-toggleable: it defaults ON in CORM_AUDIT builds and
+// in builds with assertions enabled (!NDEBUG), OFF otherwise, and tests
+// can force it via LockRankTracker::SetEnforce. The tracker itself is
+// always compiled so the default (release) test suite exercises it too.
+
+#ifndef CORM_COMMON_LOCK_RANK_H_
+#define CORM_COMMON_LOCK_RANK_H_
+
+#include <atomic>
+#include <shared_mutex>
+
+#include "common/logging.h"
+#include "common/sanitizer.h"
+#include "common/spinlock.h"
+
+namespace corm {
+
+// Lock hierarchy of a CoRM node, outermost (acquired first) to innermost.
+// Gaps leave room for future locks without renumbering.
+enum class LockRank : int {
+  kNone = 0,
+  kCompactionLeader = 100,  // region: leader-side collection + merge
+  kThreadAllocator = 200,   // region: single-owner allocator mutation
+  kNodeDirectory = 300,     // CormNode::dir_mu_
+  kBlockAllocator = 400,    // BlockAllocator counters
+  kVaddrTracker = 500,      // VaddrTracker::mu_ (leaf among CoRM locks)
+  kGraveyard = 520,         // CormNode::graveyard_mu_ (leaf)
+  kSubstrate = 600,         // sim/rdma internal mutexes (leaf, uninstrumented)
+};
+
+inline const char* LockRankName(LockRank r) {
+  switch (r) {
+    case LockRank::kNone: return "none";
+    case LockRank::kCompactionLeader: return "compaction-leader";
+    case LockRank::kThreadAllocator: return "thread-allocator";
+    case LockRank::kNodeDirectory: return "node-directory";
+    case LockRank::kBlockAllocator: return "block-allocator";
+    case LockRank::kVaddrTracker: return "vaddr-tracker";
+    case LockRank::kGraveyard: return "graveyard";
+    case LockRank::kSubstrate: return "substrate";
+  }
+  return "?";
+}
+
+// Per-thread stack of held ranks. Fixed-size: nesting deeper than
+// kMaxHeld locks is itself a hierarchy bug.
+class LockRankTracker {
+ public:
+  static constexpr int kMaxHeld = 16;
+
+  // Ranks are checked only while enforcement is on. Defaults to on in
+  // CORM_AUDIT builds and assertion-enabled builds.
+  static bool Enforcing() {
+    return enforce_.load(std::memory_order_relaxed);
+  }
+  static void SetEnforce(bool on) {
+    enforce_.store(on, std::memory_order_relaxed);
+  }
+
+  // `reentrant` distinguishes critical regions (equal rank allowed —
+  // recursion cannot deadlock a lock-free phase) from real locks
+  // (strictly increasing only).
+  static void Acquired(LockRank rank, bool reentrant = false) {
+    if (!Enforcing()) return;
+    ThreadState& ts = State();
+    CORM_CHECK_LT(ts.depth, kMaxHeld) << "lock nesting too deep";
+    if (ts.depth > 0) {
+      const LockRank top = ts.held[ts.depth - 1];
+      const bool ok = reentrant ? rank >= top : rank > top;
+      CORM_CHECK(ok) << "lock-order violation: acquiring '"
+                     << LockRankName(rank) << "' (" << static_cast<int>(rank)
+                     << ") while holding '" << LockRankName(top) << "' ("
+                     << static_cast<int>(top) << ")";
+    }
+    ts.held[ts.depth++] = rank;
+  }
+
+  static void Released(LockRank rank) {
+    if (!Enforcing()) return;
+    ThreadState& ts = State();
+    // Tolerate release after a SetEnforce(true) mid-acquisition window.
+    if (ts.depth == 0) return;
+    CORM_CHECK_EQ(static_cast<int>(ts.held[ts.depth - 1]),
+                  static_cast<int>(rank))
+        << "non-LIFO lock release";
+    --ts.depth;
+  }
+
+  // Deepest rank currently held by this thread (kNone when none).
+  static LockRank Top() {
+    const ThreadState& ts = State();
+    return ts.depth == 0 ? LockRank::kNone : ts.held[ts.depth - 1];
+  }
+
+  static int Depth() { return State().depth; }
+
+ private:
+  struct ThreadState {
+    LockRank held[kMaxHeld];
+    int depth = 0;
+  };
+
+  static ThreadState& State() {
+    thread_local ThreadState state;
+    return state;
+  }
+
+  static inline std::atomic<bool> enforce_{kAuditEnabled ||
+#ifdef NDEBUG
+                                           false
+#else
+                                           true
+#endif
+  };
+};
+
+// A SpinLock that participates in the hierarchy. Satisfies Lockable.
+class RankedSpinLock {
+ public:
+  explicit RankedSpinLock(LockRank rank) : rank_(rank) {}
+  RankedSpinLock(const RankedSpinLock&) = delete;
+  RankedSpinLock& operator=(const RankedSpinLock&) = delete;
+
+  void lock() {
+    LockRankTracker::Acquired(rank_);
+    lock_.lock();
+  }
+  bool try_lock() {
+    if (!lock_.try_lock()) return false;
+    LockRankTracker::Acquired(rank_);
+    return true;
+  }
+  void unlock() {
+    lock_.unlock();
+    LockRankTracker::Released(rank_);
+  }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  SpinLock lock_;
+  const LockRank rank_;
+};
+
+// A std::shared_mutex that participates in the hierarchy (shared and
+// exclusive acquisitions rank identically: both can deadlock in a cycle).
+class RankedSharedMutex {
+ public:
+  explicit RankedSharedMutex(LockRank rank) : rank_(rank) {}
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock() {
+    LockRankTracker::Acquired(rank_);
+    mu_.lock();
+  }
+  void unlock() {
+    mu_.unlock();
+    LockRankTracker::Released(rank_);
+  }
+  void lock_shared() {
+    LockRankTracker::Acquired(rank_);
+    mu_.lock_shared();
+  }
+  void unlock_shared() {
+    mu_.unlock_shared();
+    LockRankTracker::Released(rank_);
+  }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+};
+
+// RAII critical *region*: no mutual exclusion, only ordering. Used by
+// lock-free single-owner phases (thread-allocator mutation, the compaction
+// leader's merge) so that ordinary locks acquired inside them are checked
+// against the full hierarchy. Reentrant at equal rank.
+class LockRankRegion {
+ public:
+  explicit LockRankRegion(LockRank rank) : rank_(rank) {
+    LockRankTracker::Acquired(rank_, /*reentrant=*/true);
+  }
+  ~LockRankRegion() { LockRankTracker::Released(rank_); }
+
+  LockRankRegion(const LockRankRegion&) = delete;
+  LockRankRegion& operator=(const LockRankRegion&) = delete;
+
+ private:
+  const LockRank rank_;
+};
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_LOCK_RANK_H_

@@ -15,6 +15,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/sanitizer.h"
+
 namespace corm {
 
 template <typename T>
@@ -52,7 +54,12 @@ class MpmcQueue {
         pos = tail_.load(std::memory_order_relaxed);
       }
     }
+    // The cell was recycled by a consumer; its seq release/acquire pair
+    // carries the hand-off. Annotate it per-cell so TSan keeps the edge
+    // even under weakened orders and names the cell in reports.
+    CORM_TSAN_ACQUIRE(cell);
     cell->value = std::move(value);
+    CORM_TSAN_RELEASE(cell);
     cell->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -77,7 +84,9 @@ class MpmcQueue {
         pos = head_.load(std::memory_order_relaxed);
       }
     }
+    CORM_TSAN_ACQUIRE(cell);  // pairs with the producer's release
     T out = std::move(cell->value);
+    CORM_TSAN_RELEASE(cell);  // recycle hand-off back to producers
     cell->seq.store(pos + mask_ + 1, std::memory_order_release);
     return out;
   }

@@ -13,8 +13,10 @@ namespace corm {
 
 // Holds either a T (success) or a non-OK Status (failure). Constructing a
 // Result from an OK status is a programming error (there would be no value).
+// [[nodiscard]] for the same reason as Status: a dropped Result is a
+// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

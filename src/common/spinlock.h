@@ -8,6 +8,7 @@
 #include <atomic>
 
 #include "common/cpu_relax.h"
+#include "common/sanitizer.h"
 
 namespace corm {
 
@@ -17,9 +18,16 @@ class SpinLock {
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
+  // TSan note: the exchange/store pair already gives TSan the
+  // happens-before edge; the explicit annotations keep the edge modeled
+  // even if the memory orders are ever weakened (e.g. to a futex or HLE
+  // variant) and make reports name the lock address.
   void lock() {
     while (true) {
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        CORM_TSAN_ACQUIRE(&flag_);
+        return;
+      }
       while (flag_.load(std::memory_order_relaxed)) {
         CpuRelax();  // yields: critical for oversubscribed hosts
       }
@@ -27,11 +35,18 @@ class SpinLock {
   }
 
   bool try_lock() {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+    if (!flag_.load(std::memory_order_relaxed) &&
+        !flag_.exchange(true, std::memory_order_acquire)) {
+      CORM_TSAN_ACQUIRE(&flag_);
+      return true;
+    }
+    return false;
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() {
+    CORM_TSAN_RELEASE(&flag_);
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};

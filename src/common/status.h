@@ -39,7 +39,9 @@ enum class StatusCode : int {
 std::string_view StatusCodeToString(StatusCode code);
 
 // A Status is either OK (cheap: a null pointer) or carries a code + message.
-class Status {
+// [[nodiscard]]: silently dropping an error return is a latent bug; callers
+// that genuinely do not care must say so with a void cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string msg) {

@@ -19,6 +19,7 @@ Context::Context(CormNode* node, Options options)
       scratch_(node->block_bytes()) {}
 
 std::unique_ptr<Context> Context::Create(CormNode* node, Options options) {
+  // Private constructor: make_unique cannot reach it. NOLINT(corm-raw-new)
   return std::unique_ptr<Context>(new Context(node, options));
 }
 

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "common/cpu_relax.h"
+#include "common/lock_rank.h"
 #include "common/logging.h"
+#include "common/sanitizer.h"
 #include "core/object_layout.h"
 #include "core/worker.h"
 #include "sim/latency_model.h"
@@ -31,6 +33,9 @@ bool IdsDisjoint(const alloc::Block& a, const alloc::Block& b) {
 }  // namespace
 
 void Worker::RunCompaction(CompactRequest* req) {
+  // Outermost rank: everything the leader touches below (thread allocator,
+  // directory, block allocator, trackers) must rank higher.
+  LockRankRegion region(LockRank::kCompactionLeader);
   const uint32_t class_idx = req->class_idx;
   CompactionReport report;
   report.class_idx = class_idx;
@@ -252,6 +257,13 @@ Result<size_t> Worker::MergeBlocks(std::unique_ptr<alloc::Block> src,
   // 4. Retire the source block descriptor (kept alive in the graveyard so
   //    concurrent correction routing never dangles).
   node_->RetireBlock(std::move(src));
+  if constexpr (kAuditEnabled) {
+    // Every merged destination must come out fully consistent: directory
+    // resolution for the base and the new ghost alias, header/ID-map
+    // agreement, home blocks still resolvable, payload metadata intact.
+    Status audit = node_->AuditBlock(*dst);
+    CORM_CHECK(audit.ok()) << audit.message();
+  }
   sim::Pace(*remap_ns);
   return relocated;
 }

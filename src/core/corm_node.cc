@@ -58,19 +58,19 @@ Result<uint32_t> CormNode::ClassForPayload(uint32_t payload_size) const {
 // ---------------------------------------------------------------------------
 
 CormNode::DirectoryEntry CormNode::LookupBlock(sim::VAddr base) const {
-  std::shared_lock<std::shared_mutex> lock(dir_mu_);
+  std::shared_lock<RankedSharedMutex> lock(dir_mu_);
   auto it = directory_.find(base);
   return it == directory_.end() ? DirectoryEntry{} : it->second;
 }
 
 void CormNode::DirectoryInsert(sim::VAddr base, alloc::Block* block,
                                bool is_alias) {
-  std::unique_lock<std::shared_mutex> lock(dir_mu_);
+  std::unique_lock<RankedSharedMutex> lock(dir_mu_);
   directory_[base] = DirectoryEntry{block, is_alias};
 }
 
 void CormNode::DirectoryErase(sim::VAddr base) {
-  std::unique_lock<std::shared_mutex> lock(dir_mu_);
+  std::unique_lock<RankedSharedMutex> lock(dir_mu_);
   directory_.erase(base);
 }
 
@@ -85,7 +85,7 @@ Result<uint64_t> CormNode::MergeRemap(alloc::Block* src, alloc::Block* dst) {
 
   uint64_t ns = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(dir_mu_);
+    std::unique_lock<RankedSharedMutex> lock(dir_mu_);
     auto result = block_allocator_->MergeRemap(src, dst);
     CORM_RETURN_NOT_OK(result.status());
     ns = *result;
@@ -105,7 +105,7 @@ Result<uint64_t> CormNode::MergeRemap(alloc::Block* src, alloc::Block* dst) {
 
 void CormNode::ReleaseGhostAction(const GhostToRelease& ghost) {
   {
-    std::unique_lock<std::shared_mutex> lock(dir_mu_);
+    std::unique_lock<RankedSharedMutex> lock(dir_mu_);
     directory_.erase(ghost.base);
     if (ghost.alias_of != nullptr) {
       auto& aliases = ghost.alias_of->aliases();
@@ -122,7 +122,7 @@ void CormNode::ReleaseGhostAction(const GhostToRelease& ghost) {
 }
 
 void CormNode::RetireBlock(std::unique_ptr<alloc::Block> block) {
-  std::lock_guard<std::mutex> lock(graveyard_mu_);
+  std::lock_guard<RankedSpinLock> lock(graveyard_mu_);
   graveyard_.push_back(std::move(block));
 }
 
@@ -188,6 +188,90 @@ std::vector<alloc::ClassFragmentation> CormNode::Fragmentation() {
     }
   }
   return out;
+}
+
+Status CormNode::Audit() {
+  // Fan out so every worker audits its own allocator between operations —
+  // the audit then needs no locks of its own and cannot observe a
+  // half-applied mutation.
+  std::vector<std::unique_ptr<AuditReply>> replies;
+  for (int w = 0; w < config_.num_workers; ++w) {
+    replies.push_back(std::make_unique<AuditReply>());
+    WorkerMsg msg;
+    msg.kind = WorkerMsg::Kind::kAudit;
+    msg.audit = replies.back().get();
+    workers_[w]->Send(msg);
+  }
+  Status st = Status::OK();
+  for (auto& reply : replies) {
+    while (!reply->done.load(std::memory_order_acquire)) {
+      CpuRelax();
+    }
+    if (st.ok() && !reply->status.ok()) st = reply->status;
+  }
+  CORM_RETURN_NOT_OK(st);
+  return block_allocator_->AuditCounters();
+}
+
+Status CormNode::AuditBlock(const alloc::Block& block) {
+  // Directory resolution: the block's own base is a non-alias entry, every
+  // ghost alias resolves back to this block as an alias.
+  const DirectoryEntry self = LookupBlock(block.base());
+  if (self.block != &block || self.is_alias) {
+    return Status::Internal("block audit: directory does not resolve base");
+  }
+  for (const auto& ghost : block.aliases()) {
+    const DirectoryEntry entry = LookupBlock(ghost.base);
+    if (entry.block != &block || !entry.is_alias) {
+      return Status::Internal(
+          "block audit: ghost alias does not resolve to its target");
+    }
+  }
+
+  // Object IDs are only guaranteed unique (and the ID map maintained) when
+  // the class is compactable — mirror Worker::ClassCompactable.
+  const int bits = config_.object_id_bits;
+  const uint64_t slots_per_block =
+      block_bytes() / classes_.ClassSize(block.class_idx());
+  const bool compactable =
+      bits > 0 && slots_per_block <= (1ULL << bits);
+  CORM_RETURN_NOT_OK(block.AuditConsistency(/*expect_ids=*/compactable));
+
+  const ConsistencyMode mode = config_.consistency;
+  for (uint32_t slot = 0; slot < block.num_slots(); ++slot) {
+    if (!block.SlotAllocated(slot)) continue;
+    const uint8_t* ptr = space_->TranslatePtr(
+        block.base() + static_cast<uint64_t>(slot) * block.slot_size());
+    if (ptr == nullptr) {
+      return Status::Internal("block audit: live slot is not mapped");
+    }
+    const uint64_t w1 = LoadHeaderWord(ptr);
+    const ObjectHeader h = ObjectHeader::Unpack(w1);
+    if (h.lock == LockState::kTombstone) {
+      return Status::Internal("block audit: allocated slot holds a tombstone");
+    }
+    if (h.lock != LockState::kFree) continue;  // concurrent writer/compactor
+    if (h.class_idx != (block.class_idx() & 0x3f)) {
+      return Status::Internal("block audit: header class != block class");
+    }
+    if (compactable) {
+      auto mapped = block.FindId(h.obj_id);
+      if (!mapped || *mapped != slot) {
+        return Status::Internal(
+            "block audit: header object ID disagrees with the ID map");
+      }
+    }
+    // The home block recorded in the header must still resolve — otherwise
+    // a client-held pointer through that base would dangle.
+    if (LookupBlock(HomeVaddrOf(h.home_page)).block == nullptr) {
+      return Status::Internal(
+          "block audit: home block not present in the directory");
+    }
+    Status payload = AuditSlotConsistency(ptr, block.slot_size(), mode);
+    if (!payload.ok() && LoadHeaderWord(ptr) == w1) return payload;
+    // Header changed under us: a writer raced the payload check; skip.
+  }
+  return Status::OK();
 }
 
 std::string CormNode::DebugReport() {

@@ -22,6 +22,7 @@
 #include "alloc/fragmentation.h"
 #include "alloc/size_classes.h"
 #include "alloc/thread_allocator.h"
+#include "common/lock_rank.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "core/addr.h"
@@ -161,6 +162,21 @@ class CormNode {
   // operation counters. For operators and examples.
   std::string DebugReport();
 
+  // Full-node invariant audit: every worker cross-checks its thread
+  // allocator on-thread (bitmap/ID-map/counter consistency, non-full stack
+  // integrity), then the block allocator's lifecycle counters are verified.
+  // Always compiled — tests call it directly; the CORM_AUDIT build adds
+  // per-operation hooks on top. Callable from any non-worker thread.
+  Status Audit();
+
+  // Single-block audit, used by the compaction leader after every merge and
+  // by tests: the directory must resolve the block's base (and each ghost
+  // alias) back to it, every quiescent live slot's header must agree with
+  // the block's ID map, class and home-block directory entry, and the
+  // payload consistency metadata (cacheline versions / checksum) must
+  // validate. Slots under a concurrent write are skipped via the seqlock.
+  Status AuditBlock(const alloc::Block& block);
+
  private:
   friend class Worker;
 
@@ -205,10 +221,13 @@ class CormNode {
   VaddrTracker vaddr_tracker_;
   NodeStats stats_;
 
-  mutable std::shared_mutex dir_mu_;
+  // Ranked (see lock_rank.h): acquired before the block allocator's lock in
+  // MergeRemap, after the compaction-leader and thread-allocator phases.
+  mutable RankedSharedMutex dir_mu_{LockRank::kNodeDirectory};
   std::unordered_map<sim::VAddr, DirectoryEntry> directory_;
 
-  std::mutex graveyard_mu_;
+  // Leaf lock: push-only until node teardown.
+  RankedSpinLock graveyard_mu_{LockRank::kGraveyard};
   std::vector<std::unique_ptr<alloc::Block>> graveyard_;
 
   std::vector<std::unique_ptr<Worker>> workers_;

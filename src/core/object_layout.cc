@@ -1,8 +1,10 @@
 #include "core/object_layout.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/sanitizer.h"
 
 namespace corm::core {
 
@@ -25,7 +27,7 @@ void WritePayloadVersions(uint8_t* slot, uint32_t slot_size, uint8_t version,
   uint32_t remaining = len - chunk;
   for (uint32_t line = 1; line < lines; ++line) {
     uint8_t* base = slot + line * kCacheLineSize;
-    base[0] = version;  // per-cacheline version byte
+    StoreVersionByte(base, version);  // per-cacheline version byte
     chunk = std::min<uint32_t>(remaining,
                                static_cast<uint32_t>(kCacheLineSize) - 1);
     if (chunk > 0) {
@@ -37,19 +39,23 @@ void WritePayloadVersions(uint8_t* slot, uint32_t slot_size, uint8_t version,
   CORM_CHECK_EQ(remaining, 0u);
 }
 
+// Reader side of the seqlock: the payload bytes intentionally race with a
+// concurrent writer; validation (version bytes / header recheck) happens on
+// the snapshot afterwards. RacyCopy keeps the racy loads out of TSan's
+// sight while the writer side stays fully instrumented.
 void ReadPayloadVersions(const uint8_t* slot, uint32_t slot_size,
                          uint8_t* dst, uint32_t len) {
   const uint32_t lines = SlotCachelines(slot_size);
   uint32_t chunk = std::min<uint32_t>(
       len, std::min<uint32_t>(slot_size, kCacheLineSize) - kHeaderSize);
-  std::memcpy(dst, slot + kHeaderSize, chunk);
+  RacyCopy(dst, slot + kHeaderSize, chunk);
   dst += chunk;
   uint32_t remaining = len - chunk;
   for (uint32_t line = 1; line < lines && remaining > 0; ++line) {
     const uint8_t* base = slot + line * kCacheLineSize;
     chunk = std::min<uint32_t>(remaining,
                                static_cast<uint32_t>(kCacheLineSize) - 1);
-    std::memcpy(dst, base + 1, chunk);
+    RacyCopy(dst, base + 1, chunk);
     dst += chunk;
     remaining -= chunk;
   }
@@ -65,7 +71,7 @@ uint32_t PayloadChecksum(const uint8_t* slot, uint32_t slot_size) {
     h ^= byte;
     h *= 16777619u;
   };
-  mix(slot[0]);  // header version byte
+  mix(LoadVersionByte(slot));  // header version byte
   const uint32_t capacity = PayloadCapacity(slot_size, ConsistencyMode::kChecksum);
   for (uint32_t i = 0; i < capacity; ++i) mix(slot[kHeaderSize + i]);
   return h;
@@ -77,6 +83,10 @@ void WritePayload(uint8_t* slot, uint32_t slot_size, uint8_t version,
   const auto* src = static_cast<const uint8_t*>(data);
   if (mode == ConsistencyMode::kCachelineVersions) {
     WritePayloadVersions(slot, slot_size, version, src, len);
+    // Happens-before edge to any reader that validates this snapshot
+    // (SnapshotConsistent / header recheck) — pairs with CORM_TSAN_ACQUIRE
+    // on the validation paths.
+    CORM_TSAN_RELEASE(slot);
     return;
   }
   if (len > 0) std::memcpy(slot + kHeaderSize, src, len);
@@ -94,6 +104,7 @@ void WritePayload(uint8_t* slot, uint32_t slot_size, uint8_t version,
   const uint32_t capacity = PayloadCapacity(slot_size, mode);
   for (uint32_t i = 0; i < capacity; ++i) mix(slot[kHeaderSize + i]);
   std::memcpy(slot + ChecksumOffset(slot_size), &h, kChecksumSize);
+  CORM_TSAN_RELEASE(slot);
 }
 
 void ReadPayload(const uint8_t* slot, uint32_t slot_size, void* out,
@@ -104,24 +115,57 @@ void ReadPayload(const uint8_t* slot, uint32_t slot_size, void* out,
     ReadPayloadVersions(slot, slot_size, dst, len);
     return;
   }
-  std::memcpy(dst, slot + kHeaderSize, len);
+  RacyCopy(dst, slot + kHeaderSize, len);
 }
 
 bool SnapshotConsistent(const uint8_t* slot, uint32_t slot_size,
                         ConsistencyMode mode) {
-  const ObjectHeader h = ObjectHeader::Unpack(
-      *reinterpret_cast<const uint64_t*>(slot));
+  const ObjectHeader h = ObjectHeader::Unpack(LoadHeaderWord(slot));
   if (h.lock != LockState::kFree) return false;
   if (mode == ConsistencyMode::kCachelineVersions) {
     const uint32_t lines = SlotCachelines(slot_size);
     for (uint32_t line = 1; line < lines; ++line) {
-      if (slot[line * kCacheLineSize] != h.version) return false;
+      if (LoadVersionByte(slot + line * kCacheLineSize) != h.version) {
+        return false;
+      }
     }
+    CORM_TSAN_ACQUIRE(slot);  // snapshot validated: order after its writer
     return true;
   }
   uint32_t stored;
   std::memcpy(&stored, slot + ChecksumOffset(slot_size), kChecksumSize);
-  return stored == PayloadChecksum(slot, slot_size);
+  if (stored != PayloadChecksum(slot, slot_size)) return false;
+  CORM_TSAN_ACQUIRE(slot);
+  return true;
+}
+
+Status AuditSlotConsistency(const uint8_t* slot, uint32_t slot_size,
+                            ConsistencyMode mode) {
+  const ObjectHeader h = ObjectHeader::Unpack(LoadHeaderWord(slot));
+  if (h.lock == LockState::kTombstone) return Status::OK();  // freed slot
+  if (h.lock != LockState::kFree) {
+    return Status::Internal("audit: slot left in locked state");
+  }
+  if (mode == ConsistencyMode::kCachelineVersions) {
+    const uint32_t lines = SlotCachelines(slot_size);
+    for (uint32_t line = 1; line < lines; ++line) {
+      const uint8_t v = LoadVersionByte(slot + line * kCacheLineSize);
+      if (v != h.version) {
+        std::ostringstream msg;
+        msg << "audit: version byte of cacheline " << line << " is "
+            << static_cast<int>(v) << ", header version is "
+            << static_cast<int>(h.version);
+        return Status::Internal(msg.str());
+      }
+    }
+    return Status::OK();
+  }
+  uint32_t stored;
+  std::memcpy(&stored, slot + ChecksumOffset(slot_size), kChecksumSize);
+  if (stored != PayloadChecksum(slot, slot_size)) {
+    return Status::Internal("audit: payload checksum mismatch");
+  }
+  return Status::OK();
 }
 
 }  // namespace corm::core

@@ -28,6 +28,8 @@
 #include <cstring>
 
 #include "common/byte_units.h"
+#include "common/sanitizer.h"
+#include "common/status.h"
 #include "sim/address_space.h"
 
 namespace corm::core {
@@ -130,6 +132,29 @@ inline bool CasHeaderWord(uint8_t* slot, uint64_t& expected, uint64_t desired) {
       .compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
 }
 
+// Per-cacheline version bytes are written by the (locked) writer while
+// lock-free readers poll them: a genuine seqlock-style race. Relaxed
+// atomics make that race well-defined at the C++ level and let TSan model
+// it (atomic vs atomic is never a report), without imposing ordering — the
+// header word's acquire/release carries the ordering.
+inline void StoreVersionByte(uint8_t* p, uint8_t v) {
+  std::atomic_ref<uint8_t>(*p).store(v, std::memory_order_relaxed);
+}
+
+inline uint8_t LoadVersionByte(const uint8_t* p) {
+  return std::atomic_ref<const uint8_t>(*p).load(std::memory_order_relaxed);
+}
+
+// Header version stepping (paper §3.2.3): each committed write bumps the
+// version by exactly one (mod 256). The CORM_AUDIT hooks in the write path
+// enforce this monotonicity so a skipped or repeated version — which would
+// let a torn snapshot validate — is caught at the source.
+inline uint8_t NextVersion(uint8_t v) { return static_cast<uint8_t>(v + 1); }
+
+inline bool VersionMonotonic(uint8_t old_version, uint8_t new_version) {
+  return new_version == NextVersion(old_version);
+}
+
 // --- Payload scatter/gather around the consistency metadata. ---------------
 
 // Writes `len` payload bytes into the slot and stamps the consistency
@@ -156,6 +181,16 @@ bool SnapshotConsistent(
 // FNV-1a over the payload region and the header version byte (internal,
 // exposed for tests).
 uint32_t PayloadChecksum(const uint8_t* slot, uint32_t slot_size);
+
+// --- Invariant audits (always compiled; hot-path hooks are CORM_AUDIT). ---
+
+// Audits one *quiescent* slot (caller guarantees no concurrent writer:
+// object locked by the caller, or the block is owner-private): every
+// version byte must equal the header version (or the checksum must match),
+// and the header lock state must be kFree or kTombstone. Returns OK or a
+// description of the first violation.
+Status AuditSlotConsistency(const uint8_t* slot, uint32_t slot_size,
+                            ConsistencyMode mode);
 
 // --- Deterministic test/bench payload patterns. ---------------------------
 

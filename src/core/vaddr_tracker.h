@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "alloc/block.h"
+#include "common/lock_rank.h"
 #include "common/logging.h"
 #include "rdma/rnic.h"
 #include "sim/address_space.h"
@@ -45,21 +46,21 @@ class VaddrTracker {
 
   // A new object was allocated homed at `home_base`.
   void OnAlloc(sim::VAddr home_base) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     ++entries_[home_base].live_homed;
   }
 
   // An object homed at `home_base` was freed. Returns the ghost-release
   // action when this was the last live object of a ghost range.
   std::optional<GhostToRelease> OnFree(sim::VAddr home_base) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     return DecrementLocked(home_base);
   }
 
   // ReleasePtr: the object's home moved from `old_home` to `new_home`.
   std::optional<GhostToRelease> OnRehome(sim::VAddr old_home,
                                          sim::VAddr new_home) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     ++entries_[new_home].live_homed;
     return DecrementLocked(old_home);
   }
@@ -68,7 +69,7 @@ class VaddrTracker {
   // Returns a release action when the ghost already has no homed objects.
   std::optional<GhostToRelease> MarkGhost(sim::VAddr base, rdma::RKey r_key,
                                           alloc::Block* target) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     Entry& e = entries_[base];
     e.is_ghost = true;
     e.r_key = r_key;
@@ -84,7 +85,7 @@ class VaddrTracker {
   // Ghosts aliasing `old_target` now alias `new_target` (their target was
   // itself compacted away).
   void RetargetGhosts(alloc::Block* old_target, alloc::Block* new_target) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     for (auto& [base, e] : entries_) {
       if (e.is_ghost && e.alias_of == old_target) e.alias_of = new_target;
     }
@@ -93,7 +94,7 @@ class VaddrTracker {
   // Points one known ghost at a new target (O(1) variant used by the
   // compaction leader, which tracks the affected ghost bases itself).
   void SetAliasTarget(sim::VAddr ghost_base, alloc::Block* new_target) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     auto it = entries_.find(ghost_base);
     if (it != entries_.end() && it->second.is_ghost) {
       it->second.alias_of = new_target;
@@ -103,7 +104,7 @@ class VaddrTracker {
   // A normal (non-ghost) block is being fully destroyed; its counter must
   // be zero.
   void OnBlockDestroyed(sim::VAddr base) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     auto it = entries_.find(base);
     if (it != entries_.end()) {
       CORM_CHECK_EQ(it->second.live_homed, 0u)
@@ -115,13 +116,13 @@ class VaddrTracker {
 
   // Live homed-object count (testing).
   uint64_t LiveHomed(sim::VAddr base) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     auto it = entries_.find(base);
     return it == entries_.end() ? 0 : it->second.live_homed;
   }
 
   size_t NumGhosts() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<RankedSpinLock> lock(mu_);
     size_t n = 0;
     for (const auto& [base, e] : entries_) n += e.is_ghost;
     return n;
@@ -150,7 +151,8 @@ class VaddrTracker {
     return std::nullopt;
   }
 
-  mutable std::mutex mu_;
+  // Leaf lock: nothing else is acquired while it is held.
+  mutable RankedSpinLock mu_{LockRank::kVaddrTracker};
   std::unordered_map<sim::VAddr, Entry> entries_;
 };
 

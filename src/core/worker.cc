@@ -5,6 +5,7 @@
 
 #include "common/cpu_relax.h"
 #include "common/logging.h"
+#include "common/sanitizer.h"
 #include "core/object_layout.h"
 #include "sim/latency_model.h"
 
@@ -80,6 +81,15 @@ void Worker::HandleInbox(WorkerMsg& msg) {
     case WorkerMsg::Kind::kBulk:
       HandleBulk(msg.bulk);
       break;
+    case WorkerMsg::Kind::kAudit: {
+      // Runs between operations on this thread, so the allocator is
+      // quiescent; pass the compactability rule so ID-map checks apply
+      // exactly to the classes that maintain the map.
+      msg.audit->status =
+          allocator_.Audit([this](uint32_t c) { return ClassCompactable(c); });
+      msg.audit->done.store(true, std::memory_order_release);
+      break;
+    }
   }
 }
 
@@ -373,6 +383,9 @@ void Worker::HandleRead(rdma::RpcMessage* rpc) {
     }
     ReadPayload(ptr, block->slot_size(), payload.data(), req.size, mode);
     if (LoadHeaderWord(ptr) == w1) {
+      // Validation succeeded: the snapshot happened-after the writer's
+      // release in WritePayload/StoreHeaderWord (see sanitizer.h).
+      CORM_TSAN_ACQUIRE(ptr);
       EncodeResponse(resp, &rpc->response, Slice(payload.data(), req.size));
       Complete(rpc, Status::OK());
       return;
@@ -433,8 +446,14 @@ void Worker::HandleWrite(rdma::RpcMessage* rpc) {
       // DMA duration — the window a concurrent DirectRead can observe as
       // locked or torn (Fig. 13).
       ObjectHeader next = locked;
-      next.version = static_cast<uint8_t>(h.version + 1);
+      next.version = NextVersion(h.version);
       next.lock = LockState::kFree;
+      if constexpr (kAuditEnabled) {
+        // Version bytes may only ever advance by one per committed write;
+        // anything else would let a torn read validate against a reused
+        // version (paper §2.2.1).
+        CORM_CHECK(VersionMonotonic(h.version, next.version));
+      }
       WritePayload(ptr, block->slot_size(), next.version, payload.data(),
                    req.size, mode);
       Charge(rpc, node_->latency_model().WriteLockHoldNs(req.size));

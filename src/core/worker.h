@@ -54,6 +54,14 @@ struct CompactRequest {
   CompactionReport report;
 };
 
+// Reply slot for an on-thread invariant audit (CormNode::Audit). The worker
+// runs its ThreadAllocator::Audit between operations, so the audit sees a
+// quiescent view of the allocator without extra locking.
+struct AuditReply {
+  std::atomic<bool> done{false};
+  Status status;
+};
+
 struct BulkRequest {
   std::atomic<bool> done{false};
   bool is_alloc = false;
@@ -75,6 +83,7 @@ struct WorkerMsg {
     kStats,         // fragmentation accounting snapshot
     kCompact,       // run a compaction as leader
     kBulk,          // bulk alloc/free loader
+    kAudit,         // run the thread-allocator invariant audit in-thread
   };
   Kind kind = Kind::kForwardedRpc;
 
@@ -94,6 +103,7 @@ struct WorkerMsg {
   StatsReply* stats = nullptr;      // kStats
   CompactRequest* compact = nullptr;  // kCompact
   BulkRequest* bulk = nullptr;        // kBulk
+  AuditReply* audit = nullptr;        // kAudit
 };
 
 class Worker {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/sanitizer.h"
 
 namespace corm::sim {
 
@@ -156,7 +157,11 @@ Status AddressSpace::ReadVirtual(VAddr addr, void* out, size_t size) const {
     const size_t in_page = std::min<size_t>(size, kVPageSize - PageOffset(addr));
     const uint8_t* src = TranslatePtr(addr);
     if (src == nullptr) return Status::NotFound("ReadVirtual: unmapped page");
-    std::memcpy(dst, src, in_page);
+    // Simulated one-sided DMA: remote reads race with local CPU stores by
+    // design; consumers validate snapshots via the object layout's version
+    // bytes (paper §3.2.3). RacyCopy keeps the hardware side of that race
+    // out of TSan while the CPU side stays instrumented.
+    RacyCopy(dst, src, in_page);
     dst += in_page;
     addr += in_page;
     size -= in_page;
@@ -170,7 +175,7 @@ Status AddressSpace::WriteVirtual(VAddr addr, const void* data, size_t size) {
     const size_t in_page = std::min<size_t>(size, kVPageSize - PageOffset(addr));
     uint8_t* dst = TranslatePtr(addr);
     if (dst == nullptr) return Status::NotFound("WriteVirtual: unmapped page");
-    std::memcpy(dst, src, in_page);
+    RacyCopy(dst, src, in_page);  // simulated DMA write (see ReadVirtual)
     src += in_page;
     addr += in_page;
     size -= in_page;

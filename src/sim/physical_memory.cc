@@ -12,7 +12,8 @@ Result<std::vector<FrameId>> PhysicalMemory::AllocContiguousFrames(size_t n) {
   if (max_frames_ != 0 && live_frames_ + n > max_frames_) {
     return Status::OutOfMemory("simulated DRAM exhausted");
   }
-  std::shared_ptr<uint8_t[]> slab(new uint8_t[n * kFrameSize]());
+  std::shared_ptr<uint8_t[]> slab =
+      std::make_shared<uint8_t[]>(n * kFrameSize);
   std::vector<FrameId> ids;
   ids.reserve(n);
   for (size_t i = 0; i < n; ++i) {

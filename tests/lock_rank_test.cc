@@ -1,0 +1,163 @@
+// Tests for the lock-order (deadlock) checker in common/lock_rank.h: the
+// rank tracker itself, the ranked lock wrappers, and the documented node
+// hierarchy (allocator -> directory -> block allocator -> leaf trackers).
+
+#include "common/lock_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+namespace corm {
+namespace {
+
+// Forces enforcement on for a test (release builds default it off) and
+// restores the previous setting afterwards.
+class ScopedEnforce {
+ public:
+  ScopedEnforce() : prev_(LockRankTracker::Enforcing()) {
+    LockRankTracker::SetEnforce(true);
+  }
+  ~ScopedEnforce() { LockRankTracker::SetEnforce(prev_); }
+
+ private:
+  const bool prev_;
+};
+
+TEST(LockRankTrackerTest, IncreasingRanksAreAccepted) {
+  ScopedEnforce enforce;
+  EXPECT_EQ(LockRankTracker::Depth(), 0);
+  LockRankTracker::Acquired(LockRank::kCompactionLeader, /*reentrant=*/true);
+  LockRankTracker::Acquired(LockRank::kThreadAllocator, /*reentrant=*/true);
+  LockRankTracker::Acquired(LockRank::kNodeDirectory);
+  LockRankTracker::Acquired(LockRank::kBlockAllocator);
+  LockRankTracker::Acquired(LockRank::kVaddrTracker);
+  EXPECT_EQ(LockRankTracker::Depth(), 5);
+  EXPECT_EQ(LockRankTracker::Top(), LockRank::kVaddrTracker);
+  LockRankTracker::Released(LockRank::kVaddrTracker);
+  LockRankTracker::Released(LockRank::kBlockAllocator);
+  LockRankTracker::Released(LockRank::kNodeDirectory);
+  LockRankTracker::Released(LockRank::kThreadAllocator);
+  LockRankTracker::Released(LockRank::kCompactionLeader);
+  EXPECT_EQ(LockRankTracker::Depth(), 0);
+  EXPECT_EQ(LockRankTracker::Top(), LockRank::kNone);
+}
+
+TEST(LockRankTrackerTest, DecreasingRankAborts) {
+  ScopedEnforce enforce;
+  LockRankTracker::Acquired(LockRank::kBlockAllocator);
+  EXPECT_DEATH(LockRankTracker::Acquired(LockRank::kNodeDirectory),
+               "lock-order violation");
+  LockRankTracker::Released(LockRank::kBlockAllocator);
+}
+
+TEST(LockRankTrackerTest, EqualRankAbortsForPlainLocks) {
+  ScopedEnforce enforce;
+  LockRankTracker::Acquired(LockRank::kNodeDirectory);
+  EXPECT_DEATH(LockRankTracker::Acquired(LockRank::kNodeDirectory),
+               "lock-order violation");
+  LockRankTracker::Released(LockRank::kNodeDirectory);
+}
+
+TEST(LockRankTrackerTest, RegionsReenterAtEqualRank) {
+  ScopedEnforce enforce;
+  LockRankRegion outer(LockRank::kThreadAllocator);
+  {
+    // E.g. CollectBlocks calling DetachBlock: both open the same region.
+    LockRankRegion inner(LockRank::kThreadAllocator);
+    EXPECT_EQ(LockRankTracker::Depth(), 2);
+  }
+  EXPECT_EQ(LockRankTracker::Depth(), 1);
+}
+
+TEST(LockRankTrackerTest, NonLifoReleaseAborts) {
+  ScopedEnforce enforce;
+  LockRankTracker::Acquired(LockRank::kNodeDirectory);
+  LockRankTracker::Acquired(LockRank::kBlockAllocator);
+  EXPECT_DEATH(LockRankTracker::Released(LockRank::kNodeDirectory),
+               "non-LIFO");
+  LockRankTracker::Released(LockRank::kBlockAllocator);
+  LockRankTracker::Released(LockRank::kNodeDirectory);
+}
+
+TEST(LockRankTrackerTest, StateIsPerThread) {
+  ScopedEnforce enforce;
+  LockRankTracker::Acquired(LockRank::kBlockAllocator);
+  std::thread other([] {
+    // A fresh thread holds nothing: acquiring a lower rank is fine there.
+    EXPECT_EQ(LockRankTracker::Depth(), 0);
+    LockRankTracker::Acquired(LockRank::kCompactionLeader, true);
+    LockRankTracker::Released(LockRank::kCompactionLeader);
+  });
+  other.join();
+  EXPECT_EQ(LockRankTracker::Top(), LockRank::kBlockAllocator);
+  LockRankTracker::Released(LockRank::kBlockAllocator);
+}
+
+TEST(LockRankTrackerTest, DisabledEnforcementChecksNothing) {
+  const bool prev = LockRankTracker::Enforcing();
+  LockRankTracker::SetEnforce(false);
+  // Out-of-order acquisition passes silently when enforcement is off.
+  LockRankTracker::Acquired(LockRank::kBlockAllocator);
+  LockRankTracker::Acquired(LockRank::kNodeDirectory);
+  LockRankTracker::Released(LockRank::kBlockAllocator);
+  LockRankTracker::Released(LockRank::kNodeDirectory);
+  EXPECT_EQ(LockRankTracker::Depth(), 0);
+  LockRankTracker::SetEnforce(prev);
+}
+
+TEST(RankedSpinLockTest, LockUnlockTracksRank) {
+  ScopedEnforce enforce;
+  RankedSpinLock mu(LockRank::kVaddrTracker);
+  EXPECT_EQ(mu.rank(), LockRank::kVaddrTracker);
+  {
+    std::lock_guard<RankedSpinLock> lock(mu);
+    EXPECT_EQ(LockRankTracker::Top(), LockRank::kVaddrTracker);
+  }
+  EXPECT_EQ(LockRankTracker::Depth(), 0);
+}
+
+TEST(RankedSpinLockTest, TryLockFailureLeavesNoRank) {
+  ScopedEnforce enforce;
+  RankedSpinLock mu(LockRank::kVaddrTracker);
+  mu.lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.try_lock());
+    EXPECT_EQ(LockRankTracker::Depth(), 0);
+  });
+  other.join();
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(RankedSpinLockTest, OutOfOrderGuardsAbort) {
+  ScopedEnforce enforce;
+  RankedSpinLock inner(LockRank::kVaddrTracker);
+  RankedSpinLock outer(LockRank::kNodeDirectory);
+  std::lock_guard<RankedSpinLock> hold(inner);
+  EXPECT_DEATH(outer.lock(), "lock-order violation");
+}
+
+TEST(RankedSharedMutexTest, SharedAndExclusiveTrackRank) {
+  ScopedEnforce enforce;
+  RankedSharedMutex mu(LockRank::kNodeDirectory);
+  {
+    std::shared_lock<RankedSharedMutex> lock(mu);
+    EXPECT_EQ(LockRankTracker::Top(), LockRank::kNodeDirectory);
+    // Higher-ranked lock nests fine under a shared hold.
+    RankedSpinLock leaf(LockRank::kGraveyard);
+    std::lock_guard<RankedSpinLock> hold(leaf);
+    EXPECT_EQ(LockRankTracker::Depth(), 2);
+  }
+  {
+    std::unique_lock<RankedSharedMutex> lock(mu);
+    EXPECT_EQ(LockRankTracker::Top(), LockRank::kNodeDirectory);
+  }
+  EXPECT_EQ(LockRankTracker::Depth(), 0);
+}
+
+}  // namespace
+}  // namespace corm

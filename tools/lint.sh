@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Project lint gate. Exits non-zero on any violation.
+#
+# Rules (grep-based, always enforced):
+#   1. No raw `new`/`delete` in src/ — ownership is RAII-only. Exemption:
+#      a `NOLINT(corm-raw-new)` comment on the line or the line above
+#      (private-constructor factories that make_unique cannot reach).
+#   2. No std::mutex in src/alloc/ or src/core/ — the data plane uses the
+#      ranked SpinLock / RankedSharedMutex primitives (common/lock_rank.h)
+#      so the debug deadlock checker sees every acquisition. The simulated
+#      substrate (src/sim/, src/rdma/) models kernel/NIC state and may keep
+#      std::mutex.
+#   3. Status / Result<T> must stay [[nodiscard]] (call-site enforcement is
+#      then free via -Wall).
+#   4. src/ must not include tests/ headers (no inverted layering).
+#
+# Additionally runs clang-tidy over src/ when a binary and a compilation
+# database are available; skipped (with a note) otherwise, since the CI
+# lint job provides clang-tidy.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+note() { printf '%s\n' "$*"; }
+violation() { printf 'lint: %s\n' "$*" >&2; fail=1; }
+
+src_files=$(find src -name '*.h' -o -name '*.cc' | sort)
+
+# --- Rule 1: raw new/delete in src/. ---------------------------------------
+for f in $src_files; do
+  # Match allocating `new` / `delete` expressions, not words in comments
+  # (e.g. "a new block") or placement-new-free code. Heuristic: `new` or
+  # `delete` followed by a type-ish token, outside line comments.
+  matches=$(grep -nE '(^|[^_[:alnum:]"])(new[[:space:]]+[[:alnum:]_:<]+[[:space:]]*[({[]|new[[:space:]]+[[:alnum:]_:<]+\[|delete[[:space:]]*\[?\]?[[:space:]]*[[:alnum:]_]+)' "$f" \
+      | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
+  [ -z "$matches" ] && continue
+  while IFS= read -r line; do
+    lineno=${line%%:*}
+    # Exemption: NOLINT(corm-raw-new) on this or the preceding line.
+    if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
+        | grep -q 'NOLINT(corm-raw-new)'; then
+      continue
+    fi
+    violation "$f:$line — raw new/delete in src/ (rule 1)"
+  done <<EOF_MATCHES
+$matches
+EOF_MATCHES
+done
+
+# --- Rule 2: std::mutex in the data plane. ---------------------------------
+for f in $(find src/alloc src/core -name '*.h' -o -name '*.cc' | sort); do
+  matches=$(grep -n 'std::mutex\|std::shared_mutex\|std::recursive_mutex' "$f" \
+      | grep -v '^\s*[0-9]*:\s*//' || true)
+  [ -z "$matches" ] && continue
+  while IFS= read -r line; do
+    violation "$f:$line — std::mutex in the data plane; use the ranked locks from common/lock_rank.h (rule 2)"
+  done <<EOF_MATCHES
+$matches
+EOF_MATCHES
+done
+
+# --- Rule 3: Status / Result stay [[nodiscard]]. ---------------------------
+grep -q 'class \[\[nodiscard\]\] Status' src/common/status.h ||
+  violation 'src/common/status.h — Status lost its [[nodiscard]] (rule 3)'
+grep -q 'class \[\[nodiscard\]\] Result' src/common/result.h ||
+  violation 'src/common/result.h — Result lost its [[nodiscard]] (rule 3)'
+
+# --- Rule 4: src/ must not include tests/. ---------------------------------
+for f in $src_files; do
+  matches=$(grep -n '#include ["<]tests/' "$f" || true)
+  [ -z "$matches" ] && continue
+  while IFS= read -r line; do
+    violation "$f:$line — src/ includes a tests/ header (rule 4)"
+  done <<EOF_MATCHES
+$matches
+EOF_MATCHES
+done
+
+# --- clang-tidy (optional locally; required in CI). ------------------------
+tidy_bin=$(command -v clang-tidy || true)
+if [ -n "$tidy_bin" ]; then
+  db=""
+  for cand in build build-asan build-tsan; do
+    [ -f "$cand/compile_commands.json" ] && db=$cand && break
+  done
+  if [ -n "$db" ]; then
+    note "lint: running clang-tidy with compile database $db/"
+    cc_files=$(find src -name '*.cc' | sort)
+    if ! "$tidy_bin" -p "$db" --quiet $cc_files; then
+      violation 'clang-tidy reported errors'
+    fi
+  else
+    note 'lint: clang-tidy found but no compile_commands.json (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON); skipping tidy pass'
+  fi
+else
+  note 'lint: clang-tidy not installed; grep rules only (CI runs the tidy pass)'
+fi
+
+if [ "$fail" -ne 0 ]; then
+  note 'lint: FAILED'
+  exit 1
+fi
+note 'lint: OK'
