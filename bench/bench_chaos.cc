@@ -1,0 +1,222 @@
+// Availability under chaos: a replicated YCSB workload driven through a
+// seeded fault schedule (RPC drops/delays, QP breaks, torn writes, node
+// crash/restart cycles), reporting per-run success/timeout/failover rates
+// and what the failure detector saw.
+//
+// Flags (all --key=value):
+//   --seed=N          fault-schedule seed (default 0xC0DE5EED)
+//   --ops=N           operations per client thread (default 20000)
+//   --threads=N       client threads (default 3)
+//   --nodes=N         cluster size (default 3)
+//   --crash_pm=N      per-tick node-crash probability, per mille (default 60)
+//   --drop_pm=N       per-RPC request-drop probability, per mille (default 8)
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/object_layout.h"
+#include "dsm/cluster.h"
+#include "dsm/replication.h"
+#include "sim/fault_injector.h"
+#include "sim/latency_model.h"
+#include "workload/ycsb.h"
+
+namespace corm::bench {
+namespace {
+
+constexpr size_t kObjectSize = 48;
+constexpr uint64_t kKeysPerThread = 64;
+
+struct WorkloadCounters {
+  uint64_t ops = 0;
+  uint64_t ok = 0;
+  uint64_t transient = 0;  // timeout / network / locked / torn / qp / moved
+  uint64_t failovers = 0;
+  uint64_t degraded_writes = 0;
+  uint64_t rpc_timeouts = 0;
+};
+
+bool Transient(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kTimeout:
+    case StatusCode::kNetworkError:
+    case StatusCode::kObjectLocked:
+    case StatusCode::kTornRead:
+    case StatusCode::kQpBroken:
+    case StatusCode::kObjectMoved:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RunClient(dsm::Cluster* cluster, int thread_id, uint64_t seed,
+               uint64_t ops, WorkloadCounters* out) {
+  core::Context::Options opts;
+  opts.rpc_retry.deadline_ns = 15'000'000;
+  opts.recovery_retry.deadline_ns = 40'000'000;
+  dsm::ReplicatedContext ctx(cluster, /*replication_factor=*/2, opts);
+
+  workload::YcsbConfig wcfg;
+  wcfg.num_keys = kKeysPerThread;
+  wcfg.zipf_theta = 0.6;
+  wcfg.read_fraction = 0.5;
+  wcfg.seed = seed;
+  workload::YcsbGenerator gen(wcfg);
+
+  std::vector<dsm::ReplicatedAddr> keys(kKeysPerThread);
+  std::vector<uint8_t> buf(kObjectSize), outbuf(kObjectSize);
+
+  WorkloadCounters c;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const auto op = gen.Next();
+    dsm::ReplicatedAddr& addr = keys[op.key];
+    ++c.ops;
+    Status st;
+    if (addr.IsNull()) {
+      auto fresh = ctx.Alloc(kObjectSize);
+      if (fresh.ok()) {
+        addr = *fresh;
+        core::PatternFill(op.key, buf.data(), kObjectSize);
+        st = ctx.Write(&addr, buf.data(), kObjectSize);
+      } else {
+        st = fresh.status();
+      }
+    } else if (op.is_read) {
+      st = ctx.Read(&addr, outbuf.data(), kObjectSize);
+    } else {
+      core::PatternFill(op.key ^ i, buf.data(), kObjectSize);
+      st = ctx.Write(&addr, buf.data(), kObjectSize);
+    }
+    if (st.ok()) {
+      ++c.ok;
+    } else if (Transient(st)) {
+      ++c.transient;
+      if (st.code() == StatusCode::kTimeout) ++c.rpc_timeouts;
+    }
+  }
+  c.failovers = ctx.failovers();
+  c.degraded_writes = ctx.degraded_writes();
+  *out = c;
+}
+
+int Main(int argc, char** argv) {
+  sim::SetSimTimeScale(0.0);  // modeled time only; chaos uses wall deadlines
+
+  const uint64_t seed = FlagU64(argc, argv, "seed", 0xC0DE5EED);
+  const uint64_t ops = FlagU64(argc, argv, "ops", 20'000);
+  const int threads = static_cast<int>(FlagU64(argc, argv, "threads", 3));
+  const int nodes = static_cast<int>(FlagU64(argc, argv, "nodes", 3));
+  const double crash_p = FlagU64(argc, argv, "crash_pm", 60) / 1000.0;
+  const double drop_p = FlagU64(argc, argv, "drop_pm", 8) / 1000.0;
+
+  sim::FaultInjector injector(seed);
+  auto arm = [&](const char* site, double p, uint64_t delay_ns = 0) {
+    sim::FaultSchedule s;
+    s.probability = p;
+    s.delay_ns = delay_ns;
+    injector.Arm(site, s);
+  };
+  arm(sim::fault_sites::kRpcDelay, 0.02, 4000);
+  arm(sim::fault_sites::kRpcDropRequest, drop_p);
+  arm(sim::fault_sites::kRpcDropResponse, drop_p / 2);
+  arm(sim::fault_sites::kRpcDupCompletion, 0.01);
+  arm(sim::fault_sites::kQpBreak, 0.004);
+  arm(sim::fault_sites::kTornWrite, 0.01, 3000);
+  arm(sim::fault_sites::kNodeCrash, crash_p);
+
+  dsm::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.node_config.num_workers = 2;
+  cfg.node_config.seed = seed;
+  dsm::Cluster cluster(cfg);
+
+  std::vector<WorkloadCounters> counters(threads);
+  {
+    sim::ScopedFaultInjector install(&injector);
+    std::atomic<bool> stop{false};
+    std::thread driver([&] {
+      Rng rng(seed ^ 0xD21CEULL);
+      int crashed = -1;
+      int restart_in = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        cluster.Heartbeat();
+        if (crashed < 0) {
+          if (injector.ShouldFire(sim::fault_sites::kNodeCrash)) {
+            crashed = static_cast<int>(rng.Uniform(nodes));
+            cluster.CrashNode(crashed);
+            restart_in = 2 + static_cast<int>(rng.Uniform(4));
+          }
+        } else if (--restart_in <= 0) {
+          cluster.RestartNode(crashed);
+          crashed = -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (crashed >= 0) cluster.RestartNode(crashed);
+    });
+
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back(RunClient, &cluster, t, seed + t, ops,
+                           &counters[t]);
+    }
+    for (auto& cl : clients) cl.join();
+    stop.store(true, std::memory_order_release);
+    driver.join();
+  }
+
+  WorkloadCounters total;
+  for (const auto& c : counters) {
+    total.ops += c.ops;
+    total.ok += c.ok;
+    total.transient += c.transient;
+    total.failovers += c.failovers;
+    total.degraded_writes += c.degraded_writes;
+    total.rpc_timeouts += c.rpc_timeouts;
+  }
+  const auto* fd = cluster.failure_detector();
+
+  PrintTitle("Chaos availability (replicated YCSB 50/50, k=2)");
+  PrintRow({"seed", Fmt("%.0f", static_cast<double>(seed))});
+  PrintRow({"metric", "count", "per-op"});
+  auto rate = [&](uint64_t v) {
+    return Fmt("%.4f", total.ops ? static_cast<double>(v) / total.ops : 0.0);
+  };
+  PrintRow({"ops", std::to_string(total.ops), "1.0000"});
+  PrintRow({"ok", std::to_string(total.ok), rate(total.ok)});
+  PrintRow({"transient_err", std::to_string(total.transient),
+            rate(total.transient)});
+  PrintRow({"rpc_timeouts", std::to_string(total.rpc_timeouts),
+            rate(total.rpc_timeouts)});
+  PrintRow({"read_failovers", std::to_string(total.failovers),
+            rate(total.failovers)});
+  PrintRow({"degraded_writes", std::to_string(total.degraded_writes),
+            rate(total.degraded_writes)});
+
+  PrintTitle("Fault schedule fired (seeded, reproducible)");
+  PrintRow({"site", "events", "fired"});
+  for (const char* site :
+       {sim::fault_sites::kRpcDelay, sim::fault_sites::kRpcDropRequest,
+        sim::fault_sites::kRpcDropResponse,
+        sim::fault_sites::kRpcDupCompletion, sim::fault_sites::kQpBreak,
+        sim::fault_sites::kTornWrite, sim::fault_sites::kNodeCrash}) {
+    PrintRow({site, std::to_string(injector.EventCount(site)),
+              std::to_string(injector.FiredCount(site))});
+  }
+
+  PrintTitle("Failure detector");
+  PrintRow({"deaths", std::to_string(fd->deaths())});
+  PrintRow({"revivals", std::to_string(fd->revivals())});
+  return 0;
+}
+
+}  // namespace
+}  // namespace corm::bench
+
+int main(int argc, char** argv) { return corm::bench::Main(argc, argv); }

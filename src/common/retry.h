@@ -1,0 +1,102 @@
+// Unified retry/timeout/backoff policy for every fallible remote path.
+//
+// Before this header existed, retry behaviour was scattered: the RPC
+// transport spun forever on the completion flag (a dead server hung the
+// client), and Client::ReadWithRecovery hard-coded its deadline and backoff
+// constants. A RetryPolicy names those knobs once; a RetryState executes
+// them with *deterministic* jitter (SplitMix64 over an explicit seed), so a
+// seeded chaos run replays the exact same backoff schedule.
+//
+// The deadline is wall-clock on purpose: modeled time (sim::Pace) can be
+// scaled to zero in tests, but a hung peer burns real time, and converting
+// "never completes" into kTimeout is precisely the job of this type. All
+// *pacing* stays in modeled time, so determinism of the fault schedule and
+// of the backoff sequence is unaffected by the wall clock.
+
+#ifndef CORM_COMMON_RETRY_H_
+#define CORM_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace corm {
+
+// Absolute wall-clock expiry, cheap to poll from spin loops.
+class Deadline {
+ public:
+  explicit Deadline(uint64_t budget_ns)
+      : expiry_(std::chrono::steady_clock::now() +
+                std::chrono::nanoseconds(budget_ns)) {}
+
+  bool Expired() const { return std::chrono::steady_clock::now() >= expiry_; }
+
+ private:
+  std::chrono::steady_clock::time_point expiry_;
+};
+
+struct RetryPolicy {
+  // Total wall-clock budget for the operation, attempts included.
+  uint64_t deadline_ns = 2'000'000'000;
+  // Hard cap on attempts; 0 means the deadline alone bounds the loop.
+  int max_attempts = 0;
+  // Exponential backoff: base doubles per attempt up to the cap. The
+  // defaults are the constants ReadWithRecovery used to hard-code.
+  uint64_t backoff_base_ns = 1'000;
+  uint64_t backoff_max_ns = 64'000;
+  // Fraction of the current backoff added as deterministic jitter in
+  // [0, jitter); keeps synchronized retriers from lock-stepping.
+  double jitter = 0.5;
+};
+
+// Per-operation retry executor. Not thread-safe; create one per operation.
+class RetryState {
+ public:
+  RetryState(const RetryPolicy& policy, uint64_t seed)
+      : policy_(policy), deadline_(policy.deadline_ns), rng_state_(seed) {}
+
+  // Accounts one attempt; false once the budget (deadline or attempt cap)
+  // is exhausted. The first call always grants an attempt.
+  bool NextAttempt() {
+    ++attempts_;
+    if (attempts_ <= 1) return true;
+    if (policy_.max_attempts > 0 && attempts_ > policy_.max_attempts) {
+      return false;
+    }
+    return !deadline_.Expired();
+  }
+
+  // Backoff for the attempt most recently granted, with deterministic
+  // jitter. Callers pace this in modeled time (sim::Pace).
+  uint64_t BackoffNs() {
+    const int exp = std::min(attempts_ > 0 ? attempts_ - 1 : 0, 62);
+    const uint64_t base = std::min(policy_.backoff_base_ns << exp,
+                                   policy_.backoff_max_ns);
+    if (policy_.jitter <= 0.0) return base;
+    const double frac =
+        static_cast<double>(NextRand() >> 11) * (1.0 / 9007199254740992.0);
+    return base + static_cast<uint64_t>(static_cast<double>(base) *
+                                        policy_.jitter * frac);
+  }
+
+  bool Expired() const { return deadline_.Expired(); }
+  int attempts() const { return attempts_; }
+
+ private:
+  // SplitMix64: tiny, seedable, and good enough for jitter.
+  uint64_t NextRand() {
+    uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  RetryPolicy policy_;
+  Deadline deadline_;
+  int attempts_ = 0;
+  uint64_t rng_state_;
+};
+
+}  // namespace corm
+
+#endif  // CORM_COMMON_RETRY_H_

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "QpBroken";
     case StatusCode::kNetworkError:
       return "NetworkError";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }

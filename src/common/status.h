@@ -33,6 +33,7 @@ enum class StatusCode : int {
   kStalePointer = 13,   // home block vaddr was released and reused (§3.3).
   kQpBroken = 14,       // QP entered error state (e.g. access during rereg, §3.5).
   kNetworkError = 15,
+  kTimeout = 16,        // deadline expired before the operation completed
 };
 
 // Returns a stable human-readable name for `code` ("OK", "ObjectMoved", ...).
@@ -95,6 +96,9 @@ class [[nodiscard]] Status {
   static Status NetworkError(std::string msg) {
     return Status(StatusCode::kNetworkError, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -110,6 +114,8 @@ class [[nodiscard]] Status {
   bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsQpBroken() const { return code() == StatusCode::kQpBroken; }
+  bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

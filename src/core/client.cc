@@ -15,7 +15,7 @@ Context::Context(CormNode* node, Options options)
     : node_(node),
       options_(options),
       qp_(node->rnic()),
-      rpc_(node->rpc_queue(), node->latency_model()),
+      rpc_(node->rpc_queue(), node->latency_model(), options.rpc_retry),
       scratch_(node->block_bytes()) {}
 
 std::unique_ptr<Context> Context::Create(CormNode* node, Options options) {
@@ -29,13 +29,13 @@ std::unique_ptr<Context> Context::Create(CormNode* node, Options options) {
 
 Status Context::RpcCall(RpcOp op, const Buffer& request, Buffer* response) {
   (void)op;
-  rdma::RpcMessage msg;
-  msg.request = request;
   stats_.rpc_calls++;
-  const uint64_t network_ns = rpc_.Call(&msg);
-  stats_.modeled_ns_total += network_ns + msg.server_extra_ns;
-  if (msg.status.ok()) *response = std::move(msg.response);
-  return msg.status;
+  rdma::RpcCallResult result = rpc_.Call(request);
+  stats_.modeled_ns_total += result.network_ns + result.server_extra_ns;
+  if (result.dup_completion) stats_.dup_completions++;
+  if (result.status.IsTimeout()) stats_.timeouts++;
+  if (result.status.ok()) *response = std::move(result.response);
+  return std::move(result.status);
 }
 
 Status Context::RawRead(rdma::RKey r_key, sim::VAddr vaddr, void* buf,
@@ -216,13 +216,14 @@ Status Context::ScanRead(GlobalAddr* addr, void* buf, size_t size) {
 
 Status Context::ReadWithRecovery(GlobalAddr* addr, void* buf, size_t size,
                                  MovedFallback fallback) {
-  // Retry with exponential backoff until a real-time deadline: an object
+  // Retry with exponential backoff until the policy deadline: an object
   // can stay locked for the full duration of a block merge, which is real
-  // wall time regardless of the modeled time scale.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(2);
-  uint64_t backoff_ns = 1000;
-  do {
+  // wall time regardless of the modeled time scale. The jitter stream is
+  // seeded from the node seed and a per-context sequence number, so a
+  // seeded run replays the same backoff schedule.
+  RetryState retry(options_.recovery_retry,
+                   node_->config().seed ^ (++retry_seq_ * 0x9e3779b97f4a7c15ULL));
+  while (retry.NextAttempt()) {
     Status st = DirectRead(*addr, buf, size);
     if (st.ok()) return st;
     if (st.IsObjectMoved()) {
@@ -231,20 +232,23 @@ Status Context::ReadWithRecovery(GlobalAddr* addr, void* buf, size_t size,
       // itself hit an object mid-compaction (locked/torn) — that is as
       // transient as a failed DirectRead, so it re-enters the backoff loop
       // (§3.2.3: "the read is repeated after a backoff period").
+      stats_.failovers++;
       st = fallback == MovedFallback::kScanRead ? ScanRead(addr, buf, size)
                                                 : Read(addr, buf, size);
       if (st.ok()) return st;
     }
     if (st.IsTornRead() || st.IsObjectLocked() || st.IsQpBroken() ||
         st.IsObjectMoved()) {
-      sim::Pace(backoff_ns);
+      stats_.retries++;
+      sim::Pace(retry.BackoffNs());
       std::this_thread::yield();  // let the compacting worker progress
-      backoff_ns = std::min<uint64_t>(backoff_ns * 2, 64000);
       continue;
     }
-    return st;  // NotFound / StalePointer / InvalidArgument: not retryable
-  } while (std::chrono::steady_clock::now() < deadline);
-  return Status::ObjectLocked("object stayed locked past the deadline");
+    return st;  // NotFound / Timeout / NetworkError / ...: not retryable here
+  }
+  stats_.timeouts++;
+  return Status::Timeout("read recovery deadline expired (object stayed "
+                         "locked, torn, or unreachable)");
 }
 
 }  // namespace corm::core

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "core/addr.h"
 #include "core/corm_node.h"
 #include "core/rpc_protocol.h"
@@ -40,6 +41,10 @@ struct ClientStats {
   uint64_t scan_reads = 0;
   uint64_t qp_reconnects = 0;
   uint64_t pointer_corrections = 0;  // client-side pointer updates
+  uint64_t retries = 0;           // backoff retries inside ReadWithRecovery
+  uint64_t timeouts = 0;          // ops that exhausted a RetryPolicy deadline
+  uint64_t failovers = 0;         // moved-object fallbacks (scan / RPC read)
+  uint64_t dup_completions = 0;   // injected duplicate RPC completions seen
   // Modeled nanoseconds: network round trips + RNIC faults + charged
   // server-side processing. Benchmarks derive latency/throughput figures
   // from these instead of wall clock (see DESIGN.md §2 on pacing).
@@ -53,6 +58,12 @@ class Context {
     // Colocated client: accesses go through CPU loads (the local half of
     // Fig. 11), no network pacing.
     bool local = false;
+    // Bounds every RPC: the transport returns kTimeout instead of spinning
+    // forever when the serving node dies mid-request.
+    RetryPolicy rpc_retry;
+    // Drives ReadWithRecovery's deadline/backoff (the constants previously
+    // hard-coded there). Chaos tests shorten both deadlines.
+    RetryPolicy recovery_retry;
   };
 
   // CreateCtx(ip, port) analogue: connects a QP + RPC endpoint to `node`.
@@ -102,6 +113,7 @@ class Context {
   rdma::RpcClient rpc_;
   ClientStats stats_;
   std::vector<uint8_t> scratch_;  // block-sized scan buffer
+  uint64_t retry_seq_ = 0;        // deterministic jitter stream position
 };
 
 }  // namespace corm::core

@@ -67,7 +67,7 @@ void Worker::RunCompaction(CompactRequest* req) {
   std::vector<std::unique_ptr<alloc::Block>> pool = allocator_.CollectBlocks(
       class_idx, cfg.collection_max_occupancy, cfg.compaction_max_blocks);
   for (auto& reply : replies) {
-    while (!reply->done.load(std::memory_order_acquire)) {
+    while (!reply->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       // Serve correction queries while waiting so no worker deadlocks on us.
       if (auto pending = inbox_.TryPop()) {
         if (pending->kind == WorkerMsg::Kind::kCorrection) {

@@ -140,7 +140,7 @@ Result<CompactionReport> CormNode::Compact(uint32_t class_idx) {
   msg.kind = WorkerMsg::Kind::kCompact;
   msg.compact = &req;
   workers_[0]->Send(msg);
-  while (!req.done.load(std::memory_order_acquire)) {
+  while (!req.done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
     CpuRelax();
   }
   CORM_RETURN_NOT_OK(req.status);
@@ -178,7 +178,7 @@ std::vector<alloc::ClassFragmentation> CormNode::Fragmentation() {
   std::vector<alloc::ClassFragmentation> out(n);
   for (uint32_t c = 0; c < n; ++c) out[c].class_idx = c;
   for (auto& reply : replies) {
-    while (!reply->done.load(std::memory_order_acquire)) {
+    while (!reply->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       CpuRelax();
     }
     for (uint32_t c = 0; c < n; ++c) {
@@ -204,7 +204,7 @@ Status CormNode::Audit() {
   }
   Status st = Status::OK();
   for (auto& reply : replies) {
-    while (!reply->done.load(std::memory_order_acquire)) {
+    while (!reply->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       CpuRelax();
     }
     if (st.ok() && !reply->status.ok()) st = reply->status;
@@ -351,7 +351,7 @@ Result<std::vector<GlobalAddr>> CormNode::BulkAlloc(size_t count,
   std::vector<GlobalAddr> out;
   out.reserve(count);
   for (auto& req : requests) {
-    while (!req->done.load(std::memory_order_acquire)) {
+    while (!req->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       CpuRelax();
     }
     CORM_RETURN_NOT_OK(req->status);
@@ -392,7 +392,7 @@ Status CormNode::BulkFree(const std::vector<GlobalAddr>& addrs) {
     }
     remaining = std::move(deferred);
     for (auto& req : requests) {
-      while (!req->done.load(std::memory_order_acquire)) {
+      while (!req->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
         CpuRelax();
       }
       CORM_RETURN_NOT_OK(req->status);

@@ -124,6 +124,19 @@ class CormNode {
     return config_.MakeLatencyModel();
   }
 
+  // --- Fault shims (chaos/testing). --------------------------------------
+  // Models a node whose CPU stops serving inbound RPCs (the crash half the
+  // reachability flag in dsm::Cluster cannot express): workers finish the
+  // request they already dequeued, then stop polling the RPC queue until
+  // ResumeService(). Intra-node control messages (corrections, compaction,
+  // audits) keep flowing so the control plane and teardown never wedge on
+  // a crashed node.
+  void PauseService() { paused_.store(true, std::memory_order_release); }
+  void ResumeService() { paused_.store(false, std::memory_order_release); }
+  bool IsServingRequests() const {
+    return !paused_.load(std::memory_order_acquire);
+  }
+
   // --- Control plane (callable from any non-worker thread). -------------
   // Runs one synchronous compaction of `class_idx` on the leader worker.
   Result<CompactionReport> Compact(uint32_t class_idx);
@@ -233,6 +246,7 @@ class CormNode {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
 };
 
 }  // namespace corm::core

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/sanitizer.h"
 #include "core/object_layout.h"
+#include "sim/fault_injector.h"
 #include "sim/latency_model.h"
 
 namespace corm::core {
@@ -25,14 +26,20 @@ void Worker::Send(WorkerMsg msg) {
 }
 
 void Worker::Run() {
+  // Run loop, not a completion wait: bounded by stop_. NOLINT(corm-spin-wait)
   while (!node_->stop_.load(std::memory_order_relaxed)) {
     if (auto msg = inbox_.TryPop()) {
       HandleInbox(*msg);
       continue;
     }
-    if (rdma::RpcMessage* rpc = node_->rpc_queue()->Poll()) {
-      HandleRpc(rpc, /*forwarded=*/false);
-      continue;
+    // A paused node (injected crash) stops serving inbound RPCs; queued
+    // requests stall until ResumeService or a restart purge, and clients
+    // time out per their RetryPolicy.
+    if (node_->IsServingRequests()) {
+      if (rdma::RpcMessage* rpc = node_->rpc_queue()->Poll()) {
+        HandleRpc(rpc, /*forwarded=*/false);
+        continue;
+      }
     }
     CpuRelax();
   }
@@ -96,6 +103,9 @@ void Worker::HandleInbox(WorkerMsg& msg) {
 void Worker::Complete(rdma::RpcMessage* rpc, Status st) {
   rpc->status = std::move(st);
   rpc->done.store(true, std::memory_order_release);
+  // The server's reference: a timed-out client may already have abandoned
+  // the message, in which case this Unref frees it.
+  rpc->Unref();
 }
 
 // Charges modeled server-side processing time to the RPC: paces the worker
@@ -267,7 +277,7 @@ Result<uint32_t> Worker::CorrectViaOwner(alloc::Block* block,
     // Wait for the reply, serving correction queries addressed to us so two
     // workers correcting into each other's blocks cannot deadlock. This is
     // also the §4.3.2 stall: if the owner is busy compacting, we wait.
-    while (!reply.done.load(std::memory_order_acquire)) {
+    while (!reply.done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       if (auto pending = inbox_.TryPop()) {
         if (pending->kind == WorkerMsg::Kind::kCorrection ||
             pending->kind == WorkerMsg::Kind::kStats ||
@@ -453,6 +463,19 @@ void Worker::HandleWrite(rdma::RpcMessage* rpc) {
         // anything else would let a torn read validate against a reused
         // version (paper §2.2.1).
         CORM_CHECK(VersionMonotonic(h.version, next.version));
+      }
+      if (auto* fi = sim::GlobalFaultInjector(); fi != nullptr) {
+        uint64_t hold_ns = 0;
+        if (fi->ShouldFire(sim::fault_sites::kTornWrite, &hold_ns)) {
+          // Injected torn window: publish the new cacheline versions with
+          // only a prefix of the payload behind them and linger before the
+          // full write below. A concurrent lock-free snapshot lands on a
+          // genuinely torn object and must reject it (locked header or
+          // version mismatch); the final state is consistent either way.
+          WritePayload(ptr, block->slot_size(), next.version, payload.data(),
+                       req.size / 2, mode);
+          Charge(rpc, hold_ns != 0 ? hold_ns : 2000);
+        }
       }
       WritePayload(ptr, block->slot_size(), next.version, payload.data(),
                    req.size, mode);

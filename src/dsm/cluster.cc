@@ -4,7 +4,9 @@
 
 namespace corm::dsm {
 
-Cluster::Cluster(ClusterConfig config) : config_(config) {
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      detector_(config.num_nodes, config.failure_detector) {
   CORM_CHECK_GT(config_.num_nodes, 0);
   CORM_CHECK_LE(config_.num_nodes, kMaxNodes);
   nodes_.reserve(config_.num_nodes);
@@ -24,7 +26,7 @@ int Cluster::PickNode() {
       int best = -1;
       uint64_t best_bytes = UINT64_MAX;
       for (int i = 0; i < num_nodes(); ++i) {
-        if (IsDead(i)) continue;
+        if (!detector_.Serving(i)) continue;
         const uint64_t bytes = nodes_[i]->ActiveMemoryBytes();
         if (bytes < best_bytes) {
           best_bytes = bytes;
@@ -32,29 +34,78 @@ int Cluster::PickNode() {
         }
       }
       if (best >= 0) return best;
-      break;  // everything dead: fall through to round robin
+      break;  // everything suspect/dead: fall through to round robin
     }
   }
-  // Round robin over live nodes.
+  // Round robin over nodes the detector trusts.
   for (int attempt = 0; attempt < num_nodes(); ++attempt) {
     const int idx = static_cast<int>(
         rr_.fetch_add(1, std::memory_order_relaxed) %
         static_cast<uint64_t>(num_nodes()));
-    if (!IsDead(idx)) return idx;
+    if (detector_.Serving(idx)) return idx;
+  }
+  // No node fully trusted: fall back to any not-known-dead node so the op
+  // can still be attempted (the attempt itself feeds the detector).
+  for (int attempt = 0; attempt < num_nodes(); ++attempt) {
+    const int idx = static_cast<int>(
+        rr_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<uint64_t>(num_nodes()));
+    if (detector_.MaybeServing(idx)) return idx;
   }
   return 0;  // all nodes dead; the op will fail with kNetworkError
+}
+
+int Cluster::Heartbeat() {
+  int healthy = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    // The probe models a heartbeat RPC: it needs the node reachable (the
+    // network half) and its workers serving requests (the process half).
+    const bool responsive = !IsDead(i) && nodes_[i]->IsServingRequests();
+    if (responsive) {
+      detector_.ReportSuccess(i);  // lease renewed (auto-revive)
+      ++healthy;
+    } else {
+      detector_.ReportFailure(i);
+    }
+  }
+  return healthy;
 }
 
 Result<std::vector<core::CompactionReport>>
 Cluster::CompactAllIfFragmented() {
   std::vector<core::CompactionReport> all;
   for (int i = 0; i < num_nodes(); ++i) {
-    if (IsDead(i)) continue;
+    // Skip nodes the detector distrusts, plus a direct serving check:
+    // compaction is a control-plane op that synchronously waits on the
+    // node's workers, so running it against a paused node would stall the
+    // whole cluster sweep even if the detector has not caught up yet.
+    if (!detector_.MaybeServing(i)) continue;
+    if (IsDead(i) || !nodes_[i]->IsServingRequests()) continue;
     auto reports = nodes_[i]->CompactIfFragmented();
     CORM_RETURN_NOT_OK(reports.status());
     all.insert(all.end(), reports->begin(), reports->end());
   }
   return all;
+}
+
+void Cluster::CrashNode(int idx) {
+  nodes_[idx]->PauseService();
+  KillNode(idx);
+}
+
+void Cluster::RestartNode(int idx) {
+  // Connection reset: every request queued while the node was down is
+  // dropped, completing with kNetworkError so abandoned (timed-out) client
+  // messages are released and never replayed against the restarted node.
+  while (rdma::RpcMessage* stale = nodes_[idx]->rpc_queue()->Poll()) {
+    stale->status = Status::NetworkError("node restarted; request dropped");
+    stale->done.store(true, std::memory_order_release);
+    stale->Unref();
+  }
+  nodes_[idx]->ResumeService();
+  dead_[idx]->store(false, std::memory_order_release);
+  // Deliberately no detector_.Reset: the node rejoins via lease renewal on
+  // the next Heartbeat round.
 }
 
 uint64_t Cluster::TotalActiveMemoryBytes() const {

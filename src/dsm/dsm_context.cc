@@ -1,13 +1,17 @@
 #include "dsm/dsm_context.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace corm::dsm {
 
-DsmContext::DsmContext(Cluster* cluster) : cluster_(cluster) {
+DsmContext::DsmContext(Cluster* cluster,
+                       const core::Context::Options& options)
+    : cluster_(cluster) {
   contexts_.reserve(cluster_->num_nodes());
   for (int i = 0; i < cluster_->num_nodes(); ++i) {
-    contexts_.push_back(core::Context::Create(cluster_->node(i)));
+    contexts_.push_back(core::Context::Create(cluster_->node(i), options));
   }
 }
 
@@ -17,10 +21,25 @@ Result<core::Context*> DsmContext::Route(const core::GlobalAddr& addr) {
     return Status::InvalidArgument("pointer references an unknown node");
   }
   if (cluster_->IsDead(node)) {
+    // Ground-truth reachability (the QP/connection layer would error out
+    // immediately); also counts as a missed lease for the detector.
+    cluster_->failure_detector()->ReportFailure(node);
     return Status::NetworkError("node " + std::to_string(node) +
                                 " unreachable");
   }
   return contexts_[node].get();
+}
+
+Status DsmContext::Observe(int node, Status st) {
+  const StatusCode code = st.code();
+  if (code == StatusCode::kNetworkError || code == StatusCode::kTimeout) {
+    cluster_->failure_detector()->ReportFailure(node);
+  } else {
+    // Any definitive answer from the node (including application-level
+    // errors) proves it is alive: renew its lease.
+    cluster_->failure_detector()->ReportSuccess(node);
+  }
+  return st;
 }
 
 Result<core::GlobalAddr> DsmContext::Alloc(size_t size) {
@@ -32,11 +51,12 @@ Result<core::GlobalAddr> DsmContext::AllocOn(int node, size_t size) {
     return Status::InvalidArgument("bad node index");
   }
   if (cluster_->IsDead(node)) {
+    cluster_->failure_detector()->ReportFailure(node);
     return Status::NetworkError("node " + std::to_string(node) +
                                 " unreachable");
   }
   auto addr = contexts_[node]->Alloc(size);
-  CORM_RETURN_NOT_OK(addr.status());
+  CORM_RETURN_NOT_OK(Observe(node, addr.status()));
   SetNode(&*addr, node);
   return *addr;
 }
@@ -44,7 +64,7 @@ Result<core::GlobalAddr> DsmContext::AllocOn(int node, size_t size) {
 Status DsmContext::Free(core::GlobalAddr* addr) {
   auto ctx = Route(*addr);
   CORM_RETURN_NOT_OK(ctx.status());
-  return (*ctx)->Free(addr);
+  return Observe(NodeOf(*addr), (*ctx)->Free(addr));
 }
 
 // Ops that rewrite the pointer must re-stamp the node id afterwards: the
@@ -53,7 +73,7 @@ Status DsmContext::Read(core::GlobalAddr* addr, void* buf, size_t size) {
   auto ctx = Route(*addr);
   CORM_RETURN_NOT_OK(ctx.status());
   const int node = NodeOf(*addr);
-  Status st = (*ctx)->Read(addr, buf, size);
+  Status st = Observe(node, (*ctx)->Read(addr, buf, size));
   if (st.ok()) SetNode(addr, node);
   return st;
 }
@@ -63,7 +83,7 @@ Status DsmContext::Write(core::GlobalAddr* addr, const void* buf,
   auto ctx = Route(*addr);
   CORM_RETURN_NOT_OK(ctx.status());
   const int node = NodeOf(*addr);
-  Status st = (*ctx)->Write(addr, buf, size);
+  Status st = Observe(node, (*ctx)->Write(addr, buf, size));
   if (st.ok()) SetNode(addr, node);
   return st;
 }
@@ -90,7 +110,7 @@ Status DsmContext::ReleasePtr(core::GlobalAddr* addr) {
   auto ctx = Route(*addr);
   CORM_RETURN_NOT_OK(ctx.status());
   const int node = NodeOf(*addr);
-  Status st = (*ctx)->ReleasePtr(addr);
+  Status st = Observe(node, (*ctx)->ReleasePtr(addr));
   if (st.ok()) SetNode(addr, node);
   return st;
 }
@@ -101,7 +121,7 @@ Status DsmContext::ReadWithRecovery(core::GlobalAddr* addr, void* buf,
   auto ctx = Route(*addr);
   CORM_RETURN_NOT_OK(ctx.status());
   const int node = NodeOf(*addr);
-  Status st = (*ctx)->ReadWithRecovery(addr, buf, size, fallback);
+  Status st = Observe(node, (*ctx)->ReadWithRecovery(addr, buf, size, fallback));
   if (st.ok()) SetNode(addr, node);
   return st;
 }

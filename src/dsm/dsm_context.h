@@ -17,7 +17,10 @@ namespace corm::dsm {
 
 class DsmContext {
  public:
-  explicit DsmContext(Cluster* cluster);
+  explicit DsmContext(Cluster* cluster)
+      : DsmContext(cluster, core::Context::Options{}) {}
+  // Per-node client options (chaos tests shorten the retry deadlines).
+  DsmContext(Cluster* cluster, const core::Context::Options& options);
 
   DsmContext(const DsmContext&) = delete;
   DsmContext& operator=(const DsmContext&) = delete;
@@ -45,6 +48,11 @@ class DsmContext {
  private:
   // Validates the target node and returns its context, or kNetworkError.
   Result<core::Context*> Route(const core::GlobalAddr& addr);
+
+  // Passive failure detection: operation outcomes double as probes. A
+  // network error or timeout against `node` counts as a missed heartbeat;
+  // a success renews its lease.
+  Status Observe(int node, Status st);
 
   Cluster* const cluster_;
   std::vector<std::unique_ptr<core::Context>> contexts_;

@@ -77,16 +77,19 @@ Result<RebalanceReport> Rebalancer::Rebalance(
 
   const uint64_t before_migrated = migrator_->objects_migrated();
   const uint64_t before_bytes = migrator_->bytes_migrated();
+  const FailureDetector& detector = *cluster_->failure_detector();
   for (int src = 0; src < nodes; ++src) {
-    if (cluster_->IsDead(src)) continue;
+    // Migration off a suspect node would race its recovery; only drain
+    // sources the detector fully trusts.
+    if (!detector.Serving(src)) continue;
     size_t cursor = 0;
     while (node_bytes(src) > mean * tolerance &&
            cursor < by_node[src].size()) {
-      // Pick the currently least-loaded live target.
+      // Pick the currently least-loaded target the detector trusts.
       int dst = -1;
       uint64_t best = UINT64_MAX;
       for (int n = 0; n < nodes; ++n) {
-        if (n == src || cluster_->IsDead(n)) continue;
+        if (n == src || !detector.Serving(n)) continue;
         if (node_bytes(n) < best) {
           best = node_bytes(n);
           dst = n;
@@ -96,7 +99,8 @@ Result<RebalanceReport> Rebalancer::Rebalance(
       const size_t idx = by_node[src][cursor++];
       Status st =
           migrator_->Migrate(&(*objects)[idx], sizes[idx], dst);
-      if (!st.ok() && st.code() != StatusCode::kNetworkError) {
+      if (!st.ok() && st.code() != StatusCode::kNetworkError &&
+          st.code() != StatusCode::kTimeout) {
         return st;
       }
     }

@@ -6,8 +6,18 @@
 
 namespace corm::dsm {
 
-ReplicatedContext::ReplicatedContext(Cluster* cluster, int replication_factor)
-    : dsm_(cluster), k_(replication_factor) {
+namespace {
+// A replica attempt that failed with one of these is a node problem, not a
+// data problem: the caller should try the next replica.
+bool FailoverWorthy(const Status& st) {
+  return st.code() == StatusCode::kNetworkError ||
+         st.code() == StatusCode::kTimeout;
+}
+}  // namespace
+
+ReplicatedContext::ReplicatedContext(Cluster* cluster, int replication_factor,
+                                     const core::Context::Options& options)
+    : dsm_(cluster, options), k_(replication_factor) {
   CORM_CHECK_GT(k_, 0);
   CORM_CHECK_LE(k_, cluster->num_nodes());
 }
@@ -15,13 +25,14 @@ ReplicatedContext::ReplicatedContext(Cluster* cluster, int replication_factor)
 Result<ReplicatedAddr> ReplicatedContext::Alloc(size_t size) {
   ReplicatedAddr addr;
   std::set<int> used;
-  // Place each replica on a distinct live node.
+  const FailureDetector& detector = *dsm_.cluster()->failure_detector();
+  // Place each replica on a distinct node the detector trusts.
   for (int r = 0; r < k_; ++r) {
     int node = -1;
     for (int attempt = 0; attempt < 4 * dsm_.cluster()->num_nodes();
          ++attempt) {
       const int candidate = dsm_.cluster()->PickNode();
-      if (!used.count(candidate) && !dsm_.cluster()->IsDead(candidate)) {
+      if (!used.count(candidate) && detector.Serving(candidate)) {
         node = candidate;
         break;
       }
@@ -45,10 +56,19 @@ Result<ReplicatedAddr> ReplicatedContext::Alloc(size_t size) {
 Status ReplicatedContext::Write(ReplicatedAddr* addr, const void* buf,
                                 size_t size) {
   if (addr->IsNull()) return Status::InvalidArgument("null replicated addr");
+  const FailureDetector& detector = *dsm_.cluster()->failure_detector();
   for (size_t r = 0; r < addr->replicas.size(); ++r) {
+    // Backups the detector already declared dead are skipped without a
+    // doomed network attempt; suspects are still tried (the detector may
+    // be behind). The primary is always attempted — only a real error may
+    // fail a write.
+    if (r > 0 && !detector.MaybeServing(NodeOf(addr->replicas[r]))) {
+      ++degraded_writes_;
+      continue;
+    }
     Status st = dsm_.Write(&addr->replicas[r], buf, size);
     if (st.ok()) continue;
-    if (st.code() == StatusCode::kNetworkError && r > 0) {
+    if (FailoverWorthy(st) && r > 0) {
       // Backup unreachable: degrade, keep the data durable on the rest.
       ++degraded_writes_;
       continue;
@@ -60,15 +80,25 @@ Status ReplicatedContext::Write(ReplicatedAddr* addr, const void* buf,
 
 Status ReplicatedContext::Read(ReplicatedAddr* addr, void* buf, size_t size) {
   if (addr->IsNull()) return Status::InvalidArgument("null replicated addr");
+  const FailureDetector& detector = *dsm_.cluster()->failure_detector();
   Status last = Status::NetworkError("no replicas");
+  bool skipped_earlier = false;
   for (size_t r = 0; r < addr->replicas.size(); ++r) {
+    // Detector-first: skip replicas already declared dead instead of
+    // burning a timeout on each — unless every replica is distrusted, in
+    // which case the last one is attempted anyway as a best effort.
+    if (!detector.MaybeServing(NodeOf(addr->replicas[r])) &&
+        r + 1 < addr->replicas.size()) {
+      skipped_earlier = true;
+      continue;
+    }
     last = dsm_.ReadWithRecovery(&addr->replicas[r], buf, size);
     if (last.ok()) {
-      if (r > 0) ++failovers_;
+      if (r > 0 || skipped_earlier) ++failovers_;
       return last;
     }
-    if (last.code() != StatusCode::kNetworkError) return last;
-    // Node unreachable: try the next replica.
+    if (!FailoverWorthy(last)) return last;
+    // Node unreachable or unresponsive: try the next replica.
   }
   return last;
 }
@@ -79,7 +109,7 @@ Status ReplicatedContext::Free(ReplicatedAddr* addr) {
     Status st = dsm_.Free(&replica);
     // Unreachable replicas leak until re-replication; report the first
     // hard error otherwise.
-    if (!st.ok() && st.code() != StatusCode::kNetworkError && result.ok()) {
+    if (!st.ok() && !FailoverWorthy(st) && result.ok()) {
       result = st;
     }
   }

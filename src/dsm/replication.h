@@ -35,9 +35,14 @@ struct ReplicatedAddr {
 
 class ReplicatedContext {
  public:
-  ReplicatedContext(Cluster* cluster, int replication_factor);
+  ReplicatedContext(Cluster* cluster, int replication_factor)
+      : ReplicatedContext(cluster, replication_factor,
+                          core::Context::Options{}) {}
+  ReplicatedContext(Cluster* cluster, int replication_factor,
+                    const core::Context::Options& options);
 
-  // Allocates the object on `replication_factor` distinct live nodes.
+  // Allocates the object on `replication_factor` distinct nodes the
+  // failure detector trusts.
   Result<ReplicatedAddr> Alloc(size_t size);
 
   // Writes primary-first, then backups. Fails (without rollback) when any
@@ -46,7 +51,8 @@ class ReplicatedContext {
   Status Write(ReplicatedAddr* addr, const void* buf, size_t size);
 
   // One-sided read with recovery from the primary; fails over to the next
-  // replica when a node is unreachable.
+  // replica when a node is unreachable, times out, or the failure detector
+  // already declared it dead.
   Status Read(ReplicatedAddr* addr, void* buf, size_t size);
 
   // Frees every reachable replica.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/fault_injector.h"
 
 namespace corm::rdma {
 
@@ -183,6 +184,15 @@ Result<uint64_t> Rnic::AdviseMr(RKey r_key, sim::VAddr addr, size_t len) {
 Result<uint64_t> Rnic::MttAccess(RKey r_key, sim::VAddr addr, void* buf,
                                  size_t len, bool is_write, bool* broke_qp) {
   *broke_qp = false;
+  if (auto* fi = sim::GlobalFaultInjector();
+      fi != nullptr && fi->ShouldFire(sim::fault_sites::kQpBreak)) {
+    // Injected transport-level fault (cable pull, firmware hiccup): the QP
+    // transitions to the error state exactly like the organic break paths
+    // below, so clients exercise the same reconnect machinery.
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    *broke_qp = true;
+    return Status::QpBroken("injected QP break");
+  }
   auto mr = Lookup(r_key);
   if (!mr) {
     // Invalid r_key: the IB spec says the QP moves to the error state.

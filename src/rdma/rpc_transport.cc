@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/cpu_relax.h"
+#include "sim/fault_injector.h"
 
 namespace corm::rdma {
 
@@ -38,33 +40,115 @@ void NicMessageRateLimiter::Acquire() {
   }
 }
 
-uint64_t RpcClient::Call(RpcMessage* msg) {
-  msg->done.store(false, std::memory_order_relaxed);
-  msg->response.clear();
+RpcMessage* RpcMessage::New() {
+  // Private-ish factory the shared client/server lifetime needs; the
+  // refcount, not a single owner, controls deletion. NOLINT(corm-raw-new)
+  auto* msg = new RpcMessage();
+  msg->refs_.store(2, std::memory_order_relaxed);
+  return msg;
+}
 
-  const uint64_t req_leg = model_.RpcNs(msg->request.size()) / 2;
+void RpcMessage::Unref() {
+  if (refs_.load(std::memory_order_relaxed) == 0) return;  // stack-owned
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete this;  // NOLINT(corm-raw-new)
+  }
+}
+
+RpcCallResult RpcClient::Call(Buffer request) {
+  RpcCallResult out;
+  auto* fi = sim::GlobalFaultInjector();
+  const Deadline deadline(policy_.deadline_ns);
+
+  // Injected extra network latency (congestion, retransmission) on the
+  // request leg.
+  if (fi != nullptr) {
+    uint64_t delay_ns = 0;
+    if (fi->ShouldFire(sim::fault_sites::kRpcDelay, &delay_ns)) {
+      sim::Pace(delay_ns);
+      out.network_ns += delay_ns;
+    }
+  }
+
+  const uint64_t req_leg = model_.RpcNs(request.size()) / 2;
+  RpcMessage* msg = RpcMessage::New();
+  msg->request = std::move(request);
 
   // Request leg: RDMA-write of the request into the remote RPC queue; the
   // server NIC admits messages at its two-sided message rate.
   sim::Pace(req_leg);
-  queue_->rate_limiter()->Acquire();
-  while (!queue_->Push(msg)) {
-    // Queue full: remote node saturated; clients retry, which throttles the
-    // aggregate RPC throughput exactly as a bounded RPC ring does.
-    sim::Pace(200);
+  out.network_ns += req_leg;
+
+  bool delivered = false;
+  if (fi == nullptr || !fi->ShouldFire(sim::fault_sites::kRpcDropRequest)) {
+    queue_->rate_limiter()->Acquire();
+    for (;;) {
+      if (queue_->Push(msg)) {
+        delivered = true;
+        break;
+      }
+      // Queue full: remote node saturated; clients retry, which throttles
+      // the aggregate RPC throughput exactly as a bounded RPC ring does —
+      // up to the deadline, past which the node counts as unresponsive.
+      if (deadline.Expired()) break;
+      sim::Pace(200);
+    }
+  }
+  if (!delivered) {
+    // The server will never see this message: release its reference too.
+    msg->Unref();
+    msg->Unref();
+    out.status = Status::Timeout("rpc request not delivered");
+    return out;
   }
 
-  // Spin for completion (client polls its completion queue). The yield in
-  // CpuRelax keeps single-CPU hosts responsive.
-  while (!msg->done.load(std::memory_order_acquire)) {
+  // Spin for completion (client polls its completion queue), checking the
+  // wall-clock deadline at a coarse stride to keep the hot path cheap.
+  bool completed = false;
+  for (uint32_t spins = 0;; ++spins) {
+    if (msg->done.load(std::memory_order_acquire)) {
+      completed = true;
+      break;
+    }
+    if ((spins & 0x3ff) == 0x3ff && deadline.Expired()) break;
     CpuRelax();
   }
+  if (!completed) {
+    // Abandon the in-flight call: the server still holds its reference and
+    // settles the memory whenever (if ever) it completes the request.
+    msg->Unref();
+    out.status = Status::Timeout("rpc completion deadline expired");
+    return out;
+  }
+
+  // The completion (response packet) itself can be lost: the server
+  // applied the operation but the client cannot know — classic at-least-
+  // once ambiguity, surfaced as kTimeout.
+  if (fi != nullptr && fi->ShouldFire(sim::fault_sites::kRpcDropResponse)) {
+    msg->Unref();
+    out.status = Status::Timeout("rpc response lost");
+    return out;
+  }
+
+  out.status = std::move(msg->status);
+  out.response = std::move(msg->response);
+  out.server_extra_ns = msg->server_extra_ns;
+  msg->Unref();
 
   // Response leg, sized by the reply payload; also a NIC message.
-  const uint64_t resp_leg = model_.RpcNs(msg->response.size()) / 2;
+  const uint64_t resp_leg = model_.RpcNs(out.response.size()) / 2;
   queue_->rate_limiter()->Acquire();
   sim::Pace(resp_leg);
-  return req_leg + resp_leg;
+  out.network_ns += resp_leg;
+  if (fi != nullptr && fi->ShouldFire(sim::fault_sites::kRpcDupCompletion)) {
+    // Duplicated completion: the NIC delivers the response twice; the
+    // second copy costs another message slot and leg of network time.
+    out.dup_completion = true;
+    queue_->rate_limiter()->Acquire();
+    sim::Pace(resp_leg);
+    out.network_ns += resp_leg;
+  }
+  return out;
 }
 
 }  // namespace corm::rdma

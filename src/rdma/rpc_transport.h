@@ -3,7 +3,11 @@
 // Remote peers push RPC requests "directly into the RPC queue" (modeled by
 // the lock-free MPMC queue); the DSM worker threads poll that queue, serve
 // the request and reply. A client has at most one outstanding request and
-// spins on the completion flag, like an RDMA client polling its CQ.
+// spins on the completion flag, like an RDMA client polling its CQ — but
+// the spin is *bounded* by a RetryPolicy deadline: when the serving node
+// dies mid-request the call returns kTimeout instead of hanging, and the
+// abandoned message's lifetime is settled by its intrusive refcount (the
+// server still holds a reference and releases it whenever it completes).
 
 #ifndef CORM_RDMA_RPC_TRANSPORT_H_
 #define CORM_RDMA_RPC_TRANSPORT_H_
@@ -13,15 +17,22 @@
 
 #include "common/mpmc_queue.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "sim/latency_model.h"
 
 namespace corm::rdma {
 
-// One in-flight RPC. Owned by the caller; the server fills response/status
-// and sets done last (release), which the spinning client observes
-// (acquire).
+// One in-flight RPC. The server fills response/status and sets done last
+// (release), which the spinning client observes (acquire).
+//
+// Lifetime: a message created with New() carries two references — the
+// client's and the server's — because a timed-out client abandons the
+// message while the server may still be about to complete it. Whoever
+// drops the last reference frees it. Stack-allocated messages (tests,
+// tools that complete synchronously) start at refcount 0, where Unref is
+// a no-op and the owner's scope controls the lifetime as before.
 struct RpcMessage {
   Buffer request;
   Buffer response;
@@ -31,6 +42,15 @@ struct RpcMessage {
   // full modeled operation latency without a wall clock.
   uint64_t server_extra_ns = 0;
   std::atomic<bool> done{false};
+
+  // Heap factory for transport use: returns a message holding one client
+  // and one server reference.
+  static RpcMessage* New();
+  // Drops one reference; frees the message when the last one goes.
+  void Unref();
+
+ private:
+  std::atomic<int> refs_{0};  // 0 = stack-owned, Unref is a no-op
 };
 
 // Token-style rate limiter modeling the RNIC's two-sided message rate: the
@@ -81,23 +101,38 @@ class RpcQueue {
   NicMessageRateLimiter limiter_;
 };
 
+// Everything a completed (or failed) call reports back to the client.
+struct RpcCallResult {
+  // Server-set status; kTimeout when the transport gave up first (request
+  // undeliverable, completion never observed, or response lost) — in that
+  // case the server may or may not have applied the operation.
+  Status status;
+  Buffer response;
+  uint64_t network_ns = 0;       // modeled network round-trip time
+  uint64_t server_extra_ns = 0;  // modeled server compute the handler charged
+  bool dup_completion = false;   // an injected duplicate completion arrived
+};
+
 // Client-side RPC endpoint: pushes requests into a remote RpcQueue and
-// spins for the completion, pacing the modeled network time of both legs.
+// spins for the completion — bounded by `policy.deadline_ns` — pacing the
+// modeled network time of both legs. Consults the global fault injector at
+// the rpc.* sites.
 class RpcClient {
  public:
-  RpcClient(RpcQueue* queue, sim::LatencyModel model)
-      : queue_(queue), model_(model) {}
+  RpcClient(RpcQueue* queue, sim::LatencyModel model,
+            RetryPolicy policy = RetryPolicy{})
+      : queue_(queue), model_(model), policy_(policy) {}
 
-  // Synchronous call. On return, `msg->response`/`msg->status` are filled.
-  // Returns the modeled network round-trip (excludes server compute, which
-  // elapses for real while the client spins).
-  uint64_t Call(RpcMessage* msg);
+  // Synchronous call; never blocks past the policy deadline.
+  RpcCallResult Call(Buffer request);
 
   const sim::LatencyModel& model() const { return model_; }
+  const RetryPolicy& retry_policy() const { return policy_; }
 
  private:
   RpcQueue* const queue_;
   const sim::LatencyModel model_;
+  const RetryPolicy policy_;
 };
 
 }  // namespace corm::rdma

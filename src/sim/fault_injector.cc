@@ -1,0 +1,96 @@
+#include "sim/fault_injector.h"
+
+#include <mutex>
+
+namespace corm::sim {
+
+namespace {
+
+// FNV-1a over the site name: stable across runs and platforms, so the
+// (seed, site, index) → decision mapping is reproducible everywhere.
+uint64_t HashSiteName(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// SplitMix64 finalizer: decorrelates the combined (seed, site, index) word.
+uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& site, FaultSchedule schedule) {
+  std::unique_lock lock(mu_);
+  auto& slot = sites_[site];
+  if (!slot) {
+    slot = std::make_unique<Site>();
+    slot->name_hash = HashSiteName(site);
+  }
+  slot->schedule = schedule;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::unique_lock lock(mu_);
+  sites_.erase(site);
+}
+
+bool FaultInjector::ShouldFire(std::string_view site, uint64_t* delay_ns) {
+  std::shared_lock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return false;
+  Site* s = it->second.get();
+  const FaultSchedule& sched = s->schedule;
+
+  // 1-based event index; the atomic increment makes the *decision* for a
+  // given index identical across runs even when threads race to claim
+  // indices in different orders.
+  const uint64_t n = s->events.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  bool fire = false;
+  if (sched.one_shot_at != 0 && n == sched.one_shot_at) fire = true;
+  if (!fire && sched.every_nth != 0 && n % sched.every_nth == 0) fire = true;
+  if (!fire && sched.probability > 0.0) {
+    const uint64_t word = Mix(seed_ ^ s->name_hash ^ (n * 0x9e3779b97f4a7c15ULL));
+    const double u =
+        static_cast<double>(word >> 11) * (1.0 / 9007199254740992.0);
+    fire = u < sched.probability;
+  }
+  if (fire) {
+    s->fired.fetch_add(1, std::memory_order_relaxed);
+    if (delay_ns != nullptr) *delay_ns = sched.delay_ns;
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::EventCount(std::string_view site) const {
+  std::shared_lock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0
+                            : it->second->events.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::FiredCount(std::string_view site) const {
+  std::shared_lock lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0
+                            : it->second->fired.load(std::memory_order_relaxed);
+}
+
+FaultInjector* GlobalFaultInjector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+FaultInjector* SetGlobalFaultInjector(FaultInjector* injector) {
+  return g_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+}  // namespace corm::sim

@@ -259,14 +259,32 @@ TEST(RpcTransportTest, RequestResponseRoundTrip) {
     msg->response = Buffer(msg->request.rbegin(), msg->request.rend());
     msg->status = Status::OK();
     msg->done.store(true, std::memory_order_release);
+    msg->Unref();  // the server's reference
   });
 
-  RpcMessage msg;
-  msg.request = {1, 2, 3};
-  client.Call(&msg);
+  RpcCallResult result = client.Call(Buffer{1, 2, 3});
   server.join();
-  EXPECT_TRUE(msg.status.ok());
-  EXPECT_EQ(msg.response, (Buffer{3, 2, 1}));
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.response, (Buffer{3, 2, 1}));
+  EXPECT_GT(result.network_ns, 0u);
+}
+
+TEST(RpcTransportTest, CallTimesOutWhenNobodyServes) {
+  RpcQueue queue;  // no server polls it
+  RetryPolicy policy;
+  policy.deadline_ns = 20'000'000;  // 20 ms
+  RpcClient client(&queue, LatencyModel{}, policy);
+
+  RpcCallResult result = client.Call(Buffer{42});
+  EXPECT_EQ(result.status.code(), StatusCode::kTimeout);
+
+  // The abandoned message still sits in the queue; a late server completes
+  // it without touching freed memory (the refcount keeps it alive).
+  RpcMessage* msg = queue.Poll();
+  ASSERT_NE(msg, nullptr);
+  msg->status = Status::OK();
+  msg->done.store(true, std::memory_order_release);
+  msg->Unref();
 }
 
 TEST(RpcTransportTest, RateLimiterDisabledAtZeroScale) {

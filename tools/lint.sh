@@ -13,6 +13,12 @@
 #   3. Status / Result<T> must stay [[nodiscard]] (call-site enforcement is
 #      then free via -Wall).
 #   4. src/ must not include tests/ headers (no inverted layering).
+#   5. No unbounded spin-waits on atomics outside src/common/ and
+#      src/rdma/ — every completion wait must be deadline-bounded
+#      (common/retry.h) so a dead node converts to kTimeout instead of a
+#      hang. Exemption: `NOLINT(corm-spin-wait)` on the line or the line
+#      above (service run-loops bounded by stop flags, and waits on local
+#      workers that provably cannot die independently).
 #
 # Additionally runs clang-tidy over src/ when a binary and a compilation
 # database are available; skipped (with a note) otherwise, since the CI
@@ -71,6 +77,27 @@ for f in $src_files; do
   [ -z "$matches" ] && continue
   while IFS= read -r line; do
     violation "$f:$line — src/ includes a tests/ header (rule 4)"
+  done <<EOF_MATCHES
+$matches
+EOF_MATCHES
+done
+
+# --- Rule 5: unbounded atomic spin-waits outside common/ and rdma/. --------
+# A `while (...load(...))` loop with no deadline is exactly the bug the
+# RPC transport had: a remote death turns it into a hang. The low-level
+# primitives (common/, rdma/) own the sanctioned bounded waits.
+for f in $(find src -name '*.h' -o -name '*.cc' \
+               | grep -v '^src/common/' | grep -v '^src/rdma/' | sort); do
+  matches=$(grep -nE 'while[[:space:]]*\(.*(\.|->)load\(' "$f" \
+      | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
+  [ -z "$matches" ] && continue
+  while IFS= read -r line; do
+    lineno=${line%%:*}
+    if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
+        | grep -q 'NOLINT(corm-spin-wait)'; then
+      continue
+    fi
+    violation "$f:$line — unbounded spin-wait on an atomic; bound it with a Deadline (common/retry.h) or annotate NOLINT(corm-spin-wait) (rule 5)"
   done <<EOF_MATCHES
 $matches
 EOF_MATCHES
