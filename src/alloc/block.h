@@ -122,6 +122,12 @@ class Block {
   void set_nonfull_listed(bool v) { nonfull_listed_ = v; }
 
  private:
+  // Deliberately unguarded (no GUARDED_BY): the ownership invariant above
+  // — at most one owning thread, transferred only via collection messages
+  // with their own happens-before edges — is a dynamic hand-off discipline
+  // the static analyzer cannot express as a capability. owner_thread_ is
+  // the atomic that publishes the hand-off; CORM_AUDIT checks enforce the
+  // invariant at runtime instead.
   const sim::VAddr base_;
   sim::PhysBlock phys_;
   const uint32_t class_idx_;

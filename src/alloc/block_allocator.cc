@@ -45,7 +45,7 @@ Result<std::unique_ptr<Block>> BlockAllocator::AllocBlock(uint32_t class_idx) {
     return keys.status();
   }
   {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     ++blocks_allocated_;
   }
   return std::make_unique<Block>(base, std::move(*phys), class_idx, slot_size,
@@ -58,7 +58,7 @@ void BlockAllocator::DestroyBlock(std::unique_ptr<Block> block) {
   CORM_CHECK(space_->Unmap(block->base(), block->npages()).ok());
   files_->FreeBlock(block->phys());
   space_->ReleaseRange(block->base(), block->npages());
-  std::lock_guard<RankedSpinLock> lock(mu_);
+  LockGuard<RankedSpinLock> lock(mu_);
   ++blocks_destroyed_;
 }
 
@@ -119,7 +119,7 @@ Result<uint64_t> BlockAllocator::MergeRemap(Block* src, Block* dst) {
   src->mutable_phys()->id = {-1, 0};  // no file backing of its own
 
   {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     ++merges_;
   }
   // Note: no pacing here — the caller holds locks that must not be held for
@@ -137,7 +137,7 @@ void BlockAllocator::ReleaseGhost(sim::VAddr base, size_t npages,
 Status BlockAllocator::AuditCounters() const {
   uint64_t allocated, destroyed, merges;
   {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     allocated = blocks_allocated_;
     destroyed = blocks_destroyed_;
     merges = merges_;

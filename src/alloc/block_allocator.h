@@ -14,12 +14,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "alloc/block.h"
 #include "alloc/size_classes.h"
 #include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "rdma/rnic.h"
 #include "sim/address_space.h"
 #include "sim/latency_model.h"
@@ -87,15 +88,15 @@ class BlockAllocator {
   // Counters. Read under the same lock as the writers: benchmarks and the
   // audit poll them while workers allocate, so unlocked reads would race.
   uint64_t blocks_allocated() const {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     return blocks_allocated_;
   }
   uint64_t blocks_destroyed() const {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     return blocks_destroyed_;
   }
   uint64_t merges() const {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     return merges_;
   }
 
@@ -115,9 +116,9 @@ class BlockAllocator {
   // Guards the counters; ranked so that any accidental re-entry from the
   // substrate callbacks (which rank higher) is caught (see lock_rank.h).
   mutable RankedSpinLock mu_{LockRank::kBlockAllocator};
-  uint64_t blocks_allocated_ = 0;
-  uint64_t blocks_destroyed_ = 0;
-  uint64_t merges_ = 0;
+  uint64_t blocks_allocated_ GUARDED_BY(mu_) = 0;
+  uint64_t blocks_destroyed_ GUARDED_BY(mu_) = 0;
+  uint64_t merges_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace corm::alloc

@@ -87,6 +87,11 @@ class ThreadAllocator {
   Block* PopNonFull(PerClass* pc);
   Status AuditClass(uint32_t class_idx, bool has_ids) const;
 
+  // Deliberately unguarded: every method runs on the owning worker thread
+  // (see the class comment), so per_class_ is single-threaded by protocol —
+  // thread confinement, not a lock, and thus outside GUARDED_BY's
+  // vocabulary. Cross-thread block movement goes through Adopt/Detach on
+  // the respective owners, never through shared mutable state here.
   const int thread_id_;
   BlockAllocator* const block_allocator_;
   std::vector<PerClass> per_class_;

@@ -28,6 +28,7 @@
 #include "common/logging.h"
 #include "common/sanitizer.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace corm {
 
@@ -131,22 +132,32 @@ class LockRankTracker {
 };
 
 // A SpinLock that participates in the hierarchy. Satisfies Lockable.
-class RankedSpinLock {
+//
+// The public methods carry the capability attributes; their bodies are
+// NO_THREAD_SAFETY_ANALYSIS because they delegate to the inner annotated
+// SpinLock — the analyzer would otherwise report the *inner* capability as
+// leaked/double-managed. The outer RankedSpinLock capability is the one the
+// rest of the codebase names in GUARDED_BY, so correctness is still checked
+// at every use site; only this 1:1 delegation is exempt.
+class CAPABILITY("mutex") RankedSpinLock {
  public:
   explicit RankedSpinLock(LockRank rank) : rank_(rank) {}
   RankedSpinLock(const RankedSpinLock&) = delete;
   RankedSpinLock& operator=(const RankedSpinLock&) = delete;
 
-  void lock() {
+  // Escape: 1:1 delegation to the inner annotated SpinLock (see class note).
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {
     LockRankTracker::Acquired(rank_);
     lock_.lock();
   }
-  bool try_lock() {
+  // Escape: 1:1 delegation to the inner annotated SpinLock (see class note).
+  bool try_lock() TRY_ACQUIRE(true) NO_THREAD_SAFETY_ANALYSIS {
     if (!lock_.try_lock()) return false;
     LockRankTracker::Acquired(rank_);
     return true;
   }
-  void unlock() {
+  // Escape: 1:1 delegation to the inner annotated SpinLock (see class note).
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
     lock_.unlock();
     LockRankTracker::Released(rank_);
   }
@@ -160,25 +171,27 @@ class RankedSpinLock {
 
 // A std::shared_mutex that participates in the hierarchy (shared and
 // exclusive acquisitions rank identically: both can deadlock in a cycle).
-class RankedSharedMutex {
+// std::shared_mutex carries no capability attributes, so the method bodies
+// need no analysis escape — the attributes on the methods are the contract.
+class CAPABILITY("shared_mutex") RankedSharedMutex {
  public:
   explicit RankedSharedMutex(LockRank rank) : rank_(rank) {}
   RankedSharedMutex(const RankedSharedMutex&) = delete;
   RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     LockRankTracker::Acquired(rank_);
     mu_.lock();
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mu_.unlock();
     LockRankTracker::Released(rank_);
   }
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
     LockRankTracker::Acquired(rank_);
     mu_.lock_shared();
   }
-  void unlock_shared() {
+  void unlock_shared() RELEASE_SHARED() {
     mu_.unlock_shared();
     LockRankTracker::Released(rank_);
   }

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/sanitizer.h"
+#include "common/thread_annotations.h"
 
 namespace corm {
 
@@ -35,7 +36,10 @@ class MpmcQueue {
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
   // Returns false when the queue is full.
-  bool TryPush(T value) {
+  // Escape: lock-free — exclusive access to `cell` is granted by winning the
+  // tail_ CAS and is published via the cell's seq release/acquire pair, a
+  // hand-off no capability model expresses.
+  bool TryPush(T value) NO_THREAD_SAFETY_ANALYSIS {
     Cell* cell;
     size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
@@ -65,7 +69,10 @@ class MpmcQueue {
   }
 
   // Returns nullopt when the queue is empty.
-  std::optional<T> TryPop() {
+  // Escape: lock-free — winning the head_ CAS makes this thread the sole
+  // reader of `cell` until its seq store recycles it to producers; the
+  // seq acquire pairs with the producer's release (no capability to model).
+  std::optional<T> TryPop() NO_THREAD_SAFETY_ANALYSIS {
     Cell* cell;
     size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {

@@ -9,10 +9,11 @@
 
 #include "common/cpu_relax.h"
 #include "common/sanitizer.h"
+#include "common/thread_annotations.h"
 
 namespace corm {
 
-class SpinLock {
+class CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
@@ -22,7 +23,7 @@ class SpinLock {
   // happens-before edge; the explicit annotations keep the edge modeled
   // even if the memory orders are ever weakened (e.g. to a futex or HLE
   // variant) and make reports name the lock address.
-  void lock() {
+  void lock() ACQUIRE() {
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) {
         CORM_TSAN_ACQUIRE(&flag_);
@@ -34,7 +35,7 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     if (!flag_.load(std::memory_order_relaxed) &&
         !flag_.exchange(true, std::memory_order_acquire)) {
       CORM_TSAN_ACQUIRE(&flag_);
@@ -43,7 +44,7 @@ class SpinLock {
     return false;
   }
 
-  void unlock() {
+  void unlock() RELEASE() {
     CORM_TSAN_RELEASE(&flag_);
     flag_.store(false, std::memory_order_release);
   }

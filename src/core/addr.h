@@ -12,7 +12,9 @@
 #ifndef CORM_CORE_ADDR_H_
 #define CORM_CORE_ADDR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "rdma/rnic.h"
 #include "sim/address_space.h"
@@ -37,7 +39,17 @@ struct GlobalAddr {
   bool operator==(const GlobalAddr&) const = default;
 };
 
+// GlobalAddr is handed to clients and copied byte-wise into RPC payloads,
+// so its exact field placement is wire format: pin it at compile time.
 static_assert(sizeof(GlobalAddr) == 16, "GlobalAddr must be 128 bits");
+static_assert(std::is_trivially_copyable_v<GlobalAddr>,
+              "GlobalAddr crosses the wire via memcpy");
+static_assert(offsetof(GlobalAddr, vaddr) == 0 &&
+                  offsetof(GlobalAddr, r_key) == 8 &&
+                  offsetof(GlobalAddr, obj_id) == 12 &&
+                  offsetof(GlobalAddr, class_idx) == 14 &&
+                  offsetof(GlobalAddr, flags) == 15,
+              "GlobalAddr field offsets are wire format (paper Table 2)");
 
 // Base virtual address of the block containing `addr`. All blocks in a node
 // share one block size, and virtual ranges are allocated at block

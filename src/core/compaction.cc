@@ -11,6 +11,7 @@
 #include "common/lock_rank.h"
 #include "common/logging.h"
 #include "common/sanitizer.h"
+#include "common/thread_annotations.h"
 #include "core/object_layout.h"
 #include "core/worker.h"
 #include "sim/latency_model.h"
@@ -67,6 +68,7 @@ void Worker::RunCompaction(CompactRequest* req) {
   std::vector<std::unique_ptr<alloc::Block>> pool = allocator_.CollectBlocks(
       class_idx, cfg.collection_max_occupancy, cfg.compaction_max_blocks);
   for (auto& reply : replies) {
+    // Same-process worker reply; the worker cannot die independently.
     while (!reply->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       // Serve correction queries while waiting so no worker deadlocks on us.
       if (auto pending = inbox_.TryPop()) {
@@ -181,9 +183,15 @@ void Worker::RunCompaction(CompactRequest* req) {
   req->done.store(true, std::memory_order_release);
 }
 
+// Escape: lock hand-off during block merge — per-object kCompacting header
+// locks are CAS-acquired in step 1 and *implicitly released* when the remap
+// retargets src's bytes at dst's kFree copies (no unlock call exists for
+// the analyzer to pair with the acquisition).
 Result<size_t> Worker::MergeBlocks(std::unique_ptr<alloc::Block> src,
                                    alloc::Block* dst,
-                                   CompactionReport* report) {
+                                   CompactionReport* report)
+    // Escape rationale above: kCompacting locks released by remap, not unlock.
+    NO_THREAD_SAFETY_ANALYSIS {
   const uint32_t slot_size = src->slot_size();
   CORM_CHECK_EQ(slot_size, dst->slot_size());
   const ConsistencyMode mode = node_->config().consistency;

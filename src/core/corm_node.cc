@@ -58,19 +58,19 @@ Result<uint32_t> CormNode::ClassForPayload(uint32_t payload_size) const {
 // ---------------------------------------------------------------------------
 
 CormNode::DirectoryEntry CormNode::LookupBlock(sim::VAddr base) const {
-  std::shared_lock<RankedSharedMutex> lock(dir_mu_);
+  SharedLockGuard<RankedSharedMutex> lock(dir_mu_);
   auto it = directory_.find(base);
   return it == directory_.end() ? DirectoryEntry{} : it->second;
 }
 
 void CormNode::DirectoryInsert(sim::VAddr base, alloc::Block* block,
                                bool is_alias) {
-  std::unique_lock<RankedSharedMutex> lock(dir_mu_);
+  LockGuard<RankedSharedMutex> lock(dir_mu_);
   directory_[base] = DirectoryEntry{block, is_alias};
 }
 
 void CormNode::DirectoryErase(sim::VAddr base) {
-  std::unique_lock<RankedSharedMutex> lock(dir_mu_);
+  LockGuard<RankedSharedMutex> lock(dir_mu_);
   directory_.erase(base);
 }
 
@@ -85,7 +85,7 @@ Result<uint64_t> CormNode::MergeRemap(alloc::Block* src, alloc::Block* dst) {
 
   uint64_t ns = 0;
   {
-    std::unique_lock<RankedSharedMutex> lock(dir_mu_);
+    LockGuard<RankedSharedMutex> lock(dir_mu_);
     auto result = block_allocator_->MergeRemap(src, dst);
     CORM_RETURN_NOT_OK(result.status());
     ns = *result;
@@ -105,7 +105,7 @@ Result<uint64_t> CormNode::MergeRemap(alloc::Block* src, alloc::Block* dst) {
 
 void CormNode::ReleaseGhostAction(const GhostToRelease& ghost) {
   {
-    std::unique_lock<RankedSharedMutex> lock(dir_mu_);
+    LockGuard<RankedSharedMutex> lock(dir_mu_);
     directory_.erase(ghost.base);
     if (ghost.alias_of != nullptr) {
       auto& aliases = ghost.alias_of->aliases();
@@ -122,7 +122,7 @@ void CormNode::ReleaseGhostAction(const GhostToRelease& ghost) {
 }
 
 void CormNode::RetireBlock(std::unique_ptr<alloc::Block> block) {
-  std::lock_guard<RankedSpinLock> lock(graveyard_mu_);
+  LockGuard<RankedSpinLock> lock(graveyard_mu_);
   graveyard_.push_back(std::move(block));
 }
 
@@ -140,6 +140,8 @@ Result<CompactionReport> CormNode::Compact(uint32_t class_idx) {
   msg.kind = WorkerMsg::Kind::kCompact;
   msg.compact = &req;
   workers_[0]->Send(msg);
+  // Reply from a same-process worker thread, which cannot die independently
+  // of this node; no deadline needed.
   while (!req.done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
     CpuRelax();
   }
@@ -178,6 +180,7 @@ std::vector<alloc::ClassFragmentation> CormNode::Fragmentation() {
   std::vector<alloc::ClassFragmentation> out(n);
   for (uint32_t c = 0; c < n; ++c) out[c].class_idx = c;
   for (auto& reply : replies) {
+    // Same-process worker reply; the worker cannot die independently.
     while (!reply->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       CpuRelax();
     }
@@ -204,6 +207,7 @@ Status CormNode::Audit() {
   }
   Status st = Status::OK();
   for (auto& reply : replies) {
+    // Same-process worker reply; the worker cannot die independently.
     while (!reply->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       CpuRelax();
     }
@@ -351,6 +355,7 @@ Result<std::vector<GlobalAddr>> CormNode::BulkAlloc(size_t count,
   std::vector<GlobalAddr> out;
   out.reserve(count);
   for (auto& req : requests) {
+    // Same-process worker reply; the worker cannot die independently.
     while (!req->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
       CpuRelax();
     }
@@ -392,6 +397,7 @@ Status CormNode::BulkFree(const std::vector<GlobalAddr>& addrs) {
     }
     remaining = std::move(deferred);
     for (auto& req : requests) {
+      // Same-process worker reply; the worker cannot die independently.
       while (!req->done.load(std::memory_order_acquire)) {  // NOLINT(corm-spin-wait)
         CpuRelax();
       }

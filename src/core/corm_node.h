@@ -12,7 +12,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -23,8 +22,10 @@
 #include "alloc/size_classes.h"
 #include "alloc/thread_allocator.h"
 #include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/addr.h"
 #include "core/object_layout.h"
 #include "core/vaddr_tracker.h"
@@ -237,11 +238,12 @@ class CormNode {
   // Ranked (see lock_rank.h): acquired before the block allocator's lock in
   // MergeRemap, after the compaction-leader and thread-allocator phases.
   mutable RankedSharedMutex dir_mu_{LockRank::kNodeDirectory};
-  std::unordered_map<sim::VAddr, DirectoryEntry> directory_;
+  std::unordered_map<sim::VAddr, DirectoryEntry> directory_ GUARDED_BY(dir_mu_);
 
   // Leaf lock: push-only until node teardown.
   RankedSpinLock graveyard_mu_{LockRank::kGraveyard};
-  std::vector<std::unique_ptr<alloc::Block>> graveyard_;
+  std::vector<std::unique_ptr<alloc::Block>> graveyard_
+      GUARDED_BY(graveyard_mu_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

@@ -65,7 +65,7 @@ struct ObjectHeader {
   uint16_t obj_id = 0;
   uint32_t home_page = 0;  // (home block vaddr - kBase) >> 12
 
-  uint64_t Pack() const {
+  constexpr uint64_t Pack() const {
     return static_cast<uint64_t>(version) |
            (static_cast<uint64_t>(lock) << 8) |
            (static_cast<uint64_t>(class_idx & 0x3f) << 10) |
@@ -73,7 +73,7 @@ struct ObjectHeader {
            (static_cast<uint64_t>(home_page) << 32);
   }
 
-  static ObjectHeader Unpack(uint64_t w) {
+  static constexpr ObjectHeader Unpack(uint64_t w) {
     ObjectHeader h;
     h.version = static_cast<uint8_t>(w & 0xff);
     h.lock = static_cast<LockState>((w >> 8) & 0x3);
@@ -83,6 +83,44 @@ struct ObjectHeader {
     return h;
   }
 };
+
+// Compile-time pin of the header bit layout. The header word is the unit of
+// the seqlock protocol AND crosses the wire in one-sided RDMA reads, so a
+// refactor of Pack/Unpack must not silently move a field: version bits 0-7,
+// lock bits 8-9, class bits 10-15, object ID bits 16-31, home page bits
+// 32-63.
+namespace layout_internal {
+inline constexpr ObjectHeader kHeaderProbe{
+    /*version=*/0xAB, /*lock=*/LockState::kCompacting, /*class_idx=*/0x2A,
+    /*obj_id=*/0xBEEF, /*home_page=*/0x12345678};
+inline constexpr uint64_t kHeaderProbeWord = kHeaderProbe.Pack();
+}  // namespace layout_internal
+static_assert(layout_internal::kHeaderProbeWord == 0x12345678'BEEFAAABULL,
+              "header bit layout changed (wire/RDMA format)");
+static_assert((layout_internal::kHeaderProbeWord & 0xff) == 0xAB,
+              "version must occupy header bits 0-7");
+static_assert(((layout_internal::kHeaderProbeWord >> 8) & 0x3) ==
+                  static_cast<uint64_t>(LockState::kCompacting),
+              "lock state must occupy header bits 8-9");
+static_assert(((layout_internal::kHeaderProbeWord >> 10) & 0x3f) == 0x2A,
+              "size class must occupy header bits 10-15");
+static_assert(((layout_internal::kHeaderProbeWord >> 16) & 0xffff) == 0xBEEF,
+              "object ID must occupy header bits 16-31");
+static_assert((layout_internal::kHeaderProbeWord >> 32) == 0x12345678,
+              "home page must occupy header bits 32-63");
+static_assert(
+    ObjectHeader::Unpack(layout_internal::kHeaderProbeWord).version == 0xAB &&
+        ObjectHeader::Unpack(layout_internal::kHeaderProbeWord).lock ==
+            LockState::kCompacting &&
+        ObjectHeader::Unpack(layout_internal::kHeaderProbeWord).class_idx ==
+            0x2A &&
+        ObjectHeader::Unpack(layout_internal::kHeaderProbeWord).obj_id ==
+            0xBEEF &&
+        ObjectHeader::Unpack(layout_internal::kHeaderProbeWord).home_page ==
+            0x12345678,
+    "Unpack must invert Pack field-for-field");
+static_assert(kHeaderSize == sizeof(uint64_t),
+              "header word must be exactly 8 bytes (atomic seqlock unit)");
 
 inline uint32_t HomePageOf(sim::VAddr block_base) {
   return static_cast<uint32_t>((block_base - sim::AddressSpace::kBase) >>
@@ -95,7 +133,7 @@ inline sim::VAddr HomeVaddrOf(uint32_t home_page) {
 }
 
 // Number of cachelines a slot spans (slots < 64 B span one).
-inline uint32_t SlotCachelines(uint32_t slot_size) {
+inline constexpr uint32_t SlotCachelines(uint32_t slot_size) {
   return slot_size <= kCacheLineSize
              ? 1
              : slot_size / static_cast<uint32_t>(kCacheLineSize);
@@ -104,7 +142,7 @@ inline uint32_t SlotCachelines(uint32_t slot_size) {
 // Usable payload bytes in a slot of `slot_size` under `mode`: the header,
 // plus either one version byte per additional cacheline or a trailing
 // checksum word.
-inline uint32_t PayloadCapacity(
+inline constexpr uint32_t PayloadCapacity(
     uint32_t slot_size,
     ConsistencyMode mode = ConsistencyMode::kCachelineVersions) {
   const uint32_t overhead =
@@ -113,6 +151,21 @@ inline uint32_t PayloadCapacity(
           : kHeaderSize + kChecksumSize;
   return slot_size > overhead ? slot_size - overhead : 0;
 }
+
+// Compile-time pin of the cacheline-version geometry (paper §3.2.3): one
+// version byte leads every 64 B line after the first, so readers and
+// writers must agree on the stride and the per-mode payload capacity.
+static_assert(kCacheLineSize == 64,
+              "cacheline-version stride is fixed at 64 B");
+static_assert(SlotCachelines(16) == 1 && SlotCachelines(64) == 1 &&
+                  SlotCachelines(128) == 2 && SlotCachelines(4096) == 64,
+              "slot cacheline count drives version-byte placement");
+static_assert(PayloadCapacity(64, ConsistencyMode::kCachelineVersions) == 56 &&
+                  PayloadCapacity(128, ConsistencyMode::kCachelineVersions) ==
+                      119,
+              "cacheline-version payload capacity: slot - 8 - (lines - 1)");
+static_assert(PayloadCapacity(64, ConsistencyMode::kChecksum) == 52,
+              "checksum payload capacity: slot - 8 - 4");
 
 // --- Atomic header access (server-side, on mapped frame memory). ---------
 

@@ -16,7 +16,6 @@
 #define CORM_CORE_VADDR_TRACKER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +23,8 @@
 #include "alloc/block.h"
 #include "common/lock_rank.h"
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "rdma/rnic.h"
 #include "sim/address_space.h"
 
@@ -46,21 +47,21 @@ class VaddrTracker {
 
   // A new object was allocated homed at `home_base`.
   void OnAlloc(sim::VAddr home_base) {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     ++entries_[home_base].live_homed;
   }
 
   // An object homed at `home_base` was freed. Returns the ghost-release
   // action when this was the last live object of a ghost range.
   std::optional<GhostToRelease> OnFree(sim::VAddr home_base) {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     return DecrementLocked(home_base);
   }
 
   // ReleasePtr: the object's home moved from `old_home` to `new_home`.
   std::optional<GhostToRelease> OnRehome(sim::VAddr old_home,
                                          sim::VAddr new_home) {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     ++entries_[new_home].live_homed;
     return DecrementLocked(old_home);
   }
@@ -69,7 +70,7 @@ class VaddrTracker {
   // Returns a release action when the ghost already has no homed objects.
   std::optional<GhostToRelease> MarkGhost(sim::VAddr base, rdma::RKey r_key,
                                           alloc::Block* target) {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     Entry& e = entries_[base];
     e.is_ghost = true;
     e.r_key = r_key;
@@ -85,7 +86,7 @@ class VaddrTracker {
   // Ghosts aliasing `old_target` now alias `new_target` (their target was
   // itself compacted away).
   void RetargetGhosts(alloc::Block* old_target, alloc::Block* new_target) {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     for (auto& [base, e] : entries_) {
       if (e.is_ghost && e.alias_of == old_target) e.alias_of = new_target;
     }
@@ -94,7 +95,7 @@ class VaddrTracker {
   // Points one known ghost at a new target (O(1) variant used by the
   // compaction leader, which tracks the affected ghost bases itself).
   void SetAliasTarget(sim::VAddr ghost_base, alloc::Block* new_target) {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     auto it = entries_.find(ghost_base);
     if (it != entries_.end() && it->second.is_ghost) {
       it->second.alias_of = new_target;
@@ -104,7 +105,7 @@ class VaddrTracker {
   // A normal (non-ghost) block is being fully destroyed; its counter must
   // be zero.
   void OnBlockDestroyed(sim::VAddr base) {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     auto it = entries_.find(base);
     if (it != entries_.end()) {
       CORM_CHECK_EQ(it->second.live_homed, 0u)
@@ -116,13 +117,13 @@ class VaddrTracker {
 
   // Live homed-object count (testing).
   uint64_t LiveHomed(sim::VAddr base) const {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     auto it = entries_.find(base);
     return it == entries_.end() ? 0 : it->second.live_homed;
   }
 
   size_t NumGhosts() const {
-    std::lock_guard<RankedSpinLock> lock(mu_);
+    LockGuard<RankedSpinLock> lock(mu_);
     size_t n = 0;
     for (const auto& [base, e] : entries_) n += e.is_ghost;
     return n;
@@ -136,7 +137,8 @@ class VaddrTracker {
     alloc::Block* alias_of = nullptr;
   };
 
-  std::optional<GhostToRelease> DecrementLocked(sim::VAddr home_base) {
+  std::optional<GhostToRelease> DecrementLocked(sim::VAddr home_base)
+      REQUIRES(mu_) {
     auto it = entries_.find(home_base);
     CORM_CHECK(it != entries_.end()) << "untracked home base";
     CORM_CHECK_GT(it->second.live_homed, 0u);
@@ -153,7 +155,7 @@ class VaddrTracker {
 
   // Leaf lock: nothing else is acquired while it is held.
   mutable RankedSpinLock mu_{LockRank::kVaddrTracker};
-  std::unordered_map<sim::VAddr, Entry> entries_;
+  std::unordered_map<sim::VAddr, Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace corm::core

@@ -6,6 +6,7 @@
 #include "common/cpu_relax.h"
 #include "common/logging.h"
 #include "common/sanitizer.h"
+#include "common/thread_annotations.h"
 #include "core/object_layout.h"
 #include "sim/fault_injector.h"
 #include "sim/latency_model.h"
@@ -357,7 +358,10 @@ GlobalAddr CorrectedAddr(const GlobalAddr& in, const Worker::Resolved& r,
 // Read (§3.2.3 consistency via header seqlock on the RPC path).
 // ---------------------------------------------------------------------------
 
-void Worker::HandleRead(rdma::RpcMessage* rpc) {
+// Escape: seqlock reader — consistency comes from re-reading the header
+// word around the payload copy (w1 == w2 proves no writer intervened), a
+// protocol outside any capability the analyzer can track.
+void Worker::HandleRead(rdma::RpcMessage* rpc) NO_THREAD_SAFETY_ANALYSIS {
   ReadRequest req;
   DecodeRequest(rpc->request, &req);
   node_->stats_.rpc_reads.fetch_add(1, std::memory_order_relaxed);

@@ -117,6 +117,10 @@ class FailureDetector {
   }
 
  private:
+  // Deliberately lock-free, so no GUARDED_BY applies: each lease is one
+  // atomic miss counter, health() is a pure function of a single load, and
+  // the exchange/fetch_add transitions make the death/revival edge counters
+  // exact without ever serializing probes against readers.
   const FailureDetectorConfig config_;
   std::vector<std::unique_ptr<std::atomic<int>>> misses_;
   std::atomic<uint64_t> deaths_{0};

@@ -37,6 +37,9 @@ class Migrator {
   DsmContext* dsm() { return &dsm_; }
 
  private:
+  // Deliberately unguarded: a Migrator is a per-client-thread handle (it
+  // owns its DsmContext), so the counters are single-threaded by the same
+  // discipline as ReplicatedContext.
   DsmContext dsm_;
   uint64_t objects_migrated_ = 0;
   uint64_t bytes_migrated_ = 0;

@@ -64,6 +64,10 @@ class ReplicatedContext {
   uint64_t failovers() const { return failovers_; }
 
  private:
+  // Deliberately unguarded: a ReplicatedContext, like the core::Context it
+  // wraps, is a per-client-thread handle (one context per application
+  // thread) — the counters never see concurrent access, and there is no
+  // lock for GUARDED_BY to reference.
   DsmContext dsm_;
   const int k_;
   uint64_t degraded_writes_ = 0;

@@ -39,9 +39,9 @@ uint64_t Rnic::MttCacheAccess(sim::VAddr page) {
 Rnic::~Rnic() {
   space_->RemoveNotifier(this);
   // Drop all MTT frame references.
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   for (auto& [key, mr] : regions_) {
-    std::lock_guard<std::mutex> elock(mr->entries_mu_);
+    LockGuard<Mutex> elock(mr->entries_mu_);
     for (auto& entry : mr->entries_) {
       if (entry.valid) space_->physical_memory()->Unref(entry.frame);
     }
@@ -57,7 +57,7 @@ Result<MrKeys> Rnic::RegisterMemory(sim::VAddr base, size_t npages,
   MrKeys keys;
   std::shared_ptr<MemoryRegion> mr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard<Mutex> lock(mu_);
     keys.l_key = next_key_;
     keys.r_key = next_key_;
     ++next_key_;
@@ -66,7 +66,7 @@ Result<MrKeys> Rnic::RegisterMemory(sim::VAddr base, size_t npages,
     by_base_[base] = mr;
   }
   // Pin + snapshot translations into the MTT.
-  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  LockGuard<Mutex> elock(mr->entries_mu_);
   for (size_t i = 0; i < npages; ++i) {
     Status st = ResolveEntryLocked(mr.get(), i);
     if (!st.ok()) {
@@ -74,7 +74,7 @@ Result<MrKeys> Rnic::RegisterMemory(sim::VAddr base, size_t npages,
       for (size_t j = 0; j < i; ++j) {
         space_->physical_memory()->Unref(mr->entries_[j].frame);
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard<Mutex> lock(mu_);
       regions_.erase(keys.r_key);
       by_base_.erase(base);
       return st;
@@ -86,7 +86,7 @@ Result<MrKeys> Rnic::RegisterMemory(sim::VAddr base, size_t npages,
 Status Rnic::DeregisterMemory(RKey r_key) {
   std::shared_ptr<MemoryRegion> mr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard<Mutex> lock(mu_);
     auto it = regions_.find(r_key);
     if (it == regions_.end()) {
       return Status::NotFound("DeregisterMemory: unknown r_key");
@@ -95,7 +95,7 @@ Status Rnic::DeregisterMemory(RKey r_key) {
     regions_.erase(it);
     by_base_.erase(mr->base());
   }
-  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  LockGuard<Mutex> elock(mr->entries_mu_);
   for (auto& entry : mr->entries_) {
     if (entry.valid) {
       space_->physical_memory()->Unref(entry.frame);
@@ -106,7 +106,7 @@ Status Rnic::DeregisterMemory(RKey r_key) {
 }
 
 std::shared_ptr<MemoryRegion> Rnic::Lookup(RKey r_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   auto it = regions_.find(r_key);
   return it == regions_.end() ? nullptr : it->second;
 }
@@ -145,7 +145,7 @@ Status Rnic::EndRereg(RKey r_key) {
   auto mr = Lookup(r_key);
   if (!mr) return Status::NotFound("ReregMr: unknown r_key");
   {
-    std::lock_guard<std::mutex> elock(mr->entries_mu_);
+    LockGuard<Mutex> elock(mr->entries_mu_);
     for (size_t i = 0; i < mr->npages_; ++i) {
       Status st = ResolveEntryLocked(mr.get(), i);
       if (!st.ok()) {
@@ -170,7 +170,7 @@ Result<uint64_t> Rnic::AdviseMr(RKey r_key, sim::VAddr addr, size_t len) {
   const size_t first = (addr - mr->base_) >> sim::kVPageShift;
   const size_t last = (addr + len - 1 - mr->base_) >> sim::kVPageShift;
   uint64_t ns = 0;
-  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  LockGuard<Mutex> elock(mr->entries_mu_);
   for (size_t i = first; i <= last; ++i) {
     if (!mr->entries_[i].valid) {
       CORM_RETURN_NOT_OK(ResolveEntryLocked(mr.get(), i));
@@ -219,7 +219,7 @@ Result<uint64_t> Rnic::MttAccess(RKey r_key, sim::VAddr addr, void* buf,
   auto* cbuf = static_cast<uint8_t*>(buf);
   sim::VAddr cur = addr;
   size_t remaining = len;
-  std::lock_guard<std::mutex> elock(mr->entries_mu_);
+  LockGuard<Mutex> elock(mr->entries_mu_);
   while (remaining > 0) {
     fault_ns += MttCacheAccess(cur);
     const size_t page_idx = (cur - mr->base_) >> sim::kVPageShift;
@@ -261,7 +261,7 @@ void Rnic::OnMappingChange(sim::VAddr page) {
   // via the base-ordered index, then invalidate under the region's lock.
   std::shared_ptr<MemoryRegion> affected;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard<Mutex> lock(mu_);
     auto it = by_base_.upper_bound(page);
     if (it != by_base_.begin()) {
       --it;
@@ -273,7 +273,7 @@ void Rnic::OnMappingChange(sim::VAddr page) {
   }
   if (!affected) return;
   const size_t idx = (page - affected->base()) >> sim::kVPageShift;
-  std::lock_guard<std::mutex> elock(affected->entries_mu_);
+  LockGuard<Mutex> elock(affected->entries_mu_);
   auto& entry = affected->entries_[idx];
   if (entry.valid) {
     space_->physical_memory()->Unref(entry.frame);

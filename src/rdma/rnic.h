@@ -24,12 +24,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/address_space.h"
 #include "sim/latency_model.h"
 #include "sim/physical_memory.h"
@@ -76,8 +77,8 @@ class MemoryRegion {
   const bool odp_;
   const MrKeys keys_;
 
-  mutable std::mutex entries_mu_;  // guards entries_
-  std::vector<MttEntry> entries_;
+  mutable Mutex entries_mu_;
+  std::vector<MttEntry> entries_ GUARDED_BY(entries_mu_);
   // Set while ibv_rereg_mr is in flight; accesses then break the QP.
   std::atomic<bool> reregistering_{false};
 };
@@ -151,7 +152,8 @@ class Rnic : public sim::MmuNotifier {
  private:
   // Resolves entry `page_idx` of `mr` from the OS page table, taking a
   // frame reference. Caller holds mr->entries_mu_.
-  Status ResolveEntryLocked(MemoryRegion* mr, size_t page_idx);
+  Status ResolveEntryLocked(MemoryRegion* mr, size_t page_idx)
+      REQUIRES(mr->entries_mu_);
 
   // Returns the region owning r_key, or null.
   std::shared_ptr<MemoryRegion> Lookup(RKey r_key);
@@ -163,12 +165,15 @@ class Rnic : public sim::MmuNotifier {
   sim::AddressSpace* const space_;
   const sim::LatencyModel model_;
 
-  std::mutex mu_;  // guards regions_, by_base_ and next_key_
-  std::unordered_map<RKey, std::shared_ptr<MemoryRegion>> regions_;
+  // Registration-table lock (rank kSubstrate; never held across an
+  // entries_mu_ acquisition of the *same* region in the data path).
+  Mutex mu_;
+  std::unordered_map<RKey, std::shared_ptr<MemoryRegion>> regions_
+      GUARDED_BY(mu_);
   // Disjoint regions ordered by base vaddr: O(log n) page->region lookup
   // for MMU-notifier invalidations.
-  std::map<sim::VAddr, std::shared_ptr<MemoryRegion>> by_base_;
-  uint32_t next_key_ = 1;
+  std::map<sim::VAddr, std::shared_ptr<MemoryRegion>> by_base_ GUARDED_BY(mu_);
+  uint32_t next_key_ GUARDED_BY(mu_) = 1;
   RnicStats stats_;
   // Direct-mapped translation cache: cached vpage per set (0 = empty).
   std::vector<std::atomic<uint64_t>> mtt_cache_;

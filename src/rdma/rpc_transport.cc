@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/cpu_relax.h"
+#include "common/thread_annotations.h"
 #include "sim/fault_injector.h"
 
 namespace corm::rdma {
@@ -48,9 +49,13 @@ RpcMessage* RpcMessage::New() {
   return msg;
 }
 
-void RpcMessage::Unref() {
+// Escape: refcounted teardown — exclusive ownership of *this is proven by
+// the acq_rel fetch_sub observing 1 (every other holder already released),
+// a protocol the analyzer cannot express as a capability.
+void RpcMessage::Unref() NO_THREAD_SAFETY_ANALYSIS {
   if (refs_.load(std::memory_order_relaxed) == 0) return;  // stack-owned
   if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Matches New(): the last reference, not a named owner, frees.
     delete this;  // NOLINT(corm-raw-new)
   }
 }

@@ -59,7 +59,7 @@ Status MessagePipe::Endpoint::PostSend(uint64_t wr_id, Slice payload) {
   // Deliver: one wire traversal of modeled time.
   sim::Pace(pipe_->model_.RpcNs(payload.size()) / 2);
   {
-    std::lock_guard<std::mutex> lock(peer_->delivered_mu_);
+    LockGuard<Mutex> lock(peer_->delivered_mu_);
     peer_->delivered_.push_back(
         Delivered{posted->wr_id, MakeBuffer(payload)});
   }
@@ -78,7 +78,7 @@ Status MessagePipe::Endpoint::PostSend(uint64_t wr_id, Slice payload) {
 }
 
 Result<Buffer> MessagePipe::Endpoint::TakeReceived(uint64_t wr_id) {
-  std::lock_guard<std::mutex> lock(delivered_mu_);
+  LockGuard<Mutex> lock(delivered_mu_);
   for (size_t i = 0; i < delivered_.size(); ++i) {
     if (delivered_[i].wr_id == wr_id) {
       Buffer out = std::move(delivered_[i].data);

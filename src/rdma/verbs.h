@@ -20,12 +20,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "common/mpmc_queue.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 #include "sim/latency_model.h"
 
 namespace corm::rdma {
@@ -101,8 +102,8 @@ class MessagePipe {
     Endpoint* peer_ = nullptr;
     CompletionQueue cq_;
     std::unique_ptr<MpmcQueue<PostedRecv>> ring_;
-    std::mutex delivered_mu_;
-    std::vector<Delivered> delivered_;
+    Mutex delivered_mu_;
+    std::vector<Delivered> delivered_ GUARDED_BY(delivered_mu_);
     std::atomic<bool> broken_{false};
   };
 

@@ -86,6 +86,10 @@ class WriteRing {
   MrKeys keys_;
   uint32_t slots_ = 0;
   uint32_t slot_bytes_ = 0;
+  // Deliberately unguarded: head_ belongs to the single consumer thread
+  // (the server poller) — a per-thread ownership discipline, not a lock,
+  // so there is no capability for GUARDED_BY to name. The slot `valid`
+  // flags, not head_, carry the cross-thread synchronization.
   uint32_t head_ = 0;  // next slot the consumer expects
 };
 
@@ -122,6 +126,9 @@ class WriteRingProducer {
   const RKey r_key_;
   const uint32_t slots_;
   const uint32_t slot_bytes_;
+  // Deliberately unguarded: a producer is owned by one client thread (it is
+  // "the only writer of its ring"), so tail_/in_flight_ never race — again
+  // a thread-ownership discipline with no lock to annotate.
   uint32_t tail_ = 0;       // next slot this producer writes
   uint32_t in_flight_ = 0;  // unconfirmed messages
 };

@@ -18,7 +18,7 @@ AddressSpace::~AddressSpace() {
 
 VAddr AddressSpace::ReserveRange(size_t npages) {
   CORM_CHECK_GT(npages, 0u);
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   reserved_pages_ += npages;
   auto it = free_ranges_.find(npages);
   if (it != free_ranges_.end()) {
@@ -33,7 +33,7 @@ VAddr AddressSpace::ReserveRange(size_t npages) {
 
 void AddressSpace::ReleaseRange(VAddr base, size_t npages) {
   CORM_CHECK_EQ(PageOffset(base), 0u);
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   CORM_CHECK_GE(reserved_pages_, npages);
   reserved_pages_ -= npages;
   free_ranges_.emplace(npages, base);
@@ -54,7 +54,7 @@ Status AddressSpace::MapFresh(VAddr base, size_t npages) {
     }
     frames.push_back(*frame);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   for (size_t i = 0; i < npages; ++i) {
     VAddr page = base + i * kVPageSize;
     CORM_CHECK(page_table_.find(page) == page_table_.end())
@@ -68,7 +68,7 @@ Status AddressSpace::MapFrames(VAddr base, const std::vector<FrameId>& frames) {
   if (PageOffset(base) != 0) {
     return Status::InvalidArgument("MapFrames: base not page aligned");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   for (size_t i = 0; i < frames.size(); ++i) {
     VAddr page = base + i * kVPageSize;
     CORM_CHECK(page_table_.find(page) == page_table_.end())
@@ -85,7 +85,7 @@ Status AddressSpace::Remap(VAddr base, VAddr target, size_t npages) {
   }
   std::vector<VAddr> changed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard<Mutex> lock(mu_);
     // Validate both ranges first so the operation is all-or-nothing.
     for (size_t i = 0; i < npages; ++i) {
       if (page_table_.find(base + i * kVPageSize) == page_table_.end() ||
@@ -115,7 +115,7 @@ Status AddressSpace::Unmap(VAddr base, size_t npages) {
   }
   std::vector<VAddr> changed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard<Mutex> lock(mu_);
     for (size_t i = 0; i < npages; ++i) {
       VAddr page = base + i * kVPageSize;
       auto it = page_table_.find(page);
@@ -132,7 +132,7 @@ Status AddressSpace::Unmap(VAddr base, size_t npages) {
 }
 
 Result<FrameId> AddressSpace::TranslatePage(VAddr addr) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   auto it = page_table_.find(PageBase(addr));
   if (it == page_table_.end()) {
     return Status::NotFound("page not mapped");
@@ -143,7 +143,7 @@ Result<FrameId> AddressSpace::TranslatePage(VAddr addr) const {
 uint8_t* AddressSpace::TranslatePtr(VAddr addr) const {
   FrameId frame;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard<Mutex> lock(mu_);
     auto it = page_table_.find(PageBase(addr));
     if (it == page_table_.end()) return nullptr;
     frame = it->second;
@@ -184,12 +184,12 @@ Status AddressSpace::WriteVirtual(VAddr addr, const void* data, size_t size) {
 }
 
 void AddressSpace::AddNotifier(MmuNotifier* notifier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   notifiers_.push_back(notifier);
 }
 
 void AddressSpace::RemoveNotifier(MmuNotifier* notifier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   notifiers_.erase(std::remove(notifiers_.begin(), notifiers_.end(), notifier),
                    notifiers_.end());
 }
@@ -197,19 +197,19 @@ void AddressSpace::RemoveNotifier(MmuNotifier* notifier) {
 void AddressSpace::NotifyChange(VAddr page) {
   std::vector<MmuNotifier*> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard<Mutex> lock(mu_);
     snapshot = notifiers_;
   }
   for (MmuNotifier* n : snapshot) n->OnMappingChange(page);
 }
 
 size_t AddressSpace::mapped_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   return page_table_.size();
 }
 
 size_t AddressSpace::reserved_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   return reserved_pages_;
 }
 

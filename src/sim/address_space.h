@@ -14,12 +14,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/physical_memory.h"
 
 namespace corm::sim {
@@ -111,13 +112,16 @@ class AddressSpace {
 
   PhysicalMemory* const phys_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<VAddr, FrameId> page_table_;  // vpage base -> frame
+  // Substrate lock (rank kSubstrate: always a leaf, models the kernel's
+  // mmap_lock). Annotated for clang thread-safety analysis.
+  mutable Mutex mu_;
+  std::unordered_map<VAddr, FrameId> page_table_
+      GUARDED_BY(mu_);  // vpage base -> frame
   // Virtual allocator state: bump pointer + freelist of ranges by size.
-  VAddr next_vaddr_ = kBase;
-  std::multimap<size_t, VAddr> free_ranges_;  // npages -> base
-  size_t reserved_pages_ = 0;
-  std::vector<MmuNotifier*> notifiers_;
+  VAddr next_vaddr_ GUARDED_BY(mu_) = kBase;
+  std::multimap<size_t, VAddr> free_ranges_ GUARDED_BY(mu_);  // npages -> base
+  size_t reserved_pages_ GUARDED_BY(mu_) = 0;
+  std::vector<MmuNotifier*> notifiers_ GUARDED_BY(mu_);
 };
 
 }  // namespace corm::sim

@@ -29,7 +29,7 @@ std::atomic<FaultInjector*> g_injector{nullptr};
 }  // namespace
 
 void FaultInjector::Arm(const std::string& site, FaultSchedule schedule) {
-  std::unique_lock lock(mu_);
+  LockGuard<SharedMutex> lock(mu_);
   auto& slot = sites_[site];
   if (!slot) {
     slot = std::make_unique<Site>();
@@ -39,12 +39,12 @@ void FaultInjector::Arm(const std::string& site, FaultSchedule schedule) {
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::unique_lock lock(mu_);
+  LockGuard<SharedMutex> lock(mu_);
   sites_.erase(site);
 }
 
 bool FaultInjector::ShouldFire(std::string_view site, uint64_t* delay_ns) {
-  std::shared_lock lock(mu_);
+  SharedLockGuard<SharedMutex> lock(mu_);
   const auto it = sites_.find(std::string(site));
   if (it == sites_.end()) return false;
   Site* s = it->second.get();
@@ -72,14 +72,14 @@ bool FaultInjector::ShouldFire(std::string_view site, uint64_t* delay_ns) {
 }
 
 uint64_t FaultInjector::EventCount(std::string_view site) const {
-  std::shared_lock lock(mu_);
+  SharedLockGuard<SharedMutex> lock(mu_);
   const auto it = sites_.find(std::string(site));
   return it == sites_.end() ? 0
                             : it->second->events.load(std::memory_order_relaxed);
 }
 
 uint64_t FaultInjector::FiredCount(std::string_view site) const {
-  std::shared_lock lock(mu_);
+  SharedLockGuard<SharedMutex> lock(mu_);
   const auto it = sites_.find(std::string(site));
   return it == sites_.end() ? 0
                             : it->second->fired.load(std::memory_order_relaxed);

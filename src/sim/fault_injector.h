@@ -17,10 +17,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace corm::sim {
 
@@ -77,8 +79,11 @@ class FaultInjector {
   };
 
   const uint64_t seed_;
-  mutable std::shared_mutex mu_;  // arm/disarm vs. hot-path lookups
-  std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
+  mutable SharedMutex mu_;  // arm/disarm vs. hot-path lookups
+  // The map shape is lock-guarded; the per-Site counters inside are atomics
+  // deliberately mutated under the *shared* mode (hot-path counting).
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_
+      GUARDED_BY(mu_);
 };
 
 // Process-global hook. Returns null when no injector is installed (the

@@ -19,7 +19,7 @@ Result<PhysBlock> MemFileManager::AllocBlock(size_t npages) {
   if (npages == 0 || npages > kFilePages) {
     return Status::InvalidArgument("AllocBlock: bad page count");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
 
   // First-fit over existing files' free extents.
   int32_t fd = -1;
@@ -72,7 +72,7 @@ Result<PhysBlock> MemFileManager::AllocBlock(size_t npages) {
 }
 
 void MemFileManager::FreeBlock(const PhysBlock& block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   CORM_CHECK_GE(block.id.fd, 0);
   CORM_CHECK_LT(static_cast<size_t>(block.id.fd), files_.size());
   File& file = files_[block.id.fd];
@@ -103,7 +103,7 @@ void MemFileManager::FreeBlock(const PhysBlock& block) {
 }
 
 size_t MemFileManager::open_files() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   return files_.size();
 }
 

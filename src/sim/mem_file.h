@@ -7,10 +7,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "sim/physical_memory.h"
 
 namespace corm::sim {
@@ -65,8 +66,9 @@ class MemFileManager {
 
   PhysicalMemory* const phys_;
 
-  mutable std::mutex mu_;
-  std::vector<File> files_;
+  // Substrate lock (rank kSubstrate: always a leaf).
+  mutable Mutex mu_;
+  std::vector<File> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace corm::sim

@@ -8,7 +8,7 @@ namespace corm::sim {
 
 Result<std::vector<FrameId>> PhysicalMemory::AllocContiguousFrames(size_t n) {
   CORM_CHECK_GT(n, 0u);
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   if (max_frames_ != 0 && live_frames_ + n > max_frames_) {
     return Status::OutOfMemory("simulated DRAM exhausted");
   }
@@ -43,14 +43,14 @@ Result<FrameId> PhysicalMemory::AllocFrame() {
 }
 
 void PhysicalMemory::Ref(FrameId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   CORM_CHECK_LT(id, frames_.size());
   CORM_CHECK_GT(frames_[id].refcount, 0u) << "Ref on a free frame";
   ++frames_[id].refcount;
 }
 
 void PhysicalMemory::Unref(FrameId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   CORM_CHECK_LT(id, frames_.size());
   CORM_CHECK_GT(frames_[id].refcount, 0u) << "Unref on a free frame";
   if (--frames_[id].refcount == 0) {
@@ -61,30 +61,30 @@ void PhysicalMemory::Unref(FrameId id) {
 }
 
 uint8_t* PhysicalMemory::FrameData(FrameId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   CORM_CHECK_LT(id, frames_.size());
   CORM_CHECK(frames_[id].slab != nullptr) << "FrameData on a free frame";
   return frames_[id].slab.get() + frames_[id].offset;
 }
 
 uint32_t PhysicalMemory::RefCount(FrameId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   CORM_CHECK_LT(id, frames_.size());
   return frames_[id].refcount;
 }
 
 size_t PhysicalMemory::live_frames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   return live_frames_;
 }
 
 size_t PhysicalMemory::peak_frames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   return peak_frames_;
 }
 
 uint64_t PhysicalMemory::total_allocs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard<Mutex> lock(mu_);
   return total_allocs_;
 }
 

@@ -15,12 +15,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/byte_units.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace corm::sim {
 
@@ -77,12 +78,15 @@ class PhysicalMemory {
 
   const size_t max_frames_;
 
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
-  std::vector<FrameId> free_list_;
-  size_t live_frames_ = 0;
-  size_t peak_frames_ = 0;
-  uint64_t total_allocs_ = 0;
+  // Substrate lock (rank kSubstrate: always a leaf). Frame *data* pointers
+  // handed out by FrameData are deliberately not guarded: they model DMA
+  // targets whose races are validated by the object-layout seqlock.
+  mutable Mutex mu_;
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  std::vector<FrameId> free_list_ GUARDED_BY(mu_);
+  size_t live_frames_ GUARDED_BY(mu_) = 0;
+  size_t peak_frames_ GUARDED_BY(mu_) = 0;
+  uint64_t total_allocs_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace corm::sim

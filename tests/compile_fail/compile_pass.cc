@@ -1,0 +1,59 @@
+// Positive control for the compile-fail suite: correctly-locked code using
+// the same primitives as the *_fail cases. If this target does not build,
+// the harness (include paths, flags, annotation macros) is broken and the
+// fail cases' failures prove nothing. See tests/compile_fail/CMakeLists.txt.
+
+#include "common/mutex.h"
+#include "common/spinlock.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    corm::LockGuard<corm::Mutex> lock(mu_);
+    ++value_;
+  }
+
+  int Value() {
+    corm::LockGuard<corm::Mutex> lock(mu_);
+    return value_;
+  }
+
+  // REQUIRES flavor: the caller holds the lock; the analysis verifies both
+  // sides of the contract.
+  int ValueLocked() const REQUIRES(mu_) { return value_; }
+
+  int ValueViaContract() {
+    corm::LockGuard<corm::Mutex> lock(mu_);
+    return ValueLocked();
+  }
+
+  corm::Mutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  mutable corm::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+int SpinLockedSum() {
+  corm::SpinLock lock;
+  int sum = 0;
+  lock.lock();
+  sum += 1;
+  lock.unlock();
+  if (lock.try_lock()) {
+    sum += 2;
+    lock.unlock();
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Value() + c.ValueViaContract() + SpinLockedSum() - 4;
+}

@@ -1,0 +1,16 @@
+// Compile-FAIL case: acquiring a CAPABILITY lock twice on one thread.
+// SpinLock is not reentrant — a double lock() is a self-deadlock — and the
+// analysis must reject it at compile time. The ctest entry inverts the
+// build result (WILL_FAIL). See tests/compile_fail/CMakeLists.txt.
+
+#include "common/spinlock.h"
+
+int main() {
+  corm::SpinLock lock;
+  lock.lock();
+  // BUG (deliberate): re-acquiring a capability already held.
+  lock.lock();
+  lock.unlock();
+  lock.unlock();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Compile-FAIL case: mutating a GUARDED_BY member without holding its
+// mutex. Under clang with -Werror=thread-safety-analysis this translation
+// unit must NOT compile; the ctest entry inverts the build result
+// (WILL_FAIL). See tests/compile_fail/CMakeLists.txt.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): writes value_ with mu_ not held — the exact defect
+  // the analysis exists to reject at compile time.
+  void Bump() { ++value_; }
+
+  int Value() {
+    corm::LockGuard<corm::Mutex> lock(mu_);
+    return value_;
+  }
+
+ private:
+  corm::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Value();
+}

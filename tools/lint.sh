@@ -19,6 +19,12 @@
 #      hang. Exemption: `NOLINT(corm-spin-wait)` on the line or the line
 #      above (service run-loops bounded by stop flags, and waits on local
 #      workers that provably cannot die independently).
+#   6. Every analysis escape in src/ — a `NOLINT(corm-*)` marker or a
+#      `NO_THREAD_SAFETY_ANALYSIS` attribute — must carry a written
+#      rationale: a `//` comment (beyond the escape token itself) on the
+#      same line or the preceding line. Escapes are debts; undocumented
+#      debts are violations. The macro definition itself
+#      (src/common/thread_annotations.h) is exempt.
 #
 # Additionally runs clang-tidy over src/ when a binary and a compilation
 # database are available; skipped (with a note) otherwise, since the CI
@@ -103,11 +109,32 @@ $matches
 EOF_MATCHES
 done
 
+# --- Rule 6: every analysis escape carries a written rationale. ------------
+# An escape (NOLINT(corm-*) or NO_THREAD_SAFETY_ANALYSIS) silences a checker;
+# the why must live next to it. Accept: after deleting the escape tokens
+# themselves from the match line and the preceding line, a `//` comment with
+# real words (>= 3 consecutive letters) must remain in that window.
+for f in $src_files; do
+  [ "$f" = "src/common/thread_annotations.h" ] && continue
+  matches=$(grep -nE 'NOLINT\(corm-|NO_THREAD_SAFETY_ANALYSIS' "$f" || true)
+  [ -z "$matches" ] && continue
+  while IFS= read -r line; do
+    lineno=${line%%:*}
+    window=$(sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
+        | sed -E 's/NOLINT\(corm-[a-z-]+\)//g; s/NO_THREAD_SAFETY_ANALYSIS//g')
+    if ! printf '%s\n' "$window" | grep -qE '//.*[[:alpha:]]{3,}'; then
+      violation "$f:$line — escape without a rationale comment on the same or preceding line (rule 6)"
+    fi
+  done <<EOF_MATCHES
+$matches
+EOF_MATCHES
+done
+
 # --- clang-tidy (optional locally; required in CI). ------------------------
 tidy_bin=$(command -v clang-tidy || true)
 if [ -n "$tidy_bin" ]; then
   db=""
-  for cand in build build-asan build-tsan; do
+  for cand in build build-clang build-asan build-tsan; do
     [ -f "$cand/compile_commands.json" ] && db=$cand && break
   done
   if [ -n "$db" ]; then
