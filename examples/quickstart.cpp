@@ -88,7 +88,7 @@ int main() {
   if (!ctx->ReleasePtr(&*addr).ok()) return 1;
   if (!ctx->Free(&*addr).ok()) return 1;
   std::printf("done. node stats: %llu RPC reads, %llu direct reads served\n",
-              static_cast<unsigned long long>(node.stats().rpc_reads.load()),
+              static_cast<unsigned long long>(node.stats().rpc_reads),
               static_cast<unsigned long long>(
                   node.rnic()->stats().reads.load()));
   return 0;

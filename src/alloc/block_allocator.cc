@@ -52,14 +52,18 @@ Result<std::unique_ptr<Block>> BlockAllocator::AllocBlock(uint32_t class_idx) {
                                  *keys);
 }
 
-void BlockAllocator::DestroyBlock(std::unique_ptr<Block> block) {
+std::unique_ptr<Block> BlockAllocator::DestroyBlock(
+    std::unique_ptr<Block> block) {
   CORM_CHECK(block != nullptr);
   CORM_CHECK(rnic_->DeregisterMemory(block->keys().r_key).ok());
   CORM_CHECK(space_->Unmap(block->base(), block->npages()).ok());
   files_->FreeBlock(block->phys());
   space_->ReleaseRange(block->base(), block->npages());
-  LockGuard<RankedSpinLock> lock(mu_);
-  ++blocks_destroyed_;
+  {
+    LockGuard<RankedSpinLock> lock(mu_);
+    ++blocks_destroyed_;
+  }
+  return block;
 }
 
 Result<uint64_t> BlockAllocator::MergeRemap(Block* src, Block* dst) {

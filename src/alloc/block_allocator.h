@@ -63,9 +63,13 @@ class BlockAllocator {
   // Allocates + maps + RNIC-registers a block for `class_idx`. Thread-safe.
   Result<std::unique_ptr<Block>> AllocBlock(uint32_t class_idx);
 
-  // Fully destroys a block: deregister, unmap, free physical pages, release
-  // the virtual range. Only valid when no objects are homed in the block.
-  void DestroyBlock(std::unique_ptr<Block> block);
+  // Fully destroys a block's memory: deregister, unmap, free physical
+  // pages, release the virtual range. Only valid when no objects are homed
+  // in the block. Returns the drained descriptor so the caller can retire
+  // it to a graveyard — lock-free directory readers may hold a stale
+  // pointer to it for a short window after the directory erase, so the
+  // descriptor must outlive them (CormNode routes it to RetireBlock).
+  std::unique_ptr<Block> DestroyBlock(std::unique_ptr<Block> block);
 
   // Compaction remap (paper §3.1.2): after the owner copied all live
   // objects from `src` into `dst`, point src's virtual pages at dst's

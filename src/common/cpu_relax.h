@@ -6,6 +6,8 @@
 #ifndef CORM_COMMON_CPU_RELAX_H_
 #define CORM_COMMON_CPU_RELAX_H_
 
+#include <chrono>
+#include <cstdint>
 #include <thread>
 
 namespace corm {
@@ -16,6 +18,50 @@ inline void CpuRelax() {
 #endif
   std::this_thread::yield();
 }
+
+// PAUSE without the scheduler yield: for the first rungs of a backoff
+// ladder, where the wait is expected to resolve within a few cache-miss
+// latencies and a yield would only add syscall noise.
+inline void CpuPause() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Exponential backoff ladder for contended CAS loops and saturation waits:
+// starts with pure PAUSEs (cheap, keeps the core's SMT sibling productive),
+// escalates to scheduler yields, and finally to short sleeps so a client
+// blocked on a saturated remote node stops burning a core. Reset() returns
+// to the bottom rung after progress.
+class Backoff {
+ public:
+  void Pause() {
+    if (round_ < kPauseRounds) {
+      // 1, 2, 4, ... PAUSEs: contention usually resolves in nanoseconds.
+      for (uint32_t i = 0; i < (1u << round_); ++i) CpuPause();
+    } else if (round_ < kPauseRounds + kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      // Long wait (rate-limited NIC slot, saturated server): sleep instead
+      // of spinning. 50 us is far below any modeled RPC deadline but long
+      // enough to free the core for the thread being waited on.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    if (round_ < kPauseRounds + kYieldRounds) ++round_;
+  }
+
+  void Reset() { round_ = 0; }
+
+  // True once the ladder escalated past the spinning rungs.
+  bool Sleeping() const { return round_ >= kPauseRounds + kYieldRounds; }
+
+ private:
+  static constexpr uint32_t kPauseRounds = 6;   // 1+2+...+32 PAUSEs
+  static constexpr uint32_t kYieldRounds = 16;  // then yields
+  uint32_t round_ = 0;
+};
 
 }  // namespace corm
 

@@ -38,7 +38,8 @@ enum class LockRank : int {
   kNone = 0,
   kCompactionLeader = 100,  // region: leader-side collection + merge
   kThreadAllocator = 200,   // region: single-owner allocator mutation
-  kNodeDirectory = 300,     // CormNode::dir_mu_
+  kAliasList = 260,         // CormNode::alias_mu_ (ghost alias lists)
+  kNodeDirectory = 300,     // BlockDirectory per-shard writer locks
   kBlockAllocator = 400,    // BlockAllocator counters
   kVaddrTracker = 500,      // VaddrTracker::mu_ (leaf among CoRM locks)
   kGraveyard = 520,         // CormNode::graveyard_mu_ (leaf)
@@ -50,6 +51,7 @@ inline const char* LockRankName(LockRank r) {
     case LockRank::kNone: return "none";
     case LockRank::kCompactionLeader: return "compaction-leader";
     case LockRank::kThreadAllocator: return "thread-allocator";
+    case LockRank::kAliasList: return "alias-list";
     case LockRank::kNodeDirectory: return "node-directory";
     case LockRank::kBlockAllocator: return "block-allocator";
     case LockRank::kVaddrTracker: return "vaddr-tracker";

@@ -33,8 +33,25 @@ struct GlobalAddr {
   // pointer").
   static constexpr uint8_t kFlagOldBlock = 0x1;
 
+  // Bits 7..4 of `flags` carry an owner-worker hint: (owner worker + 1) of
+  // the block the address resolved to, 0 when unknown. Clients use it to
+  // push ownership-bound RPCs (Free) straight into the owning worker's ring,
+  // avoiding the kForwardedRpc inter-worker hop. Purely an optimization
+  // hint — a stale value costs one forward, exactly like no hint.
+  static constexpr uint8_t kOwnerHintShift = 4;
+
   bool IsNull() const { return vaddr == 0; }
   bool ReferencesOldBlock() const { return flags & kFlagOldBlock; }
+
+  // Owner-worker hint, or -1 when absent.
+  int OwnerHint() const { return (flags >> kOwnerHintShift) - 1; }
+  void SetOwnerHint(int worker) {
+    flags = static_cast<uint8_t>(flags & ((1u << kOwnerHintShift) - 1));
+    if (worker >= 0 && worker < 15) {
+      flags = static_cast<uint8_t>(
+          flags | (static_cast<unsigned>(worker + 1) << kOwnerHintShift));
+    }
+  }
 
   bool operator==(const GlobalAddr&) const = default;
 };

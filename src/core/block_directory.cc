@@ -1,0 +1,200 @@
+// corm-hotpath
+#include "core/block_directory.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "common/mutex.h"
+
+namespace corm::core {
+
+namespace {
+constexpr size_t kInitialTableCap = 64;  // slots per shard at construction
+
+size_t CeilPow2(size_t v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+}  // namespace
+
+static_assert(alignof(alloc::Block) > 1,
+              "packed directory values steal Block*'s low bit");
+
+BlockDirectory::BlockDirectory(size_t num_shards) {
+  const size_t n = CeilPow2(num_shards == 0 ? 1 : num_shards);
+  shard_mask_ = n - 1;
+  // Shard array + initial tables: startup-only. NOLINT(corm-hotpath-alloc)
+  shards_ = std::make_unique<Shard[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    Shard& s = shards_[i];
+    LockGuard<RankedSpinLock> lock(s.mu);
+    // NOLINT(corm-hotpath-alloc): construction, not the serving path.
+    s.tables.push_back(std::make_unique<Table>(kInitialTableCap));
+    s.table.store(s.tables.back().get(), std::memory_order_release);
+  }
+}
+
+BlockDirectory::~BlockDirectory() = default;
+
+BlockDirectory::Entry BlockDirectory::Lookup(sim::VAddr base) const {
+  const Shard& s = ShardFor(base);
+  // Acquire pairs with the release publication in GrowLocked: every slot of
+  // the observed table is initialized and holds a consistent prefix of the
+  // shard's history (see the header's reader safety argument).
+  const Table* t = s.table.load(std::memory_order_acquire);
+  const size_t mask = t->mask;
+  size_t i = Mix(base) & mask;
+  for (size_t probes = 0; probes <= mask; ++probes, i = (i + 1) & mask) {
+    const uint64_t k = t->slots[i].key.load(std::memory_order_acquire);
+    if (k == 0) return Entry{};  // end of probe chain: key absent
+    if (k == base) {
+      return Unpack(t->slots[i].val.load(std::memory_order_acquire));
+    }
+  }
+  return Entry{};  // table fully probed (cannot happen below max load)
+}
+
+void BlockDirectory::Insert(sim::VAddr base, alloc::Block* block,
+                            bool is_alias) {
+  CORM_CHECK_NE(base, 0u);
+  Shard& s = ShardFor(base);
+  {
+    LockGuard<RankedSpinLock> lock(s.mu);
+    ++s.writer_acquires;
+    UpsertLocked(s, base, Pack(Entry{block, is_alias}));
+  }
+  BumpEpoch();
+}
+
+void BlockDirectory::Erase(sim::VAddr base) {
+  Shard& s = ShardFor(base);
+  {
+    LockGuard<RankedSpinLock> lock(s.mu);
+    ++s.writer_acquires;
+    Table* t = s.table.load(std::memory_order_relaxed);
+    const size_t mask = t->mask;
+    size_t i = Mix(base) & mask;
+    for (size_t probes = 0; probes <= mask; ++probes, i = (i + 1) & mask) {
+      const uint64_t k = t->slots[i].key.load(std::memory_order_relaxed);
+      if (k == 0) return;  // absent: nothing to erase, no epoch bump
+      if (k == base) {
+        if (t->slots[i].val.exchange(0, std::memory_order_release) != 0) {
+          --s.live;  // key stays as a tombstone; probe chains stay intact
+          break;
+        }
+        return;  // already erased
+      }
+    }
+  }
+  BumpEpoch();
+}
+
+void BlockDirectory::RetargetToAlias(sim::VAddr src_base,
+                                     const std::vector<sim::VAddr>& ghost_bases,
+                                     alloc::Block* dst) {
+  const uint64_t packed = Pack(Entry{dst, /*is_alias=*/true});
+  {
+    Shard& s = ShardFor(src_base);
+    LockGuard<RankedSpinLock> lock(s.mu);
+    ++s.writer_acquires;
+    UpsertLocked(s, src_base, packed);
+  }
+  for (sim::VAddr base : ghost_bases) {
+    Shard& s = ShardFor(base);
+    LockGuard<RankedSpinLock> lock(s.mu);
+    ++s.writer_acquires;
+    UpsertLocked(s, base, packed);
+  }
+  // One bump for the batch: caches revalidate once the whole retarget is
+  // visible. A reader racing the batch sees some bases already retargeted —
+  // each individual entry is valid (old and new blocks share frames after
+  // the remap, §3.3), so partial visibility is safe.
+  BumpEpoch();
+}
+
+void BlockDirectory::UpsertLocked(Shard& s, sim::VAddr base, uint64_t packed) {
+  Table* t = s.table.load(std::memory_order_relaxed);
+  // Grow at 3/4 of distinct keys (live + tombstones) so probe chains stay
+  // short and the reader's bounded probe always terminates on an empty key.
+  if ((s.used + 1) * 4 > (t->mask + 1) * 3) {
+    GrowLocked(s);
+    t = s.table.load(std::memory_order_relaxed);
+  }
+  const size_t mask = t->mask;
+  size_t i = Mix(base) & mask;
+  for (;; i = (i + 1) & mask) {
+    const uint64_t k = t->slots[i].key.load(std::memory_order_relaxed);
+    if (k == base) {
+      // Existing key (live or tombstoned): a single atomic value store is
+      // the whole update; readers see old or new, never a mix.
+      if (t->slots[i].val.exchange(packed, std::memory_order_release) == 0) {
+        ++s.live;
+      }
+      return;
+    }
+    if (k == 0) {
+      // Fresh slot: publish value before key (release/release) so a reader
+      // that sees the key also sees the value — the header's publication
+      // argument.
+      t->slots[i].val.store(packed, std::memory_order_release);
+      t->slots[i].key.store(base, std::memory_order_release);
+      ++s.used;
+      ++s.live;
+      return;
+    }
+  }
+}
+
+void BlockDirectory::GrowLocked(Shard& s) {
+  Table* old = s.table.load(std::memory_order_relaxed);
+  // Size for live entries only: growth drops tombstones, so a shard that
+  // churns (alloc/free of blocks) stays compact.
+  const size_t cap = CeilPow2(std::max(kInitialTableCap, s.live * 4));
+  // Growth is O(blocks) and runs on block alloc/destroy, not per-RPC;
+  // retired tables persist for readers. NOLINT(corm-hotpath-alloc)
+  auto fresh = std::make_unique<Table>(cap);
+  size_t live = 0;
+  for (size_t i = 0; i <= old->mask; ++i) {
+    const uint64_t k = old->slots[i].key.load(std::memory_order_relaxed);
+    if (k == 0) continue;
+    const uint64_t v = old->slots[i].val.load(std::memory_order_relaxed);
+    if (v == 0) continue;  // tombstone: dropped
+    size_t j = Mix(k) & fresh->mask;
+    // Not a wait: a linear probe over the private, not-yet-published table,
+    // bounded by its capacity (load factor < 1). NOLINT(corm-spin-wait)
+    while (fresh->slots[j].key.load(std::memory_order_relaxed) != 0) {
+      j = (j + 1) & fresh->mask;
+    }
+    // Plain-ish stores are fine pre-publication; the release store of the
+    // table pointer below publishes them all.
+    fresh->slots[j].val.store(v, std::memory_order_relaxed);
+    fresh->slots[j].key.store(k, std::memory_order_relaxed);
+    ++live;
+  }
+  CORM_CHECK_EQ(live, s.live);
+  s.used = s.live;
+  s.table.store(fresh.get(), std::memory_order_release);
+  s.tables.push_back(std::move(fresh));  // old stays alive for stale readers
+}
+
+size_t BlockDirectory::ApproxSize() const {
+  size_t n = 0;
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    const Shard& s = shards_[i];
+    LockGuard<RankedSpinLock> lock(s.mu);
+    n += s.live;
+  }
+  return n;
+}
+
+uint64_t BlockDirectory::writer_acquires_for_testing() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    const Shard& s = shards_[i];
+    LockGuard<RankedSpinLock> lock(s.mu);
+    n += s.writer_acquires;
+  }
+  return n;
+}
+
+}  // namespace corm::core

@@ -1,0 +1,161 @@
+// corm-hotpath
+//
+// BlockDirectory: the node's virtual-block-base -> Block* map, rebuilt for
+// lock-free readers (paper §4, Figs. 9-11: compaction support must cost
+// ~nothing on the data path; FaRM/ScaleStore-style translation tables are
+// read without locks for the same reason).
+//
+// Structure: a fixed power-of-two number of shards, each an open-addressing
+// hash table of (atomic key, atomic value) slots. Readers probe with acquire
+// loads and take no lock; writers (directory insert/erase and the compaction
+// remap retarget) serialize per shard under a RankedSpinLock. A global
+// cacheline-padded epoch counter is bumped after every mutation so that
+// per-worker lookup caches can validate entries with one load.
+//
+// Reader safety argument (the lint-rule-6 proof sketch for the escapes
+// below):
+//  * Publication: a writer inserting a new key stores the packed value
+//    first, then the key, both with release order. A reader that
+//    acquire-loads the key and sees it therefore observes the value store
+//    (release/acquire on the same atomic key object; the value write is
+//    sequenced before the key store in the writer).
+//  * Update/erase: existing keys are never removed from a table; updates
+//    and erases store the value atomically (erase writes 0). A torn mix of
+//    key/value is impossible because both are single 64-bit atomics.
+//  * Growth: a shard that fills rehashes into a fresh table and publishes
+//    it with a release store to the shard's table pointer. Old tables are
+//    retired into a per-shard graveyard owned by the shard (freed only at
+//    directory destruction), so a reader still probing a stale table
+//    dereferences valid memory and sees a consistent — merely stale —
+//    snapshot. Stale reads are linearizable to a lookup that completed just
+//    before the racing mutation, a schedule already possible today: the
+//    caller uses the result after dropping any lock, and every RPC handler
+//    re-validates via object headers/IDs. Block* values never dangle
+//    because destroyed Block descriptors are retired to the node graveyard
+//    for the node's lifetime (see CormNode::RetireBlock).
+
+#ifndef CORM_CORE_BLOCK_DIRECTORY_H_
+#define CORM_CORE_BLOCK_DIRECTORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/block.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+#include "sim/address_space.h"
+
+namespace corm::core {
+
+class BlockDirectory {
+ public:
+  struct Entry {
+    alloc::Block* block = nullptr;
+    bool is_alias = false;  // base belongs to a compacted-away ghost
+  };
+
+  // `num_shards` is rounded up to a power of two.
+  explicit BlockDirectory(size_t num_shards = 16);
+  ~BlockDirectory();
+
+  BlockDirectory(const BlockDirectory&) = delete;
+  BlockDirectory& operator=(const BlockDirectory&) = delete;
+
+  // Lock-free point lookup; {nullptr, false} when absent.
+  Entry Lookup(sim::VAddr base) const;
+
+  // Writers (serialized per shard, epoch bumped after the mutation).
+  void Insert(sim::VAddr base, alloc::Block* block, bool is_alias);
+  void Erase(sim::VAddr base);
+
+  // Compaction retarget (§3.3): `src_base` and every ghost base that
+  // aliased src become aliases of `dst`. One epoch bump for the batch.
+  void RetargetToAlias(sim::VAddr src_base,
+                       const std::vector<sim::VAddr>& ghost_bases,
+                       alloc::Block* dst);
+
+  // Monotonic mutation counter; per-worker caches treat an entry stamped
+  // with an older epoch as invalid. Acquire so a cache that observes epoch
+  // E also observes every table publication that E counted.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Live (non-erased) entries; approximate under concurrent mutation.
+  size_t ApproxSize() const;
+
+  // Total writer-lock acquisitions, for the zero-locks-on-read assertion
+  // test: a read-heavy phase must not move this counter.
+  uint64_t writer_acquires_for_testing() const;
+
+  // Hash shared with the per-worker direct-mapped cache (worker.cc) so both
+  // spread block bases (which differ only in a few middle bits) uniformly.
+  static uint64_t Mix(uint64_t x) {
+    // splitmix64 finalizer.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> key{0};  // 0 = never used (block bases are nonzero)
+    std::atomic<uint64_t> val{0};  // packed Entry; 0 = absent/erased
+  };
+
+  struct Table {
+    explicit Table(size_t capacity_pow2)
+        : mask(capacity_pow2 - 1),
+          // Construction/growth only, never per-op. NOLINT(corm-hotpath-alloc)
+          slots(std::make_unique<Slot[]>(capacity_pow2)) {}
+    const size_t mask;
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  struct alignas(64) Shard {
+    Shard() : mu(LockRank::kNodeDirectory) {}
+    mutable RankedSpinLock mu;  // writers only; readers never touch it
+    std::atomic<Table*> table{nullptr};
+    size_t live GUARDED_BY(mu) = 0;  // entries with val != 0
+    size_t used GUARDED_BY(mu) = 0;  // distinct keys ever stored (incl. erased)
+    uint64_t writer_acquires GUARDED_BY(mu) = 0;
+    // Current + retired tables, freed only at directory destruction so a
+    // reader probing a superseded table never dereferences freed memory.
+    std::vector<std::unique_ptr<Table>> tables GUARDED_BY(mu);
+  };
+
+  static uint64_t Pack(const Entry& e) {
+    return reinterpret_cast<uint64_t>(e.block) | (e.is_alias ? 1u : 0u);
+  }
+  static Entry Unpack(uint64_t v) {
+    Entry e;
+    e.block = reinterpret_cast<alloc::Block*>(v & ~uint64_t{1});
+    e.is_alias = (v & 1) != 0;
+    return e;
+  }
+
+  Shard& ShardFor(sim::VAddr base) {
+    return shards_[Mix(base) & shard_mask_];
+  }
+  const Shard& ShardFor(sim::VAddr base) const {
+    return shards_[Mix(base) & shard_mask_];
+  }
+
+  // Stores `packed` under `base`, growing first when past the load factor.
+  void UpsertLocked(Shard& shard, sim::VAddr base, uint64_t packed)
+      REQUIRES(shard.mu);
+  void GrowLocked(Shard& shard) REQUIRES(shard.mu);
+  void BumpEpoch() {
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+
+  size_t shard_mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+  alignas(64) std::atomic<uint64_t> epoch_{1};
+};
+
+}  // namespace corm::core
+
+#endif  // CORM_CORE_BLOCK_DIRECTORY_H_

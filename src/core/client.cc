@@ -1,5 +1,7 @@
+// corm-hotpath
 #include "core/client.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -11,11 +13,21 @@
 
 namespace corm::core {
 
+namespace {
+// Stripes contexts across the node's RPC rings.
+int NextClientRing(int num_rings) {
+  static std::atomic<uint32_t> next{0};
+  return static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                          static_cast<uint32_t>(num_rings));
+}
+}  // namespace
+
 Context::Context(CormNode* node, Options options)
     : node_(node),
       options_(options),
       qp_(node->rnic()),
       rpc_(node->rpc_queue(), node->latency_model(), options.rpc_retry),
+      ring_(NextClientRing(node->rpc_queue()->num_rings())),
       scratch_(node->block_bytes()) {}
 
 std::unique_ptr<Context> Context::Create(CormNode* node, Options options) {
@@ -27,15 +39,24 @@ std::unique_ptr<Context> Context::Create(CormNode* node, Options options) {
 // Transport helpers.
 // ---------------------------------------------------------------------------
 
-Status Context::RpcCall(RpcOp op, const Buffer& request, Buffer* response) {
-  (void)op;
+Status Context::RpcCallPooled(rdma::RpcMessage** msg, int ring_hint) {
   stats_.rpc_calls++;
-  rdma::RpcCallResult result = rpc_.Call(request);
-  stats_.modeled_ns_total += result.network_ns + result.server_extra_ns;
-  if (result.dup_completion) stats_.dup_completions++;
-  if (result.status.IsTimeout()) stats_.timeouts++;
-  if (result.status.ok()) *response = std::move(result.response);
-  return std::move(result.status);
+  rdma::RpcWireStats wire;
+  Status st = rpc_.CallPooled(msg, ring_hint, &wire);
+  stats_.modeled_ns_total += wire.network_ns + wire.server_extra_ns;
+  if (wire.dup_completion) stats_.dup_completions++;
+  if (st.IsTimeout()) stats_.timeouts++;
+  if (!st.ok() && *msg != nullptr) {
+    // Uniform failure contract for callers: the message is gone.
+    (*msg)->Unref();
+    *msg = nullptr;
+  }
+  return st;
+}
+
+int Context::RingHintFor(const GlobalAddr& addr) const {
+  const int hint = addr.OwnerHint();
+  return hint >= 0 && hint < node_->rpc_queue()->num_rings() ? hint : ring_;
 }
 
 Status Context::RawRead(rdma::RKey r_key, sim::VAddr vaddr, void* buf,
@@ -74,35 +95,44 @@ class Context::OpTimer {
 
 Result<GlobalAddr> Context::Alloc(size_t size) {
   OpTimer timer(this);
-  Buffer request, response;
-  EncodeRequest(RpcOp::kAlloc, AllocRequest{size}, &request);
-  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kAlloc, request, &response));
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
+  EncodeRequest(RpcOp::kAlloc, AllocRequest{size}, &msg->request);
+  // Any worker can allocate: stay on the client's home ring so load maps
+  // to as few workers as there are active clients.
+  CORM_RETURN_NOT_OK(RpcCallPooled(&msg, ring_));
   AllocResponse resp;
-  DecodeResponse(response, &resp);
+  DecodeResponse(msg->response, &resp);
+  msg->Unref();
   return resp.addr;
 }
 
 Status Context::Free(GlobalAddr* addr) {
   OpTimer timer(this);
-  Buffer request, response;
-  EncodeRequest(RpcOp::kFree, FreeRequest{*addr}, &request);
-  Status st = RpcCall(RpcOp::kFree, request, &response);
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
+  EncodeRequest(RpcOp::kFree, FreeRequest{*addr}, &msg->request);
+  // Free is ownership-bound: the owner hint routes it straight to the
+  // owning worker's ring, skipping the kForwardedRpc hop.
+  Status st = RpcCallPooled(&msg, RingHintFor(*addr));
+  if (msg != nullptr) msg->Unref();
   if (st.ok()) *addr = GlobalAddr{};  // the pointer is dead
   return st;
 }
 
 Status Context::Read(GlobalAddr* addr, void* buf, size_t size) {
   OpTimer timer(this);
-  Buffer request, response;
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
   EncodeRequest(RpcOp::kRead,
-                ReadRequest{*addr, static_cast<uint32_t>(size)}, &request);
-  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kRead, request, &response));
+                ReadRequest{*addr, static_cast<uint32_t>(size)},
+                &msg->request);
+  CORM_RETURN_NOT_OK(RpcCallPooled(&msg, ring_));
   ReadResponse resp;
-  Slice payload = DecodeResponse(response, &resp);
+  Slice payload = DecodeResponse(msg->response, &resp);
   if (payload.size() < size) {
+    msg->Unref();
     return Status::Internal("short read payload");
   }
   std::memcpy(buf, payload.data(), size);
+  msg->Unref();
   if (resp.addr.vaddr != addr->vaddr) stats_.pointer_corrections++;
   *addr = resp.addr;  // server-corrected pointer (§3.2.1)
   return Status::OK();
@@ -110,13 +140,14 @@ Status Context::Read(GlobalAddr* addr, void* buf, size_t size) {
 
 Status Context::Write(GlobalAddr* addr, const void* buf, size_t size) {
   OpTimer timer(this);
-  Buffer request, response;
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
   EncodeRequest(RpcOp::kWrite,
-                WriteRequest{*addr, static_cast<uint32_t>(size)}, &request,
-                Slice(static_cast<const char*>(buf), size));
-  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kWrite, request, &response));
+                WriteRequest{*addr, static_cast<uint32_t>(size)},
+                &msg->request, Slice(static_cast<const char*>(buf), size));
+  CORM_RETURN_NOT_OK(RpcCallPooled(&msg, ring_));
   WriteResponse resp;
-  DecodeResponse(response, &resp);
+  DecodeResponse(msg->response, &resp);
+  msg->Unref();
   if (resp.addr.vaddr != addr->vaddr) stats_.pointer_corrections++;
   *addr = resp.addr;
   return Status::OK();
@@ -124,11 +155,12 @@ Status Context::Write(GlobalAddr* addr, const void* buf, size_t size) {
 
 Status Context::ReleasePtr(GlobalAddr* addr) {
   OpTimer timer(this);
-  Buffer request, response;
-  EncodeRequest(RpcOp::kReleasePtr, ReleasePtrRequest{*addr}, &request);
-  CORM_RETURN_NOT_OK(RpcCall(RpcOp::kReleasePtr, request, &response));
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
+  EncodeRequest(RpcOp::kReleasePtr, ReleasePtrRequest{*addr}, &msg->request);
+  CORM_RETURN_NOT_OK(RpcCallPooled(&msg, ring_));
   ReleasePtrResponse resp;
-  DecodeResponse(response, &resp);
+  DecodeResponse(msg->response, &resp);
+  msg->Unref();
   *addr = resp.addr;  // canonical pointer in the object's current block
   return Status::OK();
 }

@@ -105,12 +105,25 @@ class Context {
   Status ValidateAndExtract(const uint8_t* slot, uint32_t slot_size,
                             const GlobalAddr& addr, void* buf, size_t size);
 
-  Status RpcCall(RpcOp op, const Buffer& request, Buffer* response);
+  // Executes a pooled RPC: `*msg` carries the encoded request; on OK the
+  // caller decodes msg->response in place and Unrefs. On any failure the
+  // message has been released and `*msg` is null.
+  Status RpcCallPooled(rdma::RpcMessage** msg, int ring_hint);
+
+  // Ring for an ownership-bound op on `addr`: the stamped owner hint when
+  // present (lands in the owning worker's ring, skipping the forward hop),
+  // else this client's home ring.
+  int RingHintFor(const GlobalAddr& addr) const;
 
   CormNode* const node_;
   const Options options_;
   rdma::QueuePair qp_;
   rdma::RpcClient rpc_;
+  // This client's home RPC ring: all its non-ownership-bound ops target one
+  // worker's ring, so the node's active worker set matches the offered load
+  // (idle workers' rings stay empty and those workers park; contexts are
+  // striped across rings round-robin so concurrent clients spread out).
+  const int ring_;
   ClientStats stats_;
   std::vector<uint8_t> scratch_;  // block-sized scan buffer
   uint64_t retry_seq_ = 0;        // deterministic jitter stream position

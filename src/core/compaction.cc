@@ -40,7 +40,7 @@ void Worker::RunCompaction(CompactRequest* req) {
   const uint32_t class_idx = req->class_idx;
   CompactionReport report;
   report.class_idx = class_idx;
-  node_->stats_.compaction_runs.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.compaction_runs;
 
   if (!ClassCompactable(class_idx)) {
     req->status = Status::NotSupported(
@@ -163,7 +163,7 @@ void Worker::RunCompaction(CompactRequest* req) {
       return;
     }
     ++report.blocks_freed;
-    node_->stats_.blocks_compacted.fetch_add(1, std::memory_order_relaxed);
+    ++stats_.blocks_compacted;
     // Reposition dst under its new utilization (or retire it when full —
     // a full block cannot be a destination and was never a source).
     if (dst->used_slots() < dst->num_slots()) {
@@ -237,10 +237,9 @@ Result<size_t> Worker::MergeBlocks(std::unique_ptr<alloc::Block> src,
       dslot = *fresh;
       ++relocated;
       report->objects_relocated++;
-      node_->stats_.objects_moved.fetch_add(1, std::memory_order_relaxed);
+      ++stats_.objects_moved;
     } else {
-      node_->stats_.objects_offset_preserved.fetch_add(
-          1, std::memory_order_relaxed);
+      ++stats_.objects_offset_preserved;
     }
     report->objects_moved++;
 

@@ -12,8 +12,21 @@
 
 namespace corm::core {
 
+namespace {
+// Worker id of the calling thread for stat-shard attribution; -1 (any
+// non-worker thread, or a worker of another node with an out-of-range id)
+// falls back to the overflow shard. Misattribution across nodes is
+// harmless: stats() sums all shards.
+thread_local int tls_worker_id = -1;
+}  // namespace
+
 CormNode::CormNode(CormConfig config)
-    : config_(config), classes_(alloc::SizeClassTable::Default()) {
+    : config_(config),
+      classes_(alloc::SizeClassTable::Default()),
+      rpc_queue_(/*ring_capacity_pow2=*/1024,
+                 /*num_rings=*/std::max(config.num_workers, 1)),
+      stat_shards_(static_cast<size_t>(std::max(config.num_workers, 1)) + 1),
+      directory_(config.dir_shards) {
   CORM_CHECK_GT(config_.num_workers, 0);
   CORM_CHECK_LE(config_.object_id_bits, 16);
   phys_ = std::make_unique<sim::PhysicalMemory>(config_.max_frames);
@@ -54,24 +67,39 @@ Result<uint32_t> CormNode::ClassForPayload(uint32_t payload_size) const {
 }
 
 // ---------------------------------------------------------------------------
-// Directory.
+// Stats sharding.
 // ---------------------------------------------------------------------------
 
-CormNode::DirectoryEntry CormNode::LookupBlock(sim::VAddr base) const {
-  SharedLockGuard<RankedSharedMutex> lock(dir_mu_);
-  auto it = directory_.find(base);
-  return it == directory_.end() ? DirectoryEntry{} : it->second;
+void CormNode::BindWorkerThread(int id) { tls_worker_id = id; }
+
+NodeStatShard& CormNode::CurrentStatShard() {
+  return stat_shard(tls_worker_id);
 }
 
-void CormNode::DirectoryInsert(sim::VAddr base, alloc::Block* block,
-                               bool is_alias) {
-  LockGuard<RankedSharedMutex> lock(dir_mu_);
-  directory_[base] = DirectoryEntry{block, is_alias};
-}
-
-void CormNode::DirectoryErase(sim::VAddr base) {
-  LockGuard<RankedSharedMutex> lock(dir_mu_);
-  directory_.erase(base);
+NodeStats CormNode::stats() const {
+  NodeStats out;
+  stat_shards_.ForEach([&out](const NodeStatShard& s) {
+    out.rpc_allocs += s.rpc_allocs.Load();
+    out.rpc_frees += s.rpc_frees.Load();
+    out.rpc_reads += s.rpc_reads.Load();
+    out.rpc_writes += s.rpc_writes.Load();
+    out.rpc_releases += s.rpc_releases.Load();
+    out.corrections_messaging += s.corrections_messaging.Load();
+    out.corrections_scan += s.corrections_scan.Load();
+    out.forwarded_ops += s.forwarded_ops.Load();
+    out.compaction_runs += s.compaction_runs.Load();
+    out.blocks_compacted += s.blocks_compacted.Load();
+    out.objects_moved += s.objects_moved.Load();
+    out.objects_offset_preserved += s.objects_offset_preserved.Load();
+    out.ghosts_released += s.ghosts_released.Load();
+    out.old_pointer_uses += s.old_pointer_uses.Load();
+    out.id_draw_fallbacks += s.id_draw_fallbacks.Load();
+    out.dir_cache_hits += s.dir_cache_hits.Load();
+    out.dir_cache_misses += s.dir_cache_misses.Load();
+    out.rpc_batches += s.rpc_batches.Load();
+    out.rpc_polled += s.rpc_polled.Load();
+  });
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -79,20 +107,21 @@ void CormNode::DirectoryErase(sim::VAddr base) {
 // ---------------------------------------------------------------------------
 
 Result<uint64_t> CormNode::MergeRemap(alloc::Block* src, alloc::Block* dst) {
-  std::vector<sim::VAddr> ghost_bases;
-  ghost_bases.reserve(src->aliases().size());
-  for (const auto& ghost : src->aliases()) ghost_bases.push_back(ghost.base);
-
   uint64_t ns = 0;
+  std::vector<sim::VAddr> ghost_bases;
   {
-    LockGuard<RankedSharedMutex> lock(dir_mu_);
+    // The alias lock serializes this whole retarget against a concurrent
+    // last-object ghost release (ReleaseGhostAction) — the role the old
+    // whole-directory writer lock played. Directory readers are unaffected:
+    // they observe each retargeted base the moment its shard publishes it,
+    // and old/new blocks alias the same frames after the remap (§3.3).
+    LockGuard<RankedSpinLock> alias_lock(alias_mu_);
+    ghost_bases.reserve(src->aliases().size());
+    for (const auto& ghost : src->aliases()) ghost_bases.push_back(ghost.base);
     auto result = block_allocator_->MergeRemap(src, dst);
     CORM_RETURN_NOT_OK(result.status());
     ns = *result;
-    directory_[src->base()] = DirectoryEntry{dst, /*is_alias=*/true};
-    for (sim::VAddr base : ghost_bases) {
-      directory_[base] = DirectoryEntry{dst, /*is_alias=*/true};
-    }
+    directory_.RetargetToAlias(src->base(), ghost_bases, dst);
   }
   for (sim::VAddr base : ghost_bases) {
     vaddr_tracker_.SetAliasTarget(base, dst);
@@ -105,8 +134,8 @@ Result<uint64_t> CormNode::MergeRemap(alloc::Block* src, alloc::Block* dst) {
 
 void CormNode::ReleaseGhostAction(const GhostToRelease& ghost) {
   {
-    LockGuard<RankedSharedMutex> lock(dir_mu_);
-    directory_.erase(ghost.base);
+    LockGuard<RankedSpinLock> alias_lock(alias_mu_);
+    directory_.Erase(ghost.base);
     if (ghost.alias_of != nullptr) {
       auto& aliases = ghost.alias_of->aliases();
       aliases.erase(std::remove_if(aliases.begin(), aliases.end(),
@@ -118,7 +147,7 @@ void CormNode::ReleaseGhostAction(const GhostToRelease& ghost) {
   }
   block_allocator_->ReleaseGhost(ghost.base, config_.block_pages,
                                  ghost.r_key);
-  stats_.ghosts_released.fetch_add(1, std::memory_order_relaxed);
+  ++CurrentStatShard().ghosts_released;
 }
 
 void CormNode::RetireBlock(std::unique_ptr<alloc::Block> block) {
@@ -305,17 +334,18 @@ std::string CormNode::DebugReport() {
                   FormatBytes(cls.used_bytes).c_str(), cls.Ratio());
     out += line;
   }
+  const NodeStats s = stats();
   std::snprintf(
       line, sizeof(line),
       "ops: %llu allocs, %llu frees, %llu reads, %llu writes; "
       "%llu compactions (%llu blocks), %llu ghosts released\n",
-      static_cast<unsigned long long>(stats_.rpc_allocs.load()),
-      static_cast<unsigned long long>(stats_.rpc_frees.load()),
-      static_cast<unsigned long long>(stats_.rpc_reads.load()),
-      static_cast<unsigned long long>(stats_.rpc_writes.load()),
-      static_cast<unsigned long long>(stats_.compaction_runs.load()),
-      static_cast<unsigned long long>(stats_.blocks_compacted.load()),
-      static_cast<unsigned long long>(stats_.ghosts_released.load()));
+      static_cast<unsigned long long>(s.rpc_allocs),
+      static_cast<unsigned long long>(s.rpc_frees),
+      static_cast<unsigned long long>(s.rpc_reads),
+      static_cast<unsigned long long>(s.rpc_writes),
+      static_cast<unsigned long long>(s.compaction_runs),
+      static_cast<unsigned long long>(s.blocks_compacted),
+      static_cast<unsigned long long>(s.ghosts_released));
   out += line;
   return out;
 }

@@ -1,8 +1,8 @@
 // CormNode: a CoRM memory server (paper §3).
 //
 // The node owns the simulated substrate (physical memory, address space,
-// memfd pool, RNIC), a pool of worker threads that poll the shared RPC
-// queue (§2.2.2), the per-worker thread-local allocators (§3.1.1), and the
+// memfd pool, RNIC), a pool of worker threads that poll the per-worker RPC
+// rings (§2.2.2), the per-worker thread-local allocators (§3.1.1), and the
 // two-stage compaction protocol (§3.1.4). Clients talk to it through
 // core::Context (client.h), which issues RPCs and one-sided RDMA reads.
 
@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "alloc/block.h"
@@ -25,8 +24,10 @@
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/sharded_counters.h"
 #include "common/thread_annotations.h"
 #include "core/addr.h"
+#include "core/block_directory.h"
 #include "core/object_layout.h"
 #include "core/vaddr_tracker.h"
 #include "rdma/rnic.h"
@@ -72,26 +73,79 @@ struct CormConfig {
   // two messages, so ops saturate at half this rate (Fig. 12). 0 = no cap.
   uint64_t nic_msg_rate = 1'400'000;
 
+  // --- Data-plane performance knobs (DESIGN.md §7; bench_hotpath toggles
+  // each one to attribute its share of the hot-path speedup). -------------
+  // Per-worker directory lookup cache, invalidated by the directory epoch.
+  bool dir_cache = true;
+  // RpcMessage freelist + per-worker read scratch buffer (no per-op heap
+  // allocation on the steady-state path).
+  bool msg_pool = true;
+  // Max RPCs a worker drains from its ring per queue synchronization.
+  size_t poll_batch = 16;
+  // Directory shards (rounded up to a power of two).
+  size_t dir_shards = 16;
+  // Idle workers escalate from yields to short sleeps after a dry spell, so
+  // on an oversubscribed host the scheduler rotation shrinks to the threads
+  // that actually have work (a parked worker wakes within ~1 ms, and awake
+  // siblings steal from its ring meanwhile; busy workers never park).
+  // Biggest single lever on few-core hosts, where an all-workers yield
+  // rotation otherwise taxes every RPC round trip.
+  bool idle_park = true;
+
   sim::LatencyModel MakeLatencyModel() const {
     return sim::LatencyModel{rnic_model, cpu_model};
   }
 };
 
+// One worker's cacheline-padded block of node counters. Workers only ever
+// touch their own shard (plus an overflow shard for non-worker threads), so
+// data-plane increments never share a cacheline (see sharded_counters.h).
+struct NodeStatShard {
+  StatCounter rpc_allocs;
+  StatCounter rpc_frees;
+  StatCounter rpc_reads;
+  StatCounter rpc_writes;
+  StatCounter rpc_releases;
+  StatCounter corrections_messaging;
+  StatCounter corrections_scan;
+  StatCounter forwarded_ops;
+  StatCounter compaction_runs;
+  StatCounter blocks_compacted;
+  StatCounter objects_moved;
+  StatCounter objects_offset_preserved;
+  StatCounter ghosts_released;
+  StatCounter old_pointer_uses;
+  // Data-plane instrumentation (new with the hot-path overhaul).
+  StatCounter id_draw_fallbacks;  // DrawObjectId exhausted its random draws
+  StatCounter dir_cache_hits;
+  StatCounter dir_cache_misses;
+  StatCounter rpc_batches;  // PollBatch calls that returned >= 1 message
+  StatCounter rpc_polled;   // messages those batches carried
+};
+
+// Aggregated snapshot of the sharded counters (CormNode::stats()). A read
+// concurrent with increments is a momentary snapshot — same semantics the
+// old shared-atomic counters had, without the shared cachelines.
 struct NodeStats {
-  std::atomic<uint64_t> rpc_allocs{0};
-  std::atomic<uint64_t> rpc_frees{0};
-  std::atomic<uint64_t> rpc_reads{0};
-  std::atomic<uint64_t> rpc_writes{0};
-  std::atomic<uint64_t> rpc_releases{0};
-  std::atomic<uint64_t> corrections_messaging{0};
-  std::atomic<uint64_t> corrections_scan{0};
-  std::atomic<uint64_t> forwarded_ops{0};
-  std::atomic<uint64_t> compaction_runs{0};
-  std::atomic<uint64_t> blocks_compacted{0};
-  std::atomic<uint64_t> objects_moved{0};
-  std::atomic<uint64_t> objects_offset_preserved{0};
-  std::atomic<uint64_t> ghosts_released{0};
-  std::atomic<uint64_t> old_pointer_uses{0};
+  uint64_t rpc_allocs = 0;
+  uint64_t rpc_frees = 0;
+  uint64_t rpc_reads = 0;
+  uint64_t rpc_writes = 0;
+  uint64_t rpc_releases = 0;
+  uint64_t corrections_messaging = 0;
+  uint64_t corrections_scan = 0;
+  uint64_t forwarded_ops = 0;
+  uint64_t compaction_runs = 0;
+  uint64_t blocks_compacted = 0;
+  uint64_t objects_moved = 0;
+  uint64_t objects_offset_preserved = 0;
+  uint64_t ghosts_released = 0;
+  uint64_t old_pointer_uses = 0;
+  uint64_t id_draw_fallbacks = 0;
+  uint64_t dir_cache_hits = 0;
+  uint64_t dir_cache_misses = 0;
+  uint64_t rpc_batches = 0;
+  uint64_t rpc_polled = 0;
 };
 
 // Result of one compaction run.
@@ -128,10 +182,10 @@ class CormNode {
   // --- Fault shims (chaos/testing). --------------------------------------
   // Models a node whose CPU stops serving inbound RPCs (the crash half the
   // reachability flag in dsm::Cluster cannot express): workers finish the
-  // request they already dequeued, then stop polling the RPC queue until
-  // ResumeService(). Intra-node control messages (corrections, compaction,
-  // audits) keep flowing so the control plane and teardown never wedge on
-  // a crashed node.
+  // requests they already dequeued (up to one drained batch), then stop
+  // polling the RPC rings until ResumeService(). Intra-node control
+  // messages (corrections, compaction, audits) keep flowing so the control
+  // plane and teardown never wedge on a crashed node.
   void PauseService() { paused_.store(true, std::memory_order_release); }
   void ResumeService() { paused_.store(false, std::memory_order_release); }
   bool IsServingRequests() const {
@@ -162,7 +216,8 @@ class CormNode {
   // Frees the given objects (routed to their owning workers).
   Status BulkFree(const std::vector<GlobalAddr>& addrs);
 
-  const NodeStats& stats() const { return stats_; }
+  // Aggregated counter snapshot (sums the per-worker shards).
+  NodeStats stats() const;
 
   // Size class whose payload capacity fits `payload_size`.
   Result<uint32_t> ClassForPayload(uint32_t payload_size) const;
@@ -171,6 +226,9 @@ class CormNode {
   size_t vaddr_ghosts_for_testing() const {
     return vaddr_tracker_.NumGhosts();
   }
+
+  // Direct access to the sharded directory (lock-free-read assertion test).
+  const BlockDirectory& directory_for_testing() const { return directory_; }
 
   // Human-readable node report: per-class fragmentation, memory, ghost and
   // operation counters. For operators and examples.
@@ -194,29 +252,44 @@ class CormNode {
  private:
   friend class Worker;
 
-  // Block directory: maps every live *virtual block base* (current blocks
+  // Block directory entry: maps a live *virtual block base* (current blocks
   // and ghost aliases) to the Block that owns the bytes behind it.
-  struct DirectoryEntry {
-    alloc::Block* block = nullptr;
-    bool is_alias = false;  // base belongs to a compacted-away ghost
-  };
+  using DirectoryEntry = BlockDirectory::Entry;
 
-  DirectoryEntry LookupBlock(sim::VAddr base) const;
-  void DirectoryInsert(sim::VAddr base, alloc::Block* block, bool is_alias);
-  void DirectoryErase(sim::VAddr base);
+  // Lock-free read (see block_directory.h for the safety argument).
+  DirectoryEntry LookupBlock(sim::VAddr base) const {
+    return directory_.Lookup(base);
+  }
+  void DirectoryInsert(sim::VAddr base, alloc::Block* block, bool is_alias) {
+    directory_.Insert(base, block, is_alias);
+  }
+  void DirectoryErase(sim::VAddr base) { directory_.Erase(base); }
 
   // Compaction remap of src into dst with all node-level bookkeeping
-  // (directory retarget, ghost tracking) done under the directory lock.
+  // (directory retarget, ghost tracking) serialized under the alias lock.
   // Returns the modeled remap duration; the caller paces it afterwards.
   Result<uint64_t> MergeRemap(alloc::Block* src, alloc::Block* dst);
 
   // Releases a ghost virtual range after its last homed object died.
   void ReleaseGhostAction(const GhostToRelease& ghost);
 
-  // Retires a merged-away source block. The Block object stays alive in the
-  // graveyard for the node's lifetime so that in-flight references from
-  // other workers (correction routing, scans) never dangle.
+  // Retires a merged-away source or destroyed block. The Block object stays
+  // alive in the graveyard for the node's lifetime so that in-flight
+  // references from other workers (correction routing, scans, stale
+  // lock-free directory reads) never dangle.
   void RetireBlock(std::unique_ptr<alloc::Block> block);
+
+  // Binds the calling thread to worker `id` for stat-shard attribution.
+  void BindWorkerThread(int id);
+  // The calling thread's stat shard: its worker's shard on a worker thread,
+  // the overflow shard (index num_workers) otherwise.
+  NodeStatShard& CurrentStatShard();
+  NodeStatShard& stat_shard(int worker_id) {
+    const bool is_worker = worker_id >= 0 && worker_id < config_.num_workers;
+    return stat_shards_.shard(
+        is_worker ? static_cast<size_t>(worker_id)
+                  : static_cast<size_t>(config_.num_workers));
+  }
 
   Worker* worker(int idx) { return workers_[idx].get(); }
   int num_workers() const { return config_.num_workers; }
@@ -233,12 +306,17 @@ class CormNode {
 
   rdma::RpcQueue rpc_queue_;
   VaddrTracker vaddr_tracker_;
-  NodeStats stats_;
+  Sharded<NodeStatShard> stat_shards_;
 
-  // Ranked (see lock_rank.h): acquired before the block allocator's lock in
-  // MergeRemap, after the compaction-leader and thread-allocator phases.
-  mutable RankedSharedMutex dir_mu_{LockRank::kNodeDirectory};
-  std::unordered_map<sim::VAddr, DirectoryEntry> directory_ GUARDED_BY(dir_mu_);
+  // Sharded, lock-free-read block directory (replaces the old
+  // RankedSharedMutex + unordered_map; see block_directory.h).
+  BlockDirectory directory_;
+
+  // Serializes ghost-alias-list mutation (Block::aliases()) between the
+  // compaction remap retarget and the last-object ghost release — the role
+  // the old whole-directory lock played. Ranked below the directory shard
+  // locks so both paths may update directory entries while holding it.
+  RankedSpinLock alias_mu_{LockRank::kAliasList};
 
   // Leaf lock: push-only until node teardown.
   RankedSpinLock graveyard_mu_{LockRank::kGraveyard};

@@ -1,7 +1,10 @@
+// corm-hotpath
 #include "core/worker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/cpu_relax.h"
 #include "common/logging.h"
@@ -18,7 +21,14 @@ Worker::Worker(CormNode* node, int id)
       id_(id),
       allocator_(id, node->block_allocator_.get()),
       inbox_(1024),
-      rng_(node->config().seed * 7919 + static_cast<uint64_t>(id) + 1) {}
+      rng_(node->config().seed * 7919 + static_cast<uint64_t>(id) + 1),
+      stats_(node->stat_shard(id)),
+      dir_cache_enabled_(node->config().dir_cache),
+      scratch_enabled_(node->config().msg_pool),
+      dir_cache_(kDirCacheSlots) {  // NOLINT(corm-hotpath-alloc) ctor only
+  static_assert((kDirCacheSlots & (kDirCacheSlots - 1)) == 0,
+                "direct-mapped cache wants a power-of-two slot count");
+}
 
 void Worker::Send(WorkerMsg msg) {
   while (!inbox_.TryPush(msg)) {
@@ -27,23 +37,73 @@ void Worker::Send(WorkerMsg msg) {
 }
 
 void Worker::Run() {
+  node_->BindWorkerThread(id_);
+  const size_t batch_max = std::min<size_t>(
+      std::max<size_t>(node_->config().poll_batch, 1), kMaxPollBatch);
+  const bool idle_park = node_->config().idle_park;
+  rdma::RpcMessage* batch[kMaxPollBatch];
+  // Consecutive dry polls; reset by any work. Past kIdleYields the worker
+  // parks in escalating sleeps instead of re-entering the yield rotation.
+  uint32_t idle = 0;
   // Run loop, not a completion wait: bounded by stop_. NOLINT(corm-spin-wait)
   while (!node_->stop_.load(std::memory_order_relaxed)) {
     if (auto msg = inbox_.TryPop()) {
       HandleInbox(*msg);
+      idle = 0;
       continue;
     }
     // A paused node (injected crash) stops serving inbound RPCs; queued
     // requests stall until ResumeService or a restart purge, and clients
     // time out per their RetryPolicy.
     if (node_->IsServingRequests()) {
-      if (rdma::RpcMessage* rpc = node_->rpc_queue()->Poll()) {
-        HandleRpc(rpc, /*forwarded=*/false);
+      size_t n = node_->rpc_queue()->PollBatch(id_, batch, batch_max);
+      if (n == 0) {
+        // Steal — but only from rings whose owner is parked. An awake owner
+        // drains its own ring faster than we can, and racing it for its
+        // traffic would reset every idle sibling's dry-spell counter,
+        // keeping the whole pool spinning on load one worker could serve.
+        // A parked owner's ring, by contrast, has nobody else on it: a
+        // hinted op that lands there (e.g. an owner-routed Free) would
+        // otherwise wait out the owner's sleep.
+        const int nw = node_->num_workers();
+        for (int i = 1; i < nw && n == 0; ++i) {
+          const int r = (id_ + i) % nw;
+          if (node_->worker(r)->parked()) {
+            n = node_->rpc_queue()->PollBatch(r, batch, batch_max);
+          }
+        }
+      }
+      if (n > 0) {
+        ++stats_.rpc_batches;
+        stats_.rpc_polled += n;
+        for (size_t i = 0; i < n; ++i) {
+          HandleRpc(batch[i], /*forwarded=*/false);
+          // One inbox message between batch items: forwarded ops and
+          // correction replies stay responsive under a deep ring.
+          if (auto msg = inbox_.TryPop()) HandleInbox(*msg);
+        }
+        idle = 0;
         continue;
       }
     }
-    CpuRelax();
+    // Idle. A yield lets the threads we might be blocking run; once the dry
+    // spell outlasts kIdleYields, park in escalating sleeps (capped at
+    // ~1 ms). A parked worker's ring is stolen from by awake siblings, so
+    // the cap bounds only inbox latency (control-plane messages), not RPC
+    // latency. On an oversubscribed host this removes idle workers from the
+    // scheduler rotation that every RPC round trip must traverse — the
+    // single biggest hot-path cost on a few-core machine.
+    ++idle;
+    if (!idle_park || idle <= kIdleYields) {
+      CpuRelax();
+    } else {
+      const uint32_t exp = std::min(idle - kIdleYields, 10u);
+      parked_.store(true, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(1u << exp));
+      parked_.store(false, std::memory_order_relaxed);
+    }
   }
+  parked_.store(false, std::memory_order_relaxed);
 }
 
 void Worker::HandleInbox(WorkerMsg& msg) {
@@ -162,10 +222,23 @@ Result<uint16_t> Worker::DrawObjectId(alloc::Block* block) {
     // metadata map is not maintained (§4.4.1).
     return static_cast<uint16_t>(rng_.Next() & mask);
   }
-  for (;;) {
+  for (int draw = 0; draw < kIdRandomDraws; ++draw) {
     const auto id = static_cast<uint16_t>(rng_.Next() & mask);
     if (!block->HasId(id)) return id;
   }
+  // Dense block: each rejection-sampling draw hits a used ID with
+  // probability live/space, so an unbounded loop has no worst-case bound.
+  // Scan from a random start instead — a compactable class has
+  // slots <= id_space and the caller is allocating into a free slot, so a
+  // free ID must exist; the randomized start keeps IDs spread out.
+  ++stats_.id_draw_fallbacks;
+  const uint32_t space = static_cast<uint32_t>(mask) + 1;
+  const auto start = static_cast<uint32_t>(rng_.Next() & mask);
+  for (uint32_t i = 0; i < space; ++i) {
+    const auto id = static_cast<uint16_t>((start + i) & mask);
+    if (!block->HasId(id)) return id;
+  }
+  return Status::Internal("object ID space exhausted in a compactable block");
 }
 
 Result<GlobalAddr> Worker::AllocObject(uint32_t payload_size) {
@@ -206,13 +279,16 @@ Result<GlobalAddr> Worker::AllocObject(uint32_t payload_size) {
   addr.r_key = block->keys().r_key;
   addr.obj_id = *id;
   addr.class_idx = static_cast<uint8_t>(*class_idx);
+  // The allocating worker owns the block: clients route ownership-bound
+  // RPCs straight into this worker's ring.
+  addr.SetOwnerHint(id_);
   return addr;
 }
 
 void Worker::HandleAlloc(rdma::RpcMessage* rpc) {
   AllocRequest req;
   DecodeRequest(rpc->request, &req);
-  node_->stats_.rpc_allocs.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.rpc_allocs;
   rpc->server_extra_ns = 0;
   Charge(rpc, node_->latency_model().AllocExtraNs());
   auto addr = AllocObject(static_cast<uint32_t>(req.size));
@@ -243,7 +319,7 @@ Result<uint32_t> Worker::OwnerLookup(const alloc::Block* block,
 
 Result<uint32_t> Worker::CorrectViaScan(const alloc::Block* block,
                                         sim::VAddr base, uint16_t obj_id) {
-  node_->stats_.corrections_scan.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.corrections_scan;
   const uint32_t slot_size = block->slot_size();
   const uint32_t num_slots = block->num_slots();
   for (uint32_t slot = 0; slot < num_slots; ++slot) {
@@ -258,7 +334,7 @@ Result<uint32_t> Worker::CorrectViaScan(const alloc::Block* block,
 
 Result<uint32_t> Worker::CorrectViaOwner(alloc::Block* block,
                                          uint16_t obj_id) {
-  node_->stats_.corrections_messaging.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.corrections_messaging;
   for (int attempt = 0; attempt < 64; ++attempt) {
     const int owner = block->owner_thread();
     if (owner == id_) return OwnerLookup(block, obj_id);
@@ -300,10 +376,34 @@ Result<uint32_t> Worker::CorrectViaOwner(alloc::Block* block,
   return Status::Internal("pointer correction ownership churn");
 }
 
+// Directory lookup through the worker-private direct-mapped cache.
+//
+// Freshness: the epoch is read *before* the lookup. If a directory mutation
+// lands between the two, the slot caches data at least as fresh as its
+// stamp, so the worst case is a conservative refetch on the next access —
+// a stamp match can never hide a mutation. A hit whose epoch bump is still
+// in flight linearizes as a lookup just before that mutation, exactly the
+// schedule a raw lock-free Lookup already admits (see block_directory.h).
+CormNode::DirectoryEntry Worker::LookupBlockCached(sim::VAddr base) {
+  if (!dir_cache_enabled_) return node_->LookupBlock(base);
+  const uint64_t epoch = node_->directory_.epoch();
+  DirCacheSlot& slot =
+      dir_cache_[BlockDirectory::Mix(base) & (kDirCacheSlots - 1)];
+  if (slot.base == base && slot.epoch == epoch) {
+    ++stats_.dir_cache_hits;
+    return slot.entry;
+  }
+  ++stats_.dir_cache_misses;
+  slot.entry = node_->LookupBlock(base);
+  slot.base = base;
+  slot.epoch = epoch;
+  return slot.entry;
+}
+
 Result<Worker::Resolved> Worker::ResolveObject(const GlobalAddr& addr) {
   const size_t block_bytes = node_->block_bytes();
   const sim::VAddr base = BlockBaseOf(addr.vaddr, block_bytes);
-  const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+  const CormNode::DirectoryEntry entry = LookupBlockCached(base);
   if (entry.block == nullptr) {
     return Status::StalePointer("virtual block released or never allocated");
   }
@@ -312,7 +412,7 @@ Result<Worker::Resolved> Worker::ResolveObject(const GlobalAddr& addr) {
   r.base = base;
   r.old_block = entry.is_alias;
   if (r.old_block) {
-    node_->stats_.old_pointer_uses.fetch_add(1, std::memory_order_relaxed);
+    ++stats_.old_pointer_uses;
   }
 
   // Optimistic hinted access (§3.2): load the header at the hinted offset
@@ -343,13 +443,15 @@ Result<Worker::Resolved> Worker::ResolveObject(const GlobalAddr& addr) {
 }
 
 // Builds the corrected pointer sent back to the client: same block base the
-// client used (old bases stay valid, §3.3), updated offset hint.
+// client used (old bases stay valid, §3.3), updated offset hint, plus the
+// current owner-worker hint for ring affinity on later ops.
 namespace {
 GlobalAddr CorrectedAddr(const GlobalAddr& in, const Worker::Resolved& r,
                          uint32_t slot_size) {
   GlobalAddr out = in;
   out.vaddr = r.base + static_cast<uint64_t>(r.slot) * slot_size;
   out.flags = r.old_block ? GlobalAddr::kFlagOldBlock : 0;
+  out.SetOwnerHint(r.block->owner_thread());
   return out;
 }
 }  // namespace
@@ -364,7 +466,7 @@ GlobalAddr CorrectedAddr(const GlobalAddr& in, const Worker::Resolved& r,
 void Worker::HandleRead(rdma::RpcMessage* rpc) NO_THREAD_SAFETY_ANALYSIS {
   ReadRequest req;
   DecodeRequest(rpc->request, &req);
-  node_->stats_.rpc_reads.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.rpc_reads;
 
   auto resolved = ResolveObject(req.addr);
   if (!resolved.ok()) {
@@ -382,7 +484,13 @@ void Worker::HandleRead(rdma::RpcMessage* rpc) NO_THREAD_SAFETY_ANALYSIS {
   ReadResponse resp;
   resp.addr = CorrectedAddr(req.addr, *resolved, block->slot_size());
   resp.size = req.size;
-  Buffer payload(req.size);
+  // Stage the payload in the worker's reusable scratch buffer: resize()
+  // only allocates until the high-water mark, so the steady-state read
+  // path touches no allocator. The pooling-off bench baseline allocates
+  // per op, as the old code did.
+  Buffer local;
+  Buffer& payload = scratch_enabled_ ? read_scratch_ : local;
+  payload.resize(req.size);
   for (int attempt = 0; attempt < 16; ++attempt) {
     const uint64_t w1 = LoadHeaderWord(ptr);
     const ObjectHeader h = ObjectHeader::Unpack(w1);
@@ -415,7 +523,7 @@ void Worker::HandleRead(rdma::RpcMessage* rpc) NO_THREAD_SAFETY_ANALYSIS {
 void Worker::HandleWrite(rdma::RpcMessage* rpc) {
   WriteRequest req;
   Slice payload = DecodeRequest(rpc->request, &req);
-  node_->stats_.rpc_writes.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.rpc_writes;
 
   auto resolved = ResolveObject(req.addr);
   if (!resolved.ok()) {
@@ -507,7 +615,10 @@ void Worker::MaybeReleaseEmptyBlock(alloc::Block* block) {
   auto owned = allocator_.DetachBlock(block);
   node_->DirectoryErase(owned->base());
   node_->vaddr_tracker_.OnBlockDestroyed(owned->base());
-  node_->block_allocator_->DestroyBlock(std::move(owned));
+  // The drained descriptor goes to the graveyard: a concurrent lock-free
+  // directory reader (or a sibling's cached entry) may still dereference
+  // the Block object for a short window after the erase.
+  node_->RetireBlock(node_->block_allocator_->DestroyBlock(std::move(owned)));
 }
 
 void Worker::ReleaseGhost(const GhostToRelease& ghost) {
@@ -550,12 +661,12 @@ void Worker::HandleFree(rdma::RpcMessage* rpc, bool forwarded) {
   DecodeRequest(rpc->request, &req);
   if (!forwarded) {
     // Count on first receipt; the op may be forwarded to the owner.
-    node_->stats_.rpc_frees.fetch_add(1, std::memory_order_relaxed);
+    ++stats_.rpc_frees;
   }
 
   // Route to the block owner first (only the owner mutates block metadata).
   const sim::VAddr base = BlockBaseOf(req.addr.vaddr, node_->block_bytes());
-  const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+  const CormNode::DirectoryEntry entry = LookupBlockCached(base);
   if (entry.block == nullptr) {
     Complete(rpc, Status::StalePointer("virtual block released"));
     return;
@@ -567,7 +678,7 @@ void Worker::HandleFree(rdma::RpcMessage* rpc, bool forwarded) {
       Complete(rpc, Status::ObjectLocked("block ownership in transit"));
       return;
     }
-    node_->stats_.forwarded_ops.fetch_add(1, std::memory_order_relaxed);
+    ++stats_.forwarded_ops;
     WorkerMsg msg;
     msg.kind = WorkerMsg::Kind::kForwardedRpc;
     msg.rpc = rpc;
@@ -598,7 +709,7 @@ void Worker::HandleFree(rdma::RpcMessage* rpc, bool forwarded) {
 void Worker::HandleReleasePtr(rdma::RpcMessage* rpc) {
   ReleasePtrRequest req;
   DecodeRequest(rpc->request, &req);
-  node_->stats_.rpc_releases.fetch_add(1, std::memory_order_relaxed);
+  ++stats_.rpc_releases;
 
   auto resolved = ResolveObject(req.addr);
   if (!resolved.ok()) {
@@ -646,6 +757,7 @@ void Worker::HandleReleasePtr(rdma::RpcMessage* rpc) {
   resp.addr.vaddr = block->SlotAddr(resolved->slot);
   resp.addr.r_key = block->keys().r_key;
   resp.addr.flags = 0;
+  resp.addr.SetOwnerHint(block->owner_thread());
   EncodeResponse(resp, &rpc->response);
   // Paper §4.1: the release itself adds ~0.3 us on top of the RPC.
   Charge(rpc, 300);
@@ -668,7 +780,7 @@ void Worker::HandleBulk(BulkRequest* req) {
       // Deterministic payload for later verification.
       const sim::VAddr base =
           BlockBaseOf(addr->vaddr, node_->block_bytes());
-      const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+      const CormNode::DirectoryEntry entry = LookupBlockCached(base);
       alloc::Block* block = entry.block;
       uint8_t* ptr = SlotPtr(base, block, block->SlotFor(addr->vaddr));
       Buffer pattern(req->payload_size);
@@ -683,7 +795,7 @@ void Worker::HandleBulk(BulkRequest* req) {
     std::vector<GlobalAddr> not_mine;
     for (const GlobalAddr& addr : req->free_addrs) {
       const sim::VAddr base = BlockBaseOf(addr.vaddr, node_->block_bytes());
-      const CormNode::DirectoryEntry entry = node_->LookupBlock(base);
+      const CormNode::DirectoryEntry entry = LookupBlockCached(base);
       if (entry.block == nullptr) {
         req->status = Status::StalePointer("bulk free: unknown block");
         continue;

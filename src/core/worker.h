@@ -19,6 +19,7 @@
 #include "alloc/thread_allocator.h"
 #include "common/mpmc_queue.h"
 #include "common/random.h"
+#include "common/slice.h"
 #include "core/addr.h"
 #include "core/corm_node.h"
 #include "core/rpc_protocol.h"
@@ -110,7 +111,10 @@ class Worker {
  public:
   Worker(CormNode* node, int id);
 
-  // Thread body; returns when the node's stop flag is set.
+  // Thread body; returns when the node's stop flag is set. Drains the
+  // worker's own RPC ring in batches (stealing only from rings whose owner
+  // worker is parked) and interleaves inbox messages between batch items so
+  // correction queries are never starved behind a long batch.
   void Run();
 
   // Enqueues a message (any thread). Spins while the inbox is full.
@@ -118,6 +122,12 @@ class Worker {
 
   int id() const { return id_; }
   alloc::ThreadAllocator* allocator() { return &allocator_; }
+
+  // True while the worker is sleeping out an idle spell. Siblings steal
+  // from a ring only while its owner is parked — an awake owner drains its
+  // own ring, and stealing from it would keep every idle worker spinning on
+  // load that belongs to one worker (see Run()).
+  bool parked() const { return parked_.load(std::memory_order_relaxed); }
 
   // Result of locating an object (public for internal free helpers).
   struct Resolved {
@@ -164,8 +174,15 @@ class Worker {
   uint8_t* SlotPtr(sim::VAddr base, const alloc::Block* block, uint32_t slot);
 
   // Generates a block-local object ID (unique when the class is
-  // compactable; paper §3.1.2).
+  // compactable; paper §3.1.2). Bounded: after kIdRandomDraws failed random
+  // draws (dense block: rejection sampling degenerates) it scans the ID
+  // space from a random start, which is guaranteed to find a free ID.
   Result<uint16_t> DrawObjectId(alloc::Block* block);
+
+  // Directory lookup through this worker's private cache, invalidated by
+  // the directory epoch (stale entries miss and refetch; see the freshness
+  // argument at LookupBlockCached's definition).
+  CormNode::DirectoryEntry LookupBlockCached(sim::VAddr base);
 
   // True when blocks of this class can hold more objects than the ID space
   // addresses (compaction disabled for it, §4.4.1).
@@ -189,11 +206,38 @@ class Worker {
 
   void HandleBulk(BulkRequest* req);
 
+  // Largest batch a worker drains from its RPC ring per queue
+  // synchronization (CormConfig::poll_batch is clamped to this).
+  static constexpr size_t kMaxPollBatch = 64;
+  // Random ID draws before DrawObjectId falls back to scanning.
+  static constexpr int kIdRandomDraws = 32;
+  // Dry polls an idle worker yields through before parking in short sleeps.
+  static constexpr uint32_t kIdleYields = 4;
+
+  // Direct-mapped directory cache slot: valid while the stamped epoch still
+  // equals the directory's (any directory mutation invalidates all slots).
+  struct DirCacheSlot {
+    sim::VAddr base = 0;
+    uint64_t epoch = 0;
+    CormNode::DirectoryEntry entry;
+  };
+  static constexpr size_t kDirCacheSlots = 256;  // power of two
+
   CormNode* const node_;
   const int id_;
   alloc::ThreadAllocator allocator_;
+  std::atomic<bool> parked_{false};
   MpmcQueue<WorkerMsg> inbox_;
   Rng rng_;
+  // This worker's cacheline-padded stat shard; counters on the data plane
+  // are plain increments with no shared-line contention.
+  NodeStatShard& stats_;
+  const bool dir_cache_enabled_;
+  const bool scratch_enabled_;
+  // Reusable read-payload staging buffer (capacity persists across ops, so
+  // the steady-state read path performs no heap allocation).
+  Buffer read_scratch_;
+  std::vector<DirCacheSlot> dir_cache_;
 };
 
 }  // namespace corm::core

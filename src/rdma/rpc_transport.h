@@ -1,19 +1,33 @@
+// corm-hotpath
+//
 // RPC transport over the simulated RDMA fabric (paper §2.2.2, Fig. 3).
 //
-// Remote peers push RPC requests "directly into the RPC queue" (modeled by
-// the lock-free MPMC queue); the DSM worker threads poll that queue, serve
-// the request and reply. A client has at most one outstanding request and
-// spins on the completion flag, like an RDMA client polling its CQ — but
-// the spin is *bounded* by a RetryPolicy deadline: when the serving node
-// dies mid-request the call returns kTimeout instead of hanging, and the
-// abandoned message's lifetime is settled by its intrusive refcount (the
-// server still holds a reference and releases it whenever it completes).
+// Remote peers push RPC requests "directly into the RPC queue"; the DSM
+// worker threads poll it, serve the request and reply. The queue is split
+// into per-worker rings (one lock-free MPMC ring per worker) so that a
+// worker drains its own ring with a batched pop — one head CAS per batch —
+// and clients can target the ring of the worker that owns the addressed
+// block (owner-affinity dispatch, cutting kForwardedRpc hops). A client has
+// at most one outstanding request and spins on the completion flag, like an
+// RDMA client polling its CQ — but the spin is *bounded* by a RetryPolicy
+// deadline: when the serving node dies mid-request the call returns
+// kTimeout instead of hanging, and the abandoned message's lifetime is
+// settled by its intrusive refcount (the server still holds a reference and
+// releases it whenever it completes).
+//
+// Messages come from a per-thread freelist (RpcMessagePool) so the
+// steady-state data plane performs no heap allocation: the client that
+// drops the last reference recycles the message into its own thread's
+// freelist and the next call reuses it, request/response buffers keeping
+// their capacity. See DESIGN.md §7 for the pooling lifetimes.
 
 #ifndef CORM_RDMA_RPC_TRANSPORT_H_
 #define CORM_RDMA_RPC_TRANSPORT_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/mpmc_queue.h"
 #include "common/result.h"
@@ -30,9 +44,10 @@ namespace corm::rdma {
 // Lifetime: a message created with New() carries two references — the
 // client's and the server's — because a timed-out client abandons the
 // message while the server may still be about to complete it. Whoever
-// drops the last reference frees it. Stack-allocated messages (tests,
-// tools that complete synchronously) start at refcount 0, where Unref is
-// a no-op and the owner's scope controls the lifetime as before.
+// drops the last reference returns it to the pool (or frees it when
+// pooling is off). Stack-allocated messages (tests, tools that complete
+// synchronously) start at refcount 0, where Unref is a no-op and the
+// owner's scope controls the lifetime as before.
 struct RpcMessage {
   Buffer request;
   Buffer response;
@@ -43,14 +58,45 @@ struct RpcMessage {
   uint64_t server_extra_ns = 0;
   std::atomic<bool> done{false};
 
-  // Heap factory for transport use: returns a message holding one client
-  // and one server reference.
+  // Heap/pool factory for transport use: returns a message holding one
+  // client and one server reference (alias of RpcMessagePool::Acquire).
   static RpcMessage* New();
-  // Drops one reference; frees the message when the last one goes.
+  // Drops one reference; recycles the message when the last one goes.
   void Unref();
 
  private:
+  friend class RpcMessagePool;
   std::atomic<int> refs_{0};  // 0 = stack-owned, Unref is a no-op
+};
+
+// Per-thread freelist of RpcMessage objects. On the normal path the client
+// thread drops the last reference (the server Completes 2 -> 1, the client
+// reads the response and Unrefs 1 -> 0), so messages recycle into the
+// *client's* freelist with no cross-thread synchronization and the next
+// call on that thread reuses the same message and buffer capacity. On the
+// abandoned-timeout path the server's Complete drops the last reference and
+// the message recycles into the worker's freelist (bounded; workers never
+// acquire, so those entries persist until further abandons overflow the cap
+// and delete). Toggling SetEnabled(false) makes Acquire allocate and
+// Recycle free — the bench's pooling-off baseline.
+class RpcMessagePool {
+ public:
+  static void SetEnabled(bool on);
+  static bool Enabled();
+
+  // A message with refs == 2 (client + server), fields reset, buffers
+  // retaining any recycled capacity.
+  static RpcMessage* Acquire();
+
+  // Entries on the calling thread's freelist (tests).
+  static size_t LocalFreeForTesting();
+
+ private:
+  friend struct RpcMessage;
+  static constexpr size_t kMaxPerThread = 64;
+  // Called by the final Unref. Resets and shelves `msg`, or deletes it
+  // when the pool is disabled/full.
+  static void Recycle(RpcMessage* msg);
 };
 
 // Token-style rate limiter modeling the RNIC's two-sided message rate: the
@@ -70,7 +116,8 @@ class NicMessageRateLimiter {
         std::memory_order_relaxed);
   }
 
-  // Blocks (spins) until the caller's message slot is due.
+  // Blocks (exponential-backoff wait) until the caller's message slot is
+  // due.
   void Acquire();
 
  private:
@@ -78,39 +125,60 @@ class NicMessageRateLimiter {
   std::atomic<uint64_t> next_slot_ns_{0};
 };
 
-// The shared inbound request queue on the server node.
+// The inbound request queue on the server node: one lock-free ring per
+// worker plus a shared rate limiter. Capacity is per ring.
 class RpcQueue {
  public:
-  explicit RpcQueue(size_t capacity_pow2 = 4096) : queue_(capacity_pow2) {}
+  explicit RpcQueue(size_t ring_capacity_pow2 = 4096, int num_rings = 1);
 
+  int num_rings() const { return static_cast<int>(rings_.size()); }
   NicMessageRateLimiter* rate_limiter() { return &limiter_; }
 
-  // Enqueues a request; false when the queue is full (client backs off).
-  bool Push(RpcMessage* msg) { return queue_.TryPush(msg); }
+  // Enqueues a request; false when every ring is full (client backs off).
+  // `ring_hint` targets a specific worker's ring (owner affinity); out of
+  // range (or -1) round-robins. A full hinted ring falls through to the
+  // others before giving up.
+  bool Push(RpcMessage* msg, int ring_hint = -1);
 
-  // Dequeues the next request, or nullptr when the queue is empty.
-  RpcMessage* Poll() {
-    auto msg = queue_.TryPop();
-    return msg ? *msg : nullptr;
-  }
+  // Dequeues one request from any ring, or nullptr when all are empty.
+  // Control-plane use (tests, the cluster restart purge); workers use
+  // PollBatch.
+  RpcMessage* Poll();
 
-  size_t ApproxDepth() const { return queue_.ApproxSize(); }
+  // Drains up to `max` requests from `ring` only (one batched pop — a
+  // single head CAS — amortizing queue synchronization over the batch).
+  // Returns the number of messages written to `out`. Cross-ring stealing is
+  // the *caller's* policy: the worker loop steals only from rings whose
+  // owner is parked, so an idle worker cannot keep itself awake by racing
+  // the ring owner for its traffic.
+  size_t PollBatch(int ring, RpcMessage** out, size_t max);
+
+  size_t ApproxDepth() const;
 
  private:
-  MpmcQueue<RpcMessage*> queue_;
+  // unique_ptr: MpmcQueue is neither movable nor copyable.
+  std::vector<std::unique_ptr<MpmcQueue<RpcMessage*>>> rings_;
+  std::atomic<uint64_t> rr_{0};  // round-robin cursor for unhinted pushes
   NicMessageRateLimiter limiter_;
 };
 
-// Everything a completed (or failed) call reports back to the client.
+// Modeled wire accounting for one call (client stats).
+struct RpcWireStats {
+  uint64_t network_ns = 0;       // modeled network round-trip time
+  uint64_t server_extra_ns = 0;  // modeled server compute the handler charged
+  bool dup_completion = false;   // an injected duplicate completion arrived
+};
+
+// Everything a completed (or failed) legacy-path call reports back.
 struct RpcCallResult {
   // Server-set status; kTimeout when the transport gave up first (request
   // undeliverable, completion never observed, or response lost) — in that
   // case the server may or may not have applied the operation.
   Status status;
   Buffer response;
-  uint64_t network_ns = 0;       // modeled network round-trip time
-  uint64_t server_extra_ns = 0;  // modeled server compute the handler charged
-  bool dup_completion = false;   // an injected duplicate completion arrived
+  uint64_t network_ns = 0;
+  uint64_t server_extra_ns = 0;
+  bool dup_completion = false;
 };
 
 // Client-side RPC endpoint: pushes requests into a remote RpcQueue and
@@ -123,8 +191,17 @@ class RpcClient {
             RetryPolicy policy = RetryPolicy{})
       : queue_(queue), model_(model), policy_(policy) {}
 
-  // Synchronous call; never blocks past the policy deadline.
-  RpcCallResult Call(Buffer request);
+  // Zero-copy pooled call: `*msg` (from RpcMessagePool::Acquire, request
+  // encoded in place) is sent and, on any status where the message is still
+  // owned by the caller, returned with the response in msg->response — the
+  // caller decodes in place and Unrefs. On timeout-class failures the
+  // transport has already released the caller's reference(s) and nulls
+  // `*msg`; the caller must not touch it.
+  Status CallPooled(RpcMessage** msg, int ring_hint, RpcWireStats* wire);
+
+  // Legacy synchronous call (copies the response out); never blocks past
+  // the policy deadline.
+  RpcCallResult Call(Buffer request, int ring_hint = -1);
 
   const sim::LatencyModel& model() const { return model_; }
   const RetryPolicy& retry_policy() const { return policy_; }

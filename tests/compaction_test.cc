@@ -271,7 +271,7 @@ TEST(PointerReleaseTest, OldPointerUseIsFlagged) {
     saw_old_flag |= addr.ReferencesOldBlock();
   }
   EXPECT_TRUE(saw_old_flag);
-  EXPECT_GT(node.stats().old_pointer_uses.load(), 0u);
+  EXPECT_GT(node.stats().old_pointer_uses, 0u);
 }
 
 // --- Policy (§3.1.3) ----------------------------------------------------------

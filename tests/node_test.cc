@@ -189,10 +189,10 @@ TEST_F(NodeTest, StatsCountOperations) {
   ASSERT_TRUE(ctx_->Write(&*addr, buf.data(), 16).ok());
   ASSERT_TRUE(ctx_->Read(&*addr, buf.data(), 16).ok());
   ASSERT_TRUE(ctx_->Free(&*addr).ok());
-  EXPECT_GE(node_.stats().rpc_allocs.load(), 1u);
-  EXPECT_GE(node_.stats().rpc_writes.load(), 1u);
-  EXPECT_GE(node_.stats().rpc_reads.load(), 1u);
-  EXPECT_GE(node_.stats().rpc_frees.load(), 1u);
+  EXPECT_GE(node_.stats().rpc_allocs, 1u);
+  EXPECT_GE(node_.stats().rpc_writes, 1u);
+  EXPECT_GE(node_.stats().rpc_reads, 1u);
+  EXPECT_GE(node_.stats().rpc_frees, 1u);
 }
 
 TEST_F(NodeTest, LocalContextReads) {

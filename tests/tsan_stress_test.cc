@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "common/lock_rank.h"
+#include "common/mpmc_queue.h"
 #include "common/random.h"
 #include "core/client.h"
 #include "core/corm_node.h"
+#include "rdma/rpc_transport.h"
 
 namespace corm::core {
 namespace {
@@ -120,6 +122,70 @@ TEST(TsanStressTest, AllocFreeChurnWithConcurrentCompaction) {
   Status audit = node.Audit();
   EXPECT_TRUE(audit.ok()) << audit;
   EXPECT_EQ(LockRankTracker::Depth(), 0);
+}
+
+// The message pool's two recycle paths racing (DESIGN.md §7.2): on the
+// normal path the client drops the last reference and the message recycles
+// into the *client's* freelist; on the abandoned path the client Unrefs
+// without waiting (a timeout) while the server is still filling the
+// response, so the server's completing Unref is the last one and recycles
+// into the *worker's* freelist. TSan must see the acq_rel refcount as the
+// only thing ordering the loser's field resets against the winner's final
+// accesses — and must see no unsynchronized reuse, because an abandoned
+// message can only re-enter circulation from the thread that shelved it.
+TEST(TsanStressTest, MessagePoolRecycleVsAbandonedUnref) {
+  rdma::RpcMessagePool::SetEnabled(true);
+  constexpr int kRounds = 20'000;
+
+  MpmcQueue<rdma::RpcMessage*> ring(1024);
+  std::atomic<bool> stop{false};
+
+  // Server: pop, touch the request, write a response, publish, Unref.
+  std::thread server([&] {
+    // Run loop bounded by the stop flag. NOLINT(corm-spin-wait)
+    while (!stop.load(std::memory_order_acquire)) {
+      if (auto msg = ring.TryPop()) {
+        rdma::RpcMessage* m = *msg;
+        ASSERT_FALSE(m->request.empty());
+        m->response.assign(m->request.begin(), m->request.end());
+        m->status = Status::OK();
+        m->done.store(true, std::memory_order_release);
+        m->Unref();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  Rng rng(0xf00d);
+  uint64_t abandoned = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
+    ASSERT_TRUE(msg->request.empty());   // recycled messages arrive reset
+    ASSERT_TRUE(msg->response.empty());
+    msg->request.assign(16, static_cast<uint8_t>(i));
+    while (!ring.TryPush(msg)) std::this_thread::yield();
+    if (rng.Chance(0.3)) {
+      // Abandon immediately: the server's Unref races ours and whoever is
+      // last recycles on their own thread.
+      msg->Unref();
+      ++abandoned;
+    } else {
+      // Normal path: wait for completion, read the response, then release.
+      // Local server thread cannot die. NOLINT(corm-spin-wait)
+      while (!msg->done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      ASSERT_EQ(msg->response.size(), 16u);
+      msg->Unref();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  server.join();
+
+  EXPECT_GT(abandoned, 0u);
+  // Normal-path rounds recycled into this (client) thread's freelist.
+  EXPECT_GT(rdma::RpcMessagePool::LocalFreeForTesting(), 0u);
 }
 
 }  // namespace

@@ -25,6 +25,13 @@
 #      same line or the preceding line. Escapes are debts; undocumented
 #      debts are violations. The macro definition itself
 #      (src/common/thread_annotations.h) is exempt.
+#   7. No heap allocation in hot-path files: a file whose first line is
+#      `// corm-hotpath` declares the steady-state data-plane contract
+#      (DESIGN.md §7) — no `new`, `make_unique`/`make_shared`, or
+#      `malloc`-family call may appear in it. Exemption: a
+#      `NOLINT(corm-hotpath-alloc)` (cold-path allocation living in a hot
+#      file: construction, growth, pool refill) or `NOLINT(corm-raw-new)`
+#      comment on the line or the line above.
 #
 # Additionally runs clang-tidy over src/ when a binary and a compilation
 # database are available; skipped (with a note) otherwise, since the CI
@@ -125,6 +132,27 @@ for f in $src_files; do
     if ! printf '%s\n' "$window" | grep -qE '//.*[[:alpha:]]{3,}'; then
       violation "$f:$line — escape without a rationale comment on the same or preceding line (rule 6)"
     fi
+  done <<EOF_MATCHES
+$matches
+EOF_MATCHES
+done
+
+# --- Rule 7: no allocation in `// corm-hotpath` files. ---------------------
+# The steady-state data plane must not allocate; a marked file promising
+# that gets every allocating expression flagged unless explicitly exempted
+# as cold-path.
+for f in $src_files; do
+  head -1 "$f" | grep -q '^// corm-hotpath' || continue
+  matches=$(grep -nE '(^|[^_[:alnum:]"])(new[[:space:]]+[[:alnum:]_:<]+[[:space:]]*[({[]|std::make_unique|std::make_shared|(^|[^_[:alnum:]])(malloc|calloc|realloc)[[:space:]]*\()' "$f" \
+      | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
+  [ -z "$matches" ] && continue
+  while IFS= read -r line; do
+    lineno=${line%%:*}
+    if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
+        | grep -qE 'NOLINT\(corm-hotpath-alloc\)|NOLINT\(corm-raw-new\)'; then
+      continue
+    fi
+    violation "$f:$line — heap allocation in a corm-hotpath file; move it off the data plane or annotate NOLINT(corm-hotpath-alloc) with a rationale (rule 7)"
   done <<EOF_MATCHES
 $matches
 EOF_MATCHES
