@@ -133,6 +133,10 @@ int Main(int argc, char** argv) {
   cfg.num_nodes = nodes;
   cfg.node_config.num_workers = 2;
   cfg.node_config.seed = seed;
+  // Compaction runs on each node's background scheduler, interleaved with
+  // the chaos storm, rather than as driver-thread sweeps.
+  cfg.node_config.background_compaction = true;
+  cfg.node_config.compaction_check_interval_us = 3000;
   dsm::Cluster cluster(cfg);
 
   std::vector<WorkloadCounters> counters(threads);
@@ -213,6 +217,22 @@ int Main(int argc, char** argv) {
   PrintTitle("Failure detector");
   PrintRow({"deaths", std::to_string(fd->deaths())});
   PrintRow({"revivals", std::to_string(fd->revivals())});
+
+  PrintTitle("Background compaction (scheduler-paced, sliced)");
+  uint64_t bg_runs = 0, runs = 0, slices = 0, bytes = 0, timeouts = 0;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const auto stats = cluster.node(n)->stats();
+    bg_runs += stats.compaction_bg_runs;
+    runs += stats.compaction_runs;
+    slices += stats.compaction_slices;
+    bytes += stats.compaction_bytes_copied;
+    timeouts += stats.compaction_timeouts;
+  }
+  PrintRow({"scheduler_wakeups", std::to_string(bg_runs)});
+  PrintRow({"runs", std::to_string(runs)});
+  PrintRow({"slices", std::to_string(slices)});
+  PrintRow({"bytes_copied", std::to_string(bytes)});
+  PrintRow({"collect_timeouts", std::to_string(timeouts)});
   return 0;
 }
 

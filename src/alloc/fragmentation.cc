@@ -1,5 +1,7 @@
 #include "alloc/fragmentation.h"
 
+#include <algorithm>
+
 namespace corm::alloc {
 
 std::vector<ClassFragmentation> ComputeFragmentation(
@@ -14,6 +16,67 @@ std::vector<ClassFragmentation> ComputeFragmentation(
     }
   }
   return out;
+}
+
+std::vector<MergeCandidate> PlanMerges(
+    const std::vector<BlockOccupancy>& blocks, const CollisionProbabilityFn& p,
+    size_t* infeasible) {
+  if (infeasible != nullptr) *infeasible = 0;
+  const size_t n = blocks.size();
+
+  // Tentative occupancy: updated as merges are planned so a chain into one
+  // destination is scored against the destination's *planned* fill, not its
+  // stale snapshot.
+  std::vector<uint64_t> used(n);
+  std::vector<bool> consumed(n, false);  // merged away: never a dst again
+  for (size_t i = 0; i < n; ++i) used[i] = blocks[i].used;
+
+  // Sources ascend by snapshot occupancy (ties broken by pool index for
+  // determinism): the emptiest block has the fewest objects to collide and
+  // to copy (§3.1.4).
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return blocks[a].used != blocks[b].used ? blocks[a].used < blocks[b].used
+                                            : a < b;
+  });
+
+  std::vector<MergeCandidate> plan;
+  plan.reserve(n);
+  for (size_t src : order) {
+    if (consumed[src] || used[src] == 0) continue;
+    double best_score = 0.0;
+    double best_prob = 0.0;
+    size_t best_dst = SIZE_MAX;
+    for (size_t dst = 0; dst < n; ++dst) {
+      if (dst == src || consumed[dst]) continue;
+      const uint64_t capacity = blocks[dst].capacity;
+      if (capacity == 0 || used[src] + used[dst] > capacity) continue;
+      const double prob = p(used[src], used[dst]);
+      if (prob <= 0.0) continue;
+      // Rank by collision probability weighted by the occupancy of the
+      // merged block: prefer likely-disjoint pairs that fill a block.
+      const double score = prob * static_cast<double>(used[src] + used[dst]) /
+                           static_cast<double>(capacity);
+      if (score > best_score ||
+          (score == best_score && best_dst != SIZE_MAX &&
+           used[dst] > used[best_dst])) {
+        best_score = score;
+        best_prob = prob;
+        best_dst = dst;
+      }
+    }
+    if (best_dst == SIZE_MAX) {
+      if (infeasible != nullptr) ++*infeasible;
+      continue;
+    }
+    plan.push_back({blocks[src].index, blocks[best_dst].index, best_prob,
+                    best_score});
+    used[best_dst] += used[src];
+    used[src] = 0;
+    consumed[src] = true;
+  }
+  return plan;
 }
 
 }  // namespace corm::alloc

@@ -6,6 +6,7 @@
 #define CORM_ALLOC_FRAGMENTATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "alloc/thread_allocator.h"
@@ -31,6 +32,46 @@ struct ClassFragmentation {
 // control plane, which owns them).
 std::vector<ClassFragmentation> ComputeFragmentation(
     const std::vector<ThreadAllocator*>& allocators, uint32_t num_classes);
+
+// --- Compaction planner (paper §3.1.2, §3.4). ------------------------------
+//
+// Candidate selection for the compaction engine: instead of first-fit, rank
+// merge pairs by the paper's collision probability p(B1,B2) — the chance
+// that two blocks holding b1 and b2 random object IDs are ID-disjoint —
+// weighted by the occupancy of the resulting block. The probability model
+// itself lives in core/probability.cc; alloc may not depend on core, so the
+// caller passes it in as a callback.
+
+// One block's occupancy snapshot, as the planner sees it.
+struct BlockOccupancy {
+  size_t index = 0;       // caller-side identity (pool position)
+  uint64_t used = 0;      // live objects
+  uint64_t capacity = 0;  // slots per block (s in the paper's model)
+};
+
+// One planned merge: move every object of `src_index` into `dst_index`.
+struct MergeCandidate {
+  size_t src_index = 0;
+  size_t dst_index = 0;
+  double probability = 0.0;  // p(B1,B2) at planning time
+  double score = 0.0;        // probability * resulting occupancy
+};
+
+// Collision-probability callback: p(b1, b2) for two blocks of this class
+// holding b1 and b2 objects (0 when b1 + b2 exceed the block capacity).
+using CollisionProbabilityFn = std::function<double(uint64_t b1, uint64_t b2)>;
+
+// Plans a merge sequence over `blocks`: sources ascend by occupancy (fewer
+// objects, fewer conflicts, §3.1.4); each source is paired with the
+// destination maximizing p(b1,b2) * (b1+b2)/capacity under tentative
+// occupancy accounting, so chains (A→C then B→C) are planned coherently.
+// Sources with no feasible destination (every pairing has p == 0, i.e.
+// cannot fit) are skipped and counted in *infeasible when non-null. Each
+// block appears as a source at most once; a merged-away source is never
+// offered as a later destination.
+std::vector<MergeCandidate> PlanMerges(const std::vector<BlockOccupancy>& blocks,
+                                       const CollisionProbabilityFn& p,
+                                       size_t* infeasible = nullptr);
 
 }  // namespace corm::alloc
 

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -39,6 +40,21 @@
 
 namespace corm::core {
 
+// Phases of the incremental compaction engine (DESIGN.md §9). A compaction
+// run walks Select → Collect → ConflictCheck → (Copy → Remap → Fixup)* →
+// Reclaim; each Step() executes one budget-bounded slice of the current
+// phase so data-plane RPCs interleave between slices.
+enum class CompactionPhase : uint8_t {
+  kIdle,           // no run in progress
+  kSelect,         // validate the class, fan out Collect messages
+  kCollect,        // gather donated blocks (deadline-bounded, §3.1.4)
+  kConflictCheck,  // pick the next probability-ranked disjoint pair (§3.1.2)
+  kCopy,           // lock + copy objects of the current pair, budgeted
+  kRemap,          // virtual-address remap + batched MTT repair (§3.5)
+  kFixup,          // retire src, audit dst, re-enter ConflictCheck
+  kReclaim,        // return leftover blocks, publish the report
+};
+
 // Server-side strategy for fixing indirect pointers on RPC paths (§3.2.1).
 enum class RpcCorrectionStrategy {
   kThreadMessaging,  // forward to the owner thread; it queries block metadata
@@ -64,6 +80,28 @@ struct CormConfig {
   // Upper bound on blocks gathered per compaction run (§4.3.2 discusses an
   // unbounded run causing a long unavailability window).
   size_t compaction_max_blocks = SIZE_MAX;
+
+  // --- Incremental compaction engine (DESIGN.md §9). ---------------------
+  // Objects copied per Copy slice. The slice budget bounds how long the
+  // leader is away from its RPC ring per engine step; SIZE_MAX approximates
+  // the old monolithic behaviour (whole pair in one slice).
+  size_t compaction_slice_objects = 32;
+  // Candidate pairs conflict-checked per ConflictCheck slice (each check is
+  // an ID-map walk, the §3.1.2 exact disjointness test).
+  size_t compaction_slice_pairs = 4;
+  // Wall-clock budget for the Collect phase: a worker that never answers
+  // its Collect message (fault site compaction.collect_stall) converts to
+  // kTimeout instead of hanging the leader.
+  uint64_t compaction_collect_deadline_ns = 2'000'000'000;
+  // Background scheduler: a duty-cycled thread polls per-class
+  // fragmentation every interval and feeds over-threshold classes to the
+  // engine, replacing ad-hoc CompactIfFragmented call sites.
+  bool background_compaction = false;
+  uint64_t compaction_check_interval_us = 2000;
+  // Test-only: invoked on the leader thread at every phase transition (the
+  // new phase is passed). May block — the engine then pauses between
+  // slices, which is exactly what the resumability tests need.
+  std::function<void(CompactionPhase)> compaction_phase_hook;
   // Back blocks with 2 MiB huge pages (modeled remap cost per 2 MiB unit;
   // paper §3.1.1, §4.3.1).
   bool huge_pages = false;
@@ -113,6 +151,14 @@ struct NodeStatShard {
   StatCounter blocks_compacted;
   StatCounter objects_moved;
   StatCounter objects_offset_preserved;
+  // Compaction-engine instrumentation (DESIGN.md §9): all incremented on
+  // the leader's shard from the engine's slices.
+  StatCounter compaction_slices;             // Step() calls that did work
+  StatCounter compaction_phase_transitions;  // phase changes across runs
+  StatCounter compaction_planner_rejections; // plan pairs the exact check killed
+  StatCounter compaction_bytes_copied;       // payload bytes moved
+  StatCounter compaction_timeouts;           // runs aborted on a deadline
+  StatCounter compaction_bg_runs;            // runs the scheduler triggered
   StatCounter ghosts_released;
   StatCounter old_pointer_uses;
   // Data-plane instrumentation (new with the hot-path overhaul).
@@ -139,6 +185,12 @@ struct NodeStats {
   uint64_t blocks_compacted = 0;
   uint64_t objects_moved = 0;
   uint64_t objects_offset_preserved = 0;
+  uint64_t compaction_slices = 0;
+  uint64_t compaction_phase_transitions = 0;
+  uint64_t compaction_planner_rejections = 0;
+  uint64_t compaction_bytes_copied = 0;
+  uint64_t compaction_timeouts = 0;
+  uint64_t compaction_bg_runs = 0;
   uint64_t ghosts_released = 0;
   uint64_t old_pointer_uses = 0;
   uint64_t id_draw_fallbacks = 0;
@@ -157,9 +209,14 @@ struct CompactionReport {
   size_t objects_relocated = 0;  // subset that changed offset (indirect)
   uint64_t collection_ns = 0;    // modeled duration of the collect stage
   uint64_t compaction_ns = 0;    // modeled duration of the merge stage
+  // Engine-era fields (DESIGN.md §9).
+  size_t slices = 0;               // Step() slices the run consumed
+  size_t planner_candidates = 0;   // pairs the probability planner proposed
+  size_t planner_rejections = 0;   // of those, killed by the exact ID check
 };
 
-class Worker;  // defined in worker.h (internal)
+class Worker;            // defined in worker.h (internal)
+class CompactionEngine;  // defined in compaction_engine.h (internal)
 
 class CormNode {
  public:
@@ -193,7 +250,11 @@ class CormNode {
   }
 
   // --- Control plane (callable from any non-worker thread). -------------
-  // Runs one synchronous compaction of `class_idx` on the leader worker.
+  // Runs one compaction of `class_idx` through the leader worker's sliced
+  // engine and waits for the report. The leader keeps serving data-plane
+  // RPCs between engine slices, so this no longer stalls the node; a worker
+  // that never answers the Collect fan-out converts to kTimeout via the
+  // engine's bounded Collect phase.
   Result<CompactionReport> Compact(uint32_t class_idx);
 
   // Compacts every class whose fragmentation ratio exceeds the configured
@@ -249,8 +310,14 @@ class CormNode {
   // validate. Slots under a concurrent write are skipped via the seqlock.
   Status AuditBlock(const alloc::Block& block);
 
+  // Background compaction scheduler control (config.background_compaction
+  // starts it at construction; these let tests and operators toggle it).
+  void StartBackgroundCompaction();
+  void StopBackgroundCompaction();
+
  private:
   friend class Worker;
+  friend class CompactionEngine;
 
   // Block directory entry: maps a live *virtual block base* (current blocks
   // and ghost aliases) to the Block that owns the bytes behind it.
@@ -327,6 +394,14 @@ class CormNode {
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
+
+  // Background compaction scheduler (DESIGN.md §9): a duty-cycled thread
+  // that polls Fragmentation() and feeds over-threshold classes to the
+  // engine. Guarded by sched_running_ so Start/Stop are idempotent.
+  void BackgroundCompactionLoop();
+  std::thread sched_thread_;
+  std::atomic<bool> sched_stop_{false};
+  bool sched_running_ = false;
 };
 
 }  // namespace corm::core

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/sanitizer.h"
 #include "common/thread_annotations.h"
+#include "core/compaction_engine.h"
 #include "core/object_layout.h"
 #include "sim/fault_injector.h"
 #include "sim/latency_model.h"
@@ -28,7 +29,11 @@ Worker::Worker(CormNode* node, int id)
       dir_cache_(kDirCacheSlots) {  // NOLINT(corm-hotpath-alloc) ctor only
   static_assert((kDirCacheSlots & (kDirCacheSlots - 1)) == 0,
                 "direct-mapped cache wants a power-of-two slot count");
+  // NOLINT(corm-hotpath-alloc) ctor only
+  engine_ = std::make_unique<CompactionEngine>(node, this);
 }
+
+Worker::~Worker() = default;
 
 void Worker::Send(WorkerMsg msg) {
   while (!inbox_.TryPush(msg)) {
@@ -52,6 +57,7 @@ void Worker::Run() {
       idle = 0;
       continue;
     }
+    bool served_rpc = false;
     // A paused node (injected crash) stops serving inbound RPCs; queued
     // requests stall until ResumeService or a restart purge, and clients
     // time out per their RetryPolicy.
@@ -82,9 +88,23 @@ void Worker::Run() {
           // correction replies stay responsive under a deep ring.
           if (auto msg = inbox_.TryPop()) HandleInbox(*msg);
         }
-        idle = 0;
-        continue;
+        served_rpc = true;
       }
+    }
+    // One compaction slice per loop iteration, strictly *after* the RPC
+    // batch: an active run cannot starve the data plane (the point of the
+    // sliced engine), and — load-bearing for fairness — at least one ring
+    // batch is served between a run finishing and the next run's Select
+    // detaching blocks, so owner-bound ops (Free) that bounced off
+    // in-transit blocks get a guaranteed window in which to land.
+    if (engine_->active()) {
+      engine_->Step();
+      idle = 0;
+      continue;
+    }
+    if (served_rpc) {
+      idle = 0;
+      continue;
     }
     // Idle. A yield lets the threads we might be blocking run; once the dry
     // spell outlasts kIdleYields, park in escalating sleeps (capped at
@@ -103,6 +123,9 @@ void Worker::Run() {
       parked_.store(false, std::memory_order_relaxed);
     }
   }
+  // Stop raced an active run: complete its request (the control-plane
+  // caller is still spinning on it) and hand collected blocks back.
+  engine_->Shutdown();
   parked_.store(false, std::memory_order_relaxed);
 }
 
@@ -125,6 +148,13 @@ void Worker::HandleInbox(WorkerMsg& msg) {
       break;
     }
     case WorkerMsg::Kind::kCollect: {
+      if (auto* fi = sim::GlobalFaultInjector(); fi != nullptr &&
+          fi->ShouldFire(sim::fault_sites::kCompactionCollectStall)) {
+        // Injected stalled collector: swallow the message without ever
+        // publishing the reply. The leader's Collect deadline must convert
+        // this into kTimeout (the reply slot survives as an engine zombie).
+        break;
+      }
       msg.collect->blocks = allocator_.CollectBlocks(
           msg.class_idx, msg.max_occupancy, msg.max_blocks);
       msg.collect->done.store(true, std::memory_order_release);
@@ -144,7 +174,9 @@ void Worker::HandleInbox(WorkerMsg& msg) {
       break;
     }
     case WorkerMsg::Kind::kCompact:
-      RunCompaction(msg.compact);
+      // Queued into the engine; Run() drives it one slice per loop
+      // iteration, interleaved with RPC batches.
+      engine_->Enqueue(msg.compact);
       break;
     case WorkerMsg::Kind::kBulk:
       HandleBulk(msg.bulk);

@@ -110,6 +110,7 @@ struct WorkerMsg {
 class Worker {
  public:
   Worker(CormNode* node, int id);
+  ~Worker();  // out-of-line: CompactionEngine is incomplete here
 
   // Thread body; returns when the node's stop flag is set. Drains the
   // worker's own RPC ring in batches (stealing only from rings whose owner
@@ -197,14 +198,12 @@ class Worker {
   // Destroys an empty block owned by this worker.
   void MaybeReleaseEmptyBlock(alloc::Block* block);
 
-  // --- Compaction (leader side; implemented in compaction.cc). -----------
-  void RunCompaction(CompactRequest* req);
-  // Merges src into dst; assumes both owned by this worker and conflict-
-  // free. Returns number of objects that changed offset.
-  Result<size_t> MergeBlocks(std::unique_ptr<alloc::Block> src,
-                             alloc::Block* dst, CompactionReport* report);
-
   void HandleBulk(BulkRequest* req);
+
+  // The compaction engine runs on the leader's thread between RPC batches
+  // and reaches into the worker's private helpers (SlotPtr, inbox,
+  // ClassCompactable) as the leader-side half of the protocol.
+  friend class CompactionEngine;
 
   // Largest batch a worker drains from its RPC ring per queue
   // synchronization (CormConfig::poll_batch is clamped to this).
@@ -238,6 +237,10 @@ class Worker {
   // the steady-state read path performs no heap allocation).
   Buffer read_scratch_;
   std::vector<DirCacheSlot> dir_cache_;
+  // Leader-side compaction state machine (compaction_engine.h), stepped
+  // one budgeted slice at a time from Run(); present on every worker but
+  // only ever driven on the one that receives kCompact messages.
+  std::unique_ptr<CompactionEngine> engine_;
 };
 
 }  // namespace corm::core

@@ -88,6 +88,14 @@ Cluster::CompactAllIfFragmented() {
   return all;
 }
 
+void Cluster::StartBackgroundCompaction() {
+  for (auto& node : nodes_) node->StartBackgroundCompaction();
+}
+
+void Cluster::StopBackgroundCompaction() {
+  for (auto& node : nodes_) node->StopBackgroundCompaction();
+}
+
 void Cluster::CrashNode(int idx) {
   nodes_[idx]->PauseService();
   KillNode(idx);

@@ -161,8 +161,17 @@ class Cluster {
 
   // --- Cluster-wide control plane. ---------------------------------------
   // Runs the §3.1.3 fragmentation policy on every node the failure
-  // detector trusts; faulted nodes are skipped cleanly.
+  // detector trusts; faulted nodes are skipped cleanly. With background
+  // compaction running, this is only needed as an explicit synchronous
+  // sweep (benches measuring a specific pass; tests forcing a round).
   Result<std::vector<core::CompactionReport>> CompactAllIfFragmented();
+
+  // Starts/stops every node's duty-cycled compaction scheduler (the
+  // continuous replacement for periodic CompactAllIfFragmented sweeps;
+  // nodes constructed with node_config.background_compaction start theirs
+  // automatically).
+  void StartBackgroundCompaction();
+  void StopBackgroundCompaction();
   uint64_t TotalActiveMemoryBytes() const;
   uint64_t TotalVirtualMemoryBytes() const;
 

@@ -158,9 +158,8 @@ Status Rnic::EndRereg(RKey r_key) {
   return Status::OK();
 }
 
-Result<uint64_t> Rnic::AdviseMr(RKey r_key, sim::VAddr addr, size_t len) {
-  auto mr = Lookup(r_key);
-  if (!mr) return Status::NotFound("AdviseMr: unknown r_key");
+Result<uint64_t> Rnic::AdviseRegion(MemoryRegion* mr, sim::VAddr addr,
+                                    size_t len) {
   if (!mr->Covers(addr, len)) {
     return Status::InvalidArgument("AdviseMr: range outside region");
   }
@@ -173,12 +172,81 @@ Result<uint64_t> Rnic::AdviseMr(RKey r_key, sim::VAddr addr, size_t len) {
   LockGuard<Mutex> elock(mr->entries_mu_);
   for (size_t i = first; i <= last; ++i) {
     if (!mr->entries_[i].valid) {
-      CORM_RETURN_NOT_OK(ResolveEntryLocked(mr.get(), i));
+      CORM_RETURN_NOT_OK(ResolveEntryLocked(mr, i));
       ns += model_.AdviseMrNs();
       stats_.prefetches.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return ns;
+}
+
+Result<uint64_t> Rnic::AdviseMr(RKey r_key, sim::VAddr addr, size_t len) {
+  auto mr = Lookup(r_key);
+  if (!mr) return Status::NotFound("AdviseMr: unknown r_key");
+  return AdviseRegion(mr.get(), addr, len);
+}
+
+Status Rnic::ReregRegion(MemoryRegion* mr) {
+  bool expected = false;
+  if (!mr->reregistering_.compare_exchange_strong(expected, true)) {
+    return Status::Internal("ReregMr: already re-registering");
+  }
+  stats_.reregs.fetch_add(1, std::memory_order_relaxed);
+  {
+    LockGuard<Mutex> elock(mr->entries_mu_);
+    for (size_t i = 0; i < mr->npages_; ++i) {
+      Status st = ResolveEntryLocked(mr, i);
+      if (!st.ok()) {
+        mr->reregistering_.store(false);
+        return st;
+      }
+    }
+  }
+  mr->reregistering_.store(false);
+  return Status::OK();
+}
+
+// One registration-table pass resolves every key; the per-region repairs
+// then run back-to-back as a single epoch (no table walk between them).
+Result<std::vector<std::shared_ptr<MemoryRegion>>> Rnic::LookupBatch(
+    const std::vector<RKey>& keys, const char* what) {
+  std::vector<std::shared_ptr<MemoryRegion>> mrs;
+  mrs.reserve(keys.size());
+  LockGuard<Mutex> lock(mu_);
+  for (RKey key : keys) {
+    auto it = regions_.find(key);
+    if (it == regions_.end()) {
+      return Status::NotFound(std::string(what) + ": unknown r_key");
+    }
+    mrs.push_back(it->second);
+  }
+  return mrs;
+}
+
+Status Rnic::ReregMrBatch(const std::vector<RKey>& keys) {
+  if (keys.empty()) return Status::OK();
+  auto mrs = LookupBatch(keys, "ReregMrBatch");
+  CORM_RETURN_NOT_OK(mrs.status());
+  stats_.repair_batches.fetch_add(1, std::memory_order_relaxed);
+  for (auto& mr : *mrs) {
+    CORM_RETURN_NOT_OK(ReregRegion(mr.get()));
+  }
+  return Status::OK();
+}
+
+Status Rnic::AdviseMrBatch(const std::vector<MrRange>& ranges) {
+  if (ranges.empty()) return Status::OK();
+  std::vector<RKey> keys;
+  keys.reserve(ranges.size());
+  for (const MrRange& r : ranges) keys.push_back(r.r_key);
+  auto mrs = LookupBatch(keys, "AdviseMrBatch");
+  CORM_RETURN_NOT_OK(mrs.status());
+  stats_.repair_batches.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    auto ns = AdviseRegion((*mrs)[i].get(), ranges[i].addr, ranges[i].len);
+    CORM_RETURN_NOT_OK(ns.status());
+  }
+  return Status::OK();
 }
 
 Result<uint64_t> Rnic::MttAccess(RKey r_key, sim::VAddr addr, void* buf,

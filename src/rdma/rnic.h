@@ -93,6 +93,14 @@ struct RnicStats {
   std::atomic<uint64_t> qp_breaks{0};
   std::atomic<uint64_t> mtt_cache_hits{0};
   std::atomic<uint64_t> mtt_cache_misses{0};
+  std::atomic<uint64_t> repair_batches{0};  // batched MTT repair epochs
+};
+
+// One registered range inside a batched repair call.
+struct MrRange {
+  RKey r_key = 0;
+  sim::VAddr addr = 0;
+  size_t len = 0;
 };
 
 class Rnic : public sim::MmuNotifier {
@@ -123,6 +131,16 @@ class Rnic : public sim::MmuNotifier {
   // ibv_advise_mr(PREFETCH): re-resolves invalid ODP entries in the given
   // range. Returns modeled ns.
   Result<uint64_t> AdviseMr(RKey r_key, sim::VAddr addr, size_t len);
+
+  // --- Batched repair (one MTT repair epoch per compaction slice). ------
+  // Repairs every listed region in one pass: one registration-table lock
+  // acquisition resolves all keys up front, then the per-region repair runs
+  // back-to-back. Semantically identical to calling ReregMr / AdviseMr per
+  // entry (same per-range modeled cost, charged by the caller); batching
+  // removes the per-call table walk so a block and its chained ghost
+  // aliases repair as a single epoch. Counted in RnicStats::repair_batches.
+  Status ReregMrBatch(const std::vector<RKey>& keys);
+  Status AdviseMrBatch(const std::vector<MrRange>& ranges);
 
   // --- Data path used by QueuePair. -----------------------------------
   // Reads/writes `len` bytes at `addr` through the MTT. Returns modeled ns
@@ -157,6 +175,13 @@ class Rnic : public sim::MmuNotifier {
 
   // Returns the region owning r_key, or null.
   std::shared_ptr<MemoryRegion> Lookup(RKey r_key);
+
+  // Batch building blocks: repair one already-resolved region.
+  Result<uint64_t> AdviseRegion(MemoryRegion* mr, sim::VAddr addr, size_t len);
+  Status ReregRegion(MemoryRegion* mr);
+  // Resolves every key in one registration-table lock acquisition.
+  Result<std::vector<std::shared_ptr<MemoryRegion>>> LookupBatch(
+      const std::vector<RKey>& keys, const char* what);
 
   // Models the RNIC's bounded translation cache (§4.2.2): direct-mapped
   // over virtual pages. Returns the modeled miss penalty (0 on hit).

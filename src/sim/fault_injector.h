@@ -36,6 +36,11 @@ inline constexpr const char* kRpcDupCompletion = "rpc.dup_completion";
 inline constexpr const char* kQpBreak = "qp.break";
 inline constexpr const char* kTornWrite = "write.torn";
 inline constexpr const char* kNodeCrash = "node.crash";
+// A worker that receives a compaction Collect message but never answers it
+// (stalled collector). Proves the engine's bounded Collect phase converts
+// the stall into kTimeout instead of spinning forever.
+inline constexpr const char* kCompactionCollectStall =
+    "compaction.collect_stall";
 }  // namespace fault_sites
 
 // When a site fires. All three triggers compose (any match fires).

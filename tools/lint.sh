@@ -32,6 +32,10 @@
 #      `NOLINT(corm-hotpath-alloc)` (cold-path allocation living in a hot
 #      file: construction, growth, pool refill) or `NOLINT(corm-raw-new)`
 #      comment on the line or the line above.
+#   8. src/core/compaction_engine.cc (the sliced engine's phase handlers)
+#      may contain no unbounded waits whatsoever — no atomic spin-waits, no
+#      sleeps — and, unlike rule 5, no NOLINT escape is honored. Phase
+#      handlers poll and return, or bound their loops with a Deadline.
 #
 # Additionally runs clang-tidy over src/ when a binary and a compilation
 # database are available; skipped (with a note) otherwise, since the CI
@@ -157,6 +161,27 @@ for f in $src_files; do
 $matches
 EOF_MATCHES
 done
+
+# --- Rule 8: compaction phase handlers carry no unbounded waits. -----------
+# The sliced engine's contract (DESIGN.md §9) is that every phase handler
+# returns to the leader's RPC loop in bounded time: no spin-wait on an
+# atomic, no sleeps, and — unlike rule 5 — no NOLINT escape hatch at all.
+# Waits must be non-blocking polls re-entered on the next slice or
+# Deadline-bounded loops (common/retry.h) that abort the run with kTimeout.
+engine_file=src/core/compaction_engine.cc
+if [ -f "$engine_file" ]; then
+  matches=$(grep -nE 'while[[:space:]]*\(.*(\.|->)load\(|sleep_for|NOLINT\(corm-spin-wait\)' "$engine_file" \
+      | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
+  if [ -n "$matches" ]; then
+    while IFS= read -r line; do
+      violation "$engine_file:$line — unbounded wait in a compaction phase handler; poll and re-enter on the next slice, or bound it with a Deadline (rule 8)"
+    done <<EOF_MATCHES
+$matches
+EOF_MATCHES
+  fi
+else
+  violation "$engine_file missing — rule 8 has no target"
+fi
 
 # --- clang-tidy (optional locally; required in CI). ------------------------
 tidy_bin=$(command -v clang-tidy || true)
