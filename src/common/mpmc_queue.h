@@ -1,3 +1,5 @@
+// corm-hotpath
+//
 // Bounded multi-producer / multi-consumer queue used as the shared RPC queue
 // that CoRM worker threads poll (paper Fig. 3) and as the per-thread message
 // channels of the compaction protocol.
@@ -26,7 +28,8 @@ class MpmcQueue {
   explicit MpmcQueue(size_t capacity_pow2) : mask_(capacity_pow2 - 1) {
     assert(capacity_pow2 >= 2 && (capacity_pow2 & mask_) == 0 &&
            "capacity must be a power of two");
-    cells_ = std::make_unique<Cell[]>(capacity_pow2);
+    // Cell ring allocated once at construction; ops are allocation-free.
+    cells_ = std::make_unique<Cell[]>(capacity_pow2);  // NOLINT(corm-hotpath-alloc)
     for (size_t i = 0; i < capacity_pow2; ++i) {
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }

@@ -1,3 +1,5 @@
+// corm-hotpath
+//
 // Sharded statistics counters for contention-free hot paths.
 //
 // A shared std::atomic<uint64_t> fetch_add per RPC puts every worker on the
@@ -46,6 +48,8 @@ template <typename Shard>
 class Sharded {
  public:
   explicit Sharded(size_t num_shards)
+      // Shard array allocated once at construction; increments are plain
+      // stores to the worker's own line. NOLINT(corm-hotpath-alloc)
       : n_(num_shards), shards_(std::make_unique<Padded[]>(num_shards)) {}
 
   Sharded(const Sharded&) = delete;

@@ -174,7 +174,8 @@ void BlockDirectory::GrowLocked(Shard& s) {
   CORM_CHECK_EQ(live, s.live);
   s.used = s.live;
   s.table.store(fresh.get(), std::memory_order_release);
-  s.tables.push_back(std::move(fresh));  // old stays alive for stale readers
+  // Shard growth, not per-op; the old table stays alive for stale readers.
+  s.tables.push_back(std::move(fresh));  // NOLINT(corm-hotpath-alloc)
 }
 
 size_t BlockDirectory::ApproxSize() const {

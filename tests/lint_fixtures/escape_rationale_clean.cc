@@ -1,0 +1,10 @@
+// corm-escape-rationale fixture: clean control — no escape hatches at all,
+// and prose that merely *mentions* NOLINT policy (like this sentence about
+// writing NOLINT rationales) must not confuse the scanner.
+#include <memory>
+
+struct Obj {
+  int x = 0;
+};
+
+std::unique_ptr<Obj> Make() { return std::make_unique<Obj>(); }

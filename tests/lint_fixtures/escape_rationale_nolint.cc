@@ -1,0 +1,20 @@
+// corm-escape-rationale fixture: the same escapes as the violation fixture,
+// each now carrying a real rationale — so nothing may fire. (This check has
+// no suppression of its own: the rationale IS the fix.)
+#include <atomic>
+
+struct Obj {
+  int x = 0;
+};
+
+// Arena handout: ownership transfers to the slab. NOLINT(corm-raw-new)
+Obj* Bare() { return new Obj(); }
+
+void Spin(std::atomic<bool>& f) {
+  // Handshake with an in-process peer thread. NOLINT(corm-unbounded-wait)
+  while (!f.load()) {
+  }
+}
+
+// Caller holds the shard lock through a type the analysis cannot see.
+void Unlocked() NO_THREAD_SAFETY_ANALYSIS;

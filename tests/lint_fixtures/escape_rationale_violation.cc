@@ -1,0 +1,21 @@
+// corm-escape-rationale fixture: escapes without a written justification.
+// Same-line EXPECT comments would themselves count as rationales, so the
+// expectations live here as headers instead:
+// EXPECT-LINE 13: corm-escape-rationale
+// EXPECT-LINE 16: corm-escape-rationale
+// EXPECT-LINE 21: corm-escape-rationale
+#include <atomic>
+
+struct Obj {
+  int x = 0;
+};
+
+Obj* Bare() { return new Obj(); }  // NOLINT(corm-raw-new)
+
+void Spin(std::atomic<bool>& f) {
+  // NOLINT(corm-unbounded-wait)
+  while (!f.load()) {
+  }
+}
+
+void Unlocked() NO_THREAD_SAFETY_ANALYSIS;

@@ -1,0 +1,12 @@
+// corm-hotpath-alloc fixture: clean control. This file has NO hotpath
+// marker on line 1, so the check is out of scope — the very same
+// allocations that fire in the violation fixture must stay silent here.
+#include <functional>
+#include <vector>
+
+void ControlPlaneSetup(std::vector<int>* table, int n) {
+  table->reserve(static_cast<unsigned>(n));
+  for (int i = 0; i < n; ++i) table->push_back(i);
+  std::function<void()> cb = [table] { table->clear(); };
+  cb();
+}

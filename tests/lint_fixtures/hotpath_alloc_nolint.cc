@@ -1,0 +1,18 @@
+// corm-hotpath
+// corm-hotpath-alloc fixture: suppressed sites with rationales. Also checks
+// the legacy alias — NOLINT(corm-raw-new) must keep suppressing
+// corm-hotpath-alloc so pre-existing escapes stay valid.
+#include <vector>
+
+struct Ring {
+  std::vector<int> slots;
+
+  explicit Ring(int n) {
+    // One-time construction: the ring never grows after the ctor returns.
+    slots.reserve(static_cast<unsigned>(n));  // NOLINT(corm-hotpath-alloc)
+  }
+
+  void Warm(int v) {
+    slots.push_back(v);  // NOLINT(corm-raw-new) legacy alias, warmup only
+  }
+};

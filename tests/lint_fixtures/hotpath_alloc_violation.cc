@@ -1,0 +1,28 @@
+// corm-hotpath
+// corm-hotpath-alloc fixture: explicit allocation calls, implicit container
+// growth, and std::function construction must all fire inside a file that
+// carries the hotpath marker above.
+#include <functional>
+#include <string>
+#include <vector>
+
+struct Request {
+  std::vector<int> payload;
+  std::string tag;
+};
+
+void HandleOp(Request* req, int v, const char* suffix) {
+  auto buf = std::make_unique<char[]>(64);  // EXPECT: corm-hotpath-alloc
+  void* raw = malloc(64);                   // EXPECT: corm-hotpath-alloc
+  (void)buf;
+  (void)raw;
+
+  // Implicit allocations: amortized growth is still growth on the hot path.
+  req->payload.push_back(v);   // EXPECT: corm-hotpath-alloc
+  req->payload.resize(128);    // EXPECT: corm-hotpath-alloc
+  req->tag.append(suffix);     // EXPECT: corm-hotpath-alloc
+
+  // Capturing lambdas converted to std::function heap-allocate the closure.
+  std::function<void()> cb = [req] { req->payload.clear(); };  // EXPECT: corm-hotpath-alloc
+  cb();
+}

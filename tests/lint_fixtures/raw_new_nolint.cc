@@ -1,0 +1,18 @@
+// corm-raw-new fixture: suppressed sites — every escape carries a written
+// rationale, so neither corm-raw-new nor corm-escape-rationale may fire.
+struct Ctx {
+  static Ctx* Make();
+  void Release();
+
+ private:
+  Ctx() = default;
+};
+
+Ctx* Ctx::Make() {
+  // Private constructor: make_unique cannot reach it. NOLINT(corm-raw-new)
+  return new Ctx();
+}
+
+void Ctx::Release() {
+  delete this;  // NOLINT(corm-raw-new) refcount reached zero: sole owner
+}

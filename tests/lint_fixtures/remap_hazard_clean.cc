@@ -1,0 +1,56 @@
+// corm-remap-hazard fixture: clean control — the three sanctioned remedies.
+// Epoch validation, re-lookup, and pinning each neutralize the hazard.
+struct Block {
+  char* base;
+};
+
+struct Entry {
+  Block* block;
+};
+
+struct Directory {
+  Entry* Lookup(unsigned long addr);
+  unsigned long epoch() const;
+};
+
+struct CompactionEngine {
+  void Step();
+};
+
+bool PinHeader(Block* b);  // CAS the header to kCompacting-excluded state
+
+// Remedy 1: validate the directory epoch before trusting the pointer.
+char ReadWithEpochCheck(Directory& dir, CompactionEngine& engine,
+                        unsigned long addr) {
+  unsigned long e0 = dir.epoch();
+  Entry* e = dir.Lookup(addr);
+  Block* b = e->block;
+  engine.Step();
+  if (dir.epoch() == e0) return b->base[0];
+  return 0;
+}
+
+// Remedy 2: re-lookup after the remap point; the fresh pointer is fine.
+char ReadWithRelookup(Directory& dir, CompactionEngine& engine,
+                      unsigned long addr) {
+  Entry* e = dir.Lookup(addr);
+  engine.Step();
+  e = dir.Lookup(addr);
+  Block* b = e->block;
+  return b->base[0];
+}
+
+// Remedy 3: pin the object before the remap point; compaction skips it.
+char ReadPinned(Directory& dir, CompactionEngine& engine, unsigned long addr) {
+  Entry* e = dir.Lookup(addr);
+  Block* b = e->block;
+  if (!PinHeader(b)) return 0;
+  engine.Step();
+  return b->base[0];
+}
+
+// No remap point at all: plain lookup-and-use stays silent.
+char ReadDirect(Directory& dir, unsigned long addr) {
+  Entry* e = dir.Lookup(addr);
+  return e->block->base[0];
+}

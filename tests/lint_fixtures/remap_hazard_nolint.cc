@@ -1,0 +1,28 @@
+// corm-remap-hazard fixture: the same stale-use shape, suppressed with a
+// written rationale — e.g. single-threaded test harnesses where the engine
+// provably cannot remap the block under test.
+struct Block {
+  char* base;
+};
+
+struct Entry {
+  Block* block;
+};
+
+struct Directory {
+  Entry* Lookup(unsigned long addr);
+};
+
+struct CompactionEngine {
+  void Step();
+};
+
+char ReadAfterStep(Directory& dir, CompactionEngine& engine,
+                   unsigned long addr) {
+  Entry* e = dir.Lookup(addr);
+  Block* b = e->block;
+  engine.Step();
+  // Single-threaded harness: the block under test is full, and Step() only
+  // relocates blocks on the compaction candidate list.
+  return b->base[0];  // NOLINT(corm-remap-hazard)
+}

@@ -1,0 +1,33 @@
+// corm-remap-hazard fixture: a raw pointer obtained from a block/object
+// lookup, held live across a call that may advance compaction, then used
+// without revalidation. The use site fires, not the remap call.
+struct Block {
+  char* base;
+};
+
+struct Entry {
+  Block* block;
+};
+
+struct Directory {
+  Entry* Lookup(unsigned long addr);
+  unsigned long epoch() const;
+};
+
+struct CompactionEngine {
+  void Step();
+};
+
+char ReadStale(Directory& dir, CompactionEngine& engine, unsigned long addr) {
+  Entry* e = dir.Lookup(addr);
+  Block* b = e->block;
+  engine.Step();
+  return b->base[0];  // EXPECT: corm-remap-hazard
+}
+
+char ReadStaleEntry(Directory& dir, CompactionEngine& engine,
+                    unsigned long addr) {
+  Entry* e = dir.Lookup(addr);
+  engine.Step();
+  return e->block->base[0];  // EXPECT: corm-remap-hazard
+}

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Fixture harness for corm-tidy.
+
+Two subcommands:
+
+  fixtures <corm-tidy> <fixture-dir>
+      Runs corm-tidy (token engine, --fallback-only, so results are
+      identical on every host) over each fixture and asserts the emitted
+      diagnostics match the fixture's expectations EXACTLY — no missing
+      findings, no extras. Expectations are written in the fixtures:
+
+        code;  // EXPECT: <check-id>       same-line marker
+        // EXPECT-LINE <n>: <check-id>     header marker, for fixtures where
+                                           a same-line comment would change
+                                           the check's behavior
+
+      Fixtures with no expectations (the *_nolint / *_clean controls) must
+      produce zero diagnostics.
+
+  audit <corm-tidy> <repo-root>
+      Cross-checks `corm-tidy --list-hotpath` against the canonical hotpath
+      contract in DESIGN.md section 7 (the list between the
+      hotpath-contract-begin/end markers). A file carrying the marker but
+      missing from the contract — or vice versa — fails the audit.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT_SAME = re.compile(r"//\s*EXPECT:\s*([a-z0-9-]+)")
+EXPECT_LINE = re.compile(r"//\s*EXPECT-LINE\s+(\d+):\s*([a-z0-9-]+)")
+# corm-tidy diagnostic: path:line:col: warning: msg [check-id]
+DIAG = re.compile(r"^(.*?):(\d+):(\d+): warning: .* \[([a-z0-9-]+)\]$")
+
+
+def expectations(path: Path):
+    """Collect (line, check-id) pairs a fixture declares, as a multiset."""
+    expected = []
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        m = EXPECT_LINE.search(text)
+        if m:
+            expected.append((int(m.group(1)), m.group(2)))
+            continue
+        m = EXPECT_SAME.search(text)
+        if m:
+            expected.append((lineno, m.group(1)))
+    return sorted(expected)
+
+
+def run_tidy(tidy: str, args):
+    proc = subprocess.run(
+        [tidy, *args], capture_output=True, text=True, check=False
+    )
+    if proc.returncode not in (0, 1):
+        sys.exit(
+            f"FATAL: corm-tidy exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    return proc
+
+
+def diags_for(tidy: str, fixture: Path):
+    proc = run_tidy(tidy, ["--fallback-only", str(fixture)])
+    found = []
+    for line in proc.stdout.splitlines():
+        m = DIAG.match(line)
+        if m:
+            found.append((int(m.group(2)), m.group(4)))
+    return sorted(found)
+
+
+def cmd_fixtures(tidy: str, fixture_dir: Path) -> int:
+    fixtures = sorted(fixture_dir.glob("*.cc"))
+    if not fixtures:
+        sys.exit(f"FATAL: no fixtures under {fixture_dir}")
+    failures = 0
+    for fx in fixtures:
+        want = expectations(fx)
+        got = diags_for(tidy, fx)
+        if want == got:
+            print(f"  OK   {fx.name}: {len(want)} expected diagnostic(s)")
+            continue
+        failures += 1
+        print(f"  FAIL {fx.name}")
+        for line, check in sorted(set(want) - set(got)):
+            print(f"       missing: line {line} [{check}]")
+        for line, check in sorted(set(got) - set(want)):
+            print(f"       extra:   line {line} [{check}]")
+        # Multiset mismatches with identical sets (count differences).
+        if set(want) == set(got):
+            print(f"       count mismatch: want {want} got {got}")
+    print(f"{len(fixtures) - failures}/{len(fixtures)} fixtures pass")
+    return 1 if failures else 0
+
+
+CONTRACT = re.compile(
+    r"<!-- hotpath-contract-begin -->(.*?)<!-- hotpath-contract-end -->",
+    re.S,
+)
+
+
+def cmd_audit(tidy: str, repo_root: Path) -> int:
+    design = (repo_root / "DESIGN.md").read_text()
+    m = CONTRACT.search(design)
+    if not m:
+        sys.exit("FATAL: DESIGN.md has no hotpath-contract markers")
+    contract = {
+        ln.strip().lstrip("-").strip().strip("`")
+        for ln in m.group(1).splitlines()
+        if ln.strip().startswith("-")
+    }
+    proc = run_tidy(
+        tidy, ["--list-hotpath", "--src", str(repo_root / "src")]
+    )
+    marked = set()
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line:
+            marked.add(str(Path(line).resolve().relative_to(repo_root.resolve())))
+    ok = True
+    for path in sorted(marked - contract):
+        ok = False
+        print(f"  FAIL {path} carries // corm-hotpath but is absent from "
+              f"the DESIGN.md section 7 contract")
+    for path in sorted(contract - marked):
+        ok = False
+        print(f"  FAIL {path} is in the DESIGN.md section 7 contract but "
+              f"does not carry the // corm-hotpath marker")
+    if ok:
+        print(f"  OK   hotpath contract: {len(marked)} file(s) in sync")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    if len(sys.argv) != 4 or sys.argv[1] not in ("fixtures", "audit"):
+        sys.exit(
+            "usage: run_fixture_checks.py fixtures <corm-tidy> <fixture-dir>\n"
+            "       run_fixture_checks.py audit    <corm-tidy> <repo-root>"
+        )
+    mode, tidy, target = sys.argv[1], sys.argv[2], Path(sys.argv[3])
+    return cmd_fixtures(tidy, target) if mode == "fixtures" else cmd_audit(
+        tidy, target
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+// corm-unbounded-wait fixture: clean control — a Deadline in the condition,
+// a Deadline check in the body, and a run-loop stop flag are each a bound.
+#include <atomic>
+
+struct Deadline {
+  bool expired() const;
+};
+
+int WaitDeadlineInCondition(std::atomic<bool>& done, const Deadline& deadline) {
+  while (!done.load() && !deadline.expired()) {
+  }
+  return done.load() ? 0 : -1;
+}
+
+int WaitDeadlineInBody(std::atomic<bool>& done, const Deadline& deadline) {
+  while (!done.load()) {
+    if (deadline.expired()) return -1;
+  }
+  return 0;
+}
+
+void RunLoop(std::atomic<bool>& stop_requested) {
+  // A service loop polling its stop flag is bounded by the node's lifetime.
+  while (!stop_requested.load(std::memory_order_acquire)) {
+  }
+}

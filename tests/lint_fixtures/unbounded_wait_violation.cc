@@ -1,0 +1,18 @@
+// corm-unbounded-wait fixture: atomic-polling loops with no Deadline and no
+// stop flag must fire — a dead peer turns them into a hang.
+#include <atomic>
+
+struct Flags {
+  std::atomic<bool> done{false};
+};
+
+void WaitForCompletion(Flags* f) {
+  while (!f->done.load(std::memory_order_acquire)) {  // EXPECT: corm-unbounded-wait
+  }
+}
+
+void WaitInline(std::atomic<int>& seq, int want) {
+  while (seq.load() != want) {  // EXPECT: corm-unbounded-wait
+    __builtin_ia32_pause();
+  }
+}

@@ -1,0 +1,251 @@
+#include "ast_engine.h"
+
+#if !CORM_TIDY_HAVE_CLANG
+
+namespace corm_tidy {
+
+bool AstEngineAvailable() { return false; }
+
+bool RunAstEngine(const std::string&, const std::vector<std::string>&,
+                  const std::map<std::string, const SourceFile*>&, DiagSink*,
+                  std::string* err) {
+  *err =
+      "corm-tidy was built without the Clang development headers; the AST "
+      "engine is unavailable (install llvm-dev + libclang-dev and "
+      "reconfigure)";
+  return false;
+}
+
+}  // namespace corm_tidy
+
+#else  // CORM_TIDY_HAVE_CLANG
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/FileSystem.h"
+
+namespace corm_tidy {
+namespace {
+
+struct AstContextShared {
+  const std::map<std::string, const SourceFile*>* files = nullptr;
+  DiagSink* sink = nullptr;
+};
+
+// Resolves an expansion location to (SourceFile, line, col); nullptr when
+// the location is in a macro body, outside the linted file set, or invalid.
+const SourceFile* ResolveLoc(const clang::SourceManager& sm,
+                             clang::SourceLocation loc,
+                             const AstContextShared& shared, int* line,
+                             int* col) {
+  if (loc.isInvalid()) return nullptr;
+  // Diagnostics inside macro bodies would point at the macro definition,
+  // not the offending use; the token engine skips preprocessor text for
+  // the same reason. Spelling==expansion keeps only plain code.
+  if (loc.isMacroID()) return nullptr;
+  const clang::SourceLocation ex = sm.getExpansionLoc(loc);
+  llvm::StringRef name = sm.getFilename(ex);
+  if (name.empty()) return nullptr;
+  llvm::SmallString<256> real;
+  if (llvm::sys::fs::real_path(name, real)) return nullptr;
+  auto it = shared.files->find(std::string(real.str()));
+  if (it == shared.files->end()) return nullptr;
+  *line = static_cast<int>(sm.getExpansionLineNumber(ex));
+  *col = static_cast<int>(sm.getExpansionColumnNumber(ex));
+  return it->second;
+}
+
+bool IsGrowthMethodName(llvm::StringRef name) {
+  return name == "push_back" || name == "emplace_back" || name == "emplace" ||
+         name == "push_front" || name == "emplace_front" ||
+         name == "resize" || name == "reserve" || name == "append" ||
+         name == "assign" || name == "insert";
+}
+
+class TidyVisitor : public clang::RecursiveASTVisitor<TidyVisitor> {
+ public:
+  TidyVisitor(const AstContextShared* shared, clang::ASTContext* ctx)
+      : shared_(shared), sm_(&ctx->getSourceManager()) {}
+
+  bool VisitCXXNewExpr(clang::CXXNewExpr* e) {
+    // Placement new constructs in place and does not allocate — except the
+    // nothrow form, whose "placement" argument selects the allocating
+    // nothrow operator new.
+    if (e->getNumPlacementArgs() > 0) {
+      bool nothrow = false;
+      for (unsigned i = 0; i < e->getNumPlacementArgs(); ++i) {
+        if (e->getPlacementArg(i)->getType().getAsString().find("nothrow") !=
+            std::string::npos) {
+          nothrow = true;
+        }
+      }
+      if (!nothrow) return true;
+    }
+    Report(e->getBeginLoc(), kCheckRawNew,
+           "allocating `new` expression: ownership is RAII-only; use "
+           "std::make_unique or a pool",
+           /*also_hotpath=*/true,
+           "explicit heap allocation (`new`) in a corm-hotpath file");
+    return true;
+  }
+
+  bool VisitCXXDeleteExpr(clang::CXXDeleteExpr* e) {
+    Report(e->getBeginLoc(), kCheckRawNew,
+           "expression `delete`: ownership is RAII-only; return the pointer "
+           "to its owning unique_ptr/pool instead",
+           /*also_hotpath=*/true,
+           "explicit deallocation (`delete`) in a corm-hotpath file");
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* e) {
+    const clang::FunctionDecl* fd = e->getDirectCallee();
+    if (fd == nullptr || !fd->getDeclName().isIdentifier()) return true;
+    const llvm::StringRef name = fd->getName();
+    const bool alloc_call =
+        name == "make_unique" || name == "make_shared" || name == "malloc" ||
+        name == "calloc" || name == "realloc" || name == "strdup" ||
+        name == "aligned_alloc";
+    if (!alloc_call) return true;
+    Report(e->getBeginLoc(), /*check=*/nullptr, "", /*also_hotpath=*/true,
+           ("heap allocation (`" + name + "`) in a corm-hotpath file; move "
+            "it off the data plane or annotate the cold path")
+               .str());
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* e) {
+    const clang::CXXMethodDecl* md = e->getMethodDecl();
+    const clang::CXXRecordDecl* rd = e->getRecordDecl();
+    if (md == nullptr || rd == nullptr) return true;
+    if (!md->getDeclName().isIdentifier() ||
+        !IsGrowthMethodName(md->getName())) {
+      return true;
+    }
+    // Type precision over the token engine: only receivers that actually
+    // own heap storage count — std:: containers/strings, and the project's
+    // own growable byte buffer.
+    if (!rd->isInStdNamespace() && rd->getName() != "Buffer") return true;
+    Report(e->getBeginLoc(), /*check=*/nullptr, "", /*also_hotpath=*/true,
+           ("`" + md->getName() + "()` on " + rd->getNameAsString() +
+            " may grow its heap storage (implicit allocation) in a "
+            "corm-hotpath file")
+               .str());
+    return true;
+  }
+
+  bool VisitCXXConstructExpr(clang::CXXConstructExpr* e) {
+    const clang::CXXConstructorDecl* cd = e->getConstructor();
+    if (cd == nullptr) return true;
+    const clang::CXXRecordDecl* rd = cd->getParent();
+    if (rd == nullptr || !rd->isInStdNamespace() ||
+        rd->getName() != "function") {
+      return true;
+    }
+    Report(e->getBeginLoc(), /*check=*/nullptr, "", /*also_hotpath=*/true,
+           "std::function construction in a corm-hotpath file: "
+           "lambda-to-function conversion heap-allocates its capture state");
+    return true;
+  }
+
+ private:
+  // Reports `check` (when non-null) at `loc`, and additionally/instead the
+  // hotpath-alloc check when the location's file carries the contract
+  // marker. All reports flow through the shared NOLINT window.
+  void Report(clang::SourceLocation loc, const char* check,
+              const std::string& message, bool also_hotpath,
+              const std::string& hotpath_message) {
+    int line = 0;
+    int col = 0;
+    const SourceFile* f = ResolveLoc(*sm_, loc, *shared_, &line, &col);
+    if (f == nullptr) return;
+    if (check != nullptr) {
+      shared_->sink->Report(*f, check, line, col, message);
+    }
+    if (also_hotpath && f->is_hotpath()) {
+      shared_->sink->Report(*f, kCheckHotpathAlloc, line, col,
+                            hotpath_message);
+    }
+  }
+
+  const AstContextShared* shared_;
+  const clang::SourceManager* sm_;
+};
+
+class TidyConsumer : public clang::ASTConsumer {
+ public:
+  explicit TidyConsumer(const AstContextShared* shared) : shared_(shared) {}
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    TidyVisitor visitor(shared_, &ctx);
+    visitor.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  const AstContextShared* shared_;
+};
+
+class TidyAction : public clang::ASTFrontendAction {
+ public:
+  explicit TidyAction(const AstContextShared* shared) : shared_(shared) {}
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<TidyConsumer>(shared_);
+  }
+
+ private:
+  const AstContextShared* shared_;
+};
+
+class TidyActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit TidyActionFactory(const AstContextShared* shared)
+      : shared_(shared) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<TidyAction>(shared_);
+  }
+
+ private:
+  const AstContextShared* shared_;
+};
+
+}  // namespace
+
+bool AstEngineAvailable() { return true; }
+
+bool RunAstEngine(const std::string& build_dir,
+                  const std::vector<std::string>& cc_files,
+                  const std::map<std::string, const SourceFile*>&
+                      files_by_real_path,
+                  DiagSink* sink, std::string* err) {
+  std::string db_err;
+  std::unique_ptr<clang::tooling::CompilationDatabase> db =
+      clang::tooling::CompilationDatabase::autoDetectFromDirectory(build_dir,
+                                                                   db_err);
+  if (db == nullptr) {
+    *err = "no compilation database under " + build_dir + ": " + db_err;
+    return false;
+  }
+  AstContextShared shared;
+  shared.files = &files_by_real_path;
+  shared.sink = sink;
+
+  clang::tooling::ClangTool tool(*db, cc_files);
+  TidyActionFactory factory(&shared);
+  if (tool.run(&factory) != 0) {
+    *err = "clang tooling reported errors while parsing the tree";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace corm_tidy
+
+#endif  // CORM_TIDY_HAVE_CLANG

@@ -1,0 +1,47 @@
+// corm-tidy: Clang LibTooling engine (optional).
+//
+// Built only when CMake finds the Clang development package
+// (CORM_TIDY_HAVE_CLANG); otherwise a stub reports the engine unavailable
+// and the driver falls back to the token engine, mirroring lint.sh's
+// degradation ladder (AST -> token -> grep).
+//
+// Engine split (DESIGN.md §10): the AST engine owns the checks where *type
+// information* is the precision win — allocation detection (corm-raw-new,
+// corm-hotpath-alloc: placement-new vs nothrow-new, implicit growth only on
+// allocating container types, lambda-to-std::function conversions, and
+// sight through macros). The lexical checks (corm-unbounded-wait,
+// corm-escape-rationale) and the source-order dataflow (corm-remap-hazard)
+// are engine-independent by construction and always run token-side, so a
+// diagnostic from them is bit-identical on every host.
+
+#ifndef CORM_TIDY_AST_ENGINE_H_
+#define CORM_TIDY_AST_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "token_checks.h"
+
+namespace corm_tidy {
+
+// True when this binary was built with the LibTooling engine.
+bool AstEngineAvailable();
+
+// Runs the AST-side checks (corm-raw-new, corm-hotpath-alloc) over the
+// given .cc files using the compilation database in `build_dir`. Headers
+// are analyzed through the TUs that include them: `files_by_real_path`
+// maps canonical paths of every file under lint to its SourceFile (for
+// NOLINT windows + the hotpath contract); locations outside that set are
+// ignored. Diagnostics are deduplicated by the caller (a header included
+// by N TUs reports N times). Returns false when the tooling run itself
+// failed (missing database, TU that does not parse).
+bool RunAstEngine(const std::string& build_dir,
+                  const std::vector<std::string>& cc_files,
+                  const std::map<std::string, const SourceFile*>&
+                      files_by_real_path,
+                  DiagSink* sink, std::string* err);
+
+}  // namespace corm_tidy
+
+#endif  // CORM_TIDY_AST_ENGINE_H_

@@ -1,0 +1,171 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace corm_tidy {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char operators the checks care about. Longest match first; anything
+// not listed lexes as a single-char punct, which is fine for our purposes.
+const char* kMultiPunct[] = {
+    "->", "::", "==", "!=", "<=", ">=", "&&", "||",
+    "+=", "-=", "<<", ">>", "...",
+};
+
+}  // namespace
+
+LexResult Lex(const std::string& text) {
+  LexResult out;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto add_comment = [&](int at_line, const std::string& s) {
+    auto& slot = out.comments[at_line];
+    if (!slot.empty()) slot += ' ';
+    slot += s;
+  };
+
+  bool at_line_start = true;  // only whitespace seen on this line so far
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n') {
+      at_line_start = true;
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: skip the logical line (with continuations).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (text[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int start_line = line;
+      size_t j = i;
+      while (j < n && text[j] != '\n') ++j;
+      add_comment(start_line, text.substr(i, j - i));
+      advance(j - i);
+      continue;
+    }
+
+    // Block comment: record its text per line so NOLINT and rationale
+    // checks see every line it spans.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t seg_start = i;
+      advance(2);
+      while (i < n) {
+        if (text[i] == '*' && i + 1 < n && text[i + 1] == '/') {
+          add_comment(line, text.substr(seg_start, i + 2 - seg_start));
+          advance(2);
+          break;
+        }
+        if (text[i] == '\n') {
+          add_comment(line, text.substr(seg_start, i - seg_start));
+          advance(1);
+          seg_start = i;
+          continue;
+        }
+        advance(1);
+      }
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(' && text[j] != '\n') delim += text[j++];
+      const std::string closer = ")" + delim + "\"";
+      size_t end = text.find(closer, j);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      out.tokens.push_back({Token::Kind::kString, "", line, col});
+      advance(end - i);
+      continue;
+    }
+
+    // String / char literals (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.tokens.push_back({quote == '"' ? Token::Kind::kString
+                                         : Token::Kind::kChar,
+                            "", line, col});
+      advance(1);
+      while (i < n && text[i] != quote && text[i] != '\n') {
+        advance(text[i] == '\\' && i + 1 < n ? 2 : 1);
+      }
+      if (i < n && text[i] == quote) advance(1);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      out.tokens.push_back(
+          {Token::Kind::kIdent, text.substr(i, j - i), line, col});
+      advance(j - i);
+      continue;
+    }
+
+    // Number (loose: digits plus the usual literal chars; precision is
+    // irrelevant, the checks only need "this is not an identifier").
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({Token::Kind::kNumber, "", line, col});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation: longest listed multi-char match, else one char.
+    std::string punct(1, c);
+    for (const char* mp : kMultiPunct) {
+      const size_t len = std::char_traits<char>::length(mp);
+      if (text.compare(i, len, mp) == 0 && len > punct.size()) punct = mp;
+    }
+    out.tokens.push_back({Token::Kind::kPunct, punct, line, col});
+    advance(punct.size());
+  }
+  return out;
+}
+
+}  // namespace corm_tidy

@@ -1,0 +1,50 @@
+// corm-tidy: a minimal C++ lexer for the token fallback engine.
+//
+// The token engine exists so the linter still produces real diagnostics on
+// hosts without the Clang development headers (the AST engine's dependency).
+// It is deliberately not a parser: it produces a comment- and string-aware
+// token stream with line/column positions, which is exactly what the grep
+// rules lacked — greps cannot tell `delete msg;` from `// delete msg later`
+// or see a `delete` whose operand sits on the next line. Everything type-
+// aware stays in the AST engine; everything here must hold on a lone file
+// with no compilation database.
+
+#ifndef CORM_TIDY_LEXER_H_
+#define CORM_TIDY_LEXER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace corm_tidy {
+
+struct Token {
+  enum class Kind {
+    kIdent,   // identifiers and keywords (new/delete/while/...)
+    kNumber,  // numeric literals
+    kString,  // string literals (incl. raw strings), value dropped
+    kChar,    // character literals
+    kPunct,   // operators / punctuation, multi-char where it matters
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;  // identifier/punct spelling; empty for string/char
+  int line = 0;      // 1-based
+  int col = 0;       // 1-based
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // Concatenated comment text per line (both // and /* */ styles). Used for
+  // NOLINT markers, rationale checks, and the `// corm-hotpath` contract.
+  std::map<int, std::string> comments;
+};
+
+// Lexes `text`. Preprocessor directives (including continuation lines) are
+// skipped entirely: macro bodies are the AST engine's problem, and the grep
+// rules never saw them either, so the fallback stays no *noisier* than the
+// greps while becoming strictly more precise on real code.
+LexResult Lex(const std::string& text);
+
+}  // namespace corm_tidy
+
+#endif  // CORM_TIDY_LEXER_H_

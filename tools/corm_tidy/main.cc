@@ -1,0 +1,282 @@
+// corm-tidy: CoRM's project linter (DESIGN.md §10).
+//
+// Promotes the historical grep rules (tools/lint.sh rules 1/5/6/7/8) to
+// semantic checks and adds the CoRM-specific corm-remap-hazard analysis no
+// grep can express. Two engines:
+//
+//   ast     Clang LibTooling over compile_commands.json (-p <builddir>);
+//           type-aware allocation checks, sight through macros. Built only
+//           when the Clang dev package is present at configure time.
+//   token   a comment/string-aware C++ token scanner; needs nothing but
+//           the source files. Always built; the engines share NOLINT
+//           handling so suppressions mean the same thing everywhere.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 usage/environment error.
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast_engine.h"
+#include "remap_hazard.h"
+#include "source_file.h"
+#include "token_checks.h"
+
+namespace corm_tidy {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::vector<std::string> files;     // explicit files
+  std::vector<std::string> src_dirs;  // --src (recursive *.h/*.cc)
+  std::string build_dir;              // -p (compilation database)
+  std::set<std::string> checks;       // empty = all
+  bool fallback_only = false;
+  bool list_checks = false;
+  bool list_hotpath = false;
+  bool print_engine = false;
+  bool quiet = false;
+};
+
+int Usage(std::ostream& os, int code) {
+  os << "usage: corm-tidy [options] [files...]\n"
+        "  -p <dir>          compilation database directory (enables the\n"
+        "                    AST engine when this binary was built with it)\n"
+        "  --src <dir>       lint every *.h/*.cc under <dir> (default:\n"
+        "                    src/ when no files are given); repeatable\n"
+        "  --checks=a,b      run only the named checks\n"
+        "  --fallback-only   force the token engine even when the AST\n"
+        "                    engine is available (tests both lint paths)\n"
+        "  --list-checks     print the check catalog and exit\n"
+        "  --list-hotpath    print files carrying the `// corm-hotpath`\n"
+        "                    contract marker and exit\n"
+        "  --engine          print the engine that would run (ast|token)\n"
+        "  -q, --quiet       no summary line\n";
+  return code;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt, std::string* err) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-p") {
+      if (++i == argc) {
+        *err = "-p needs a directory";
+        return false;
+      }
+      opt->build_dir = argv[i];
+    } else if (a == "--src") {
+      if (++i == argc) {
+        *err = "--src needs a directory";
+        return false;
+      }
+      opt->src_dirs.push_back(argv[i]);
+    } else if (a.rfind("--checks=", 0) == 0) {
+      std::stringstream ss(a.substr(9));
+      std::string id;
+      while (std::getline(ss, id, ',')) {
+        if (!id.empty()) opt->checks.insert(id);
+      }
+    } else if (a == "--fallback-only") {
+      opt->fallback_only = true;
+    } else if (a == "--list-checks") {
+      opt->list_checks = true;
+    } else if (a == "--list-hotpath") {
+      opt->list_hotpath = true;
+    } else if (a == "--engine") {
+      opt->print_engine = true;
+    } else if (a == "-q" || a == "--quiet") {
+      opt->quiet = true;
+    } else if (a == "-h" || a == "--help") {
+      *err = "";
+      return false;
+    } else if (!a.empty() && a[0] == '-') {
+      *err = "unknown option " + a;
+      return false;
+    } else {
+      opt->files.push_back(a);
+    }
+  }
+  return true;
+}
+
+bool IsSourceExt(const fs::path& p) {
+  return p.extension() == ".h" || p.extension() == ".cc";
+}
+
+// Resolves the file set: explicit files, plus recursive walks of --src
+// dirs; defaults to src/ when nothing was named.
+bool CollectFiles(Options* opt, std::vector<std::string>* out,
+                  std::string* err) {
+  std::vector<std::string> dirs = opt->src_dirs;
+  if (opt->files.empty() && dirs.empty()) {
+    if (!fs::is_directory("src")) {
+      *err = "no files given and no src/ directory here; pass files or "
+             "--src <dir>";
+      return false;
+    }
+    dirs.push_back("src");
+  }
+  std::set<std::string> seen;
+  for (const std::string& f : opt->files) {
+    if (seen.insert(f).second) out->push_back(f);
+  }
+  for (const std::string& d : dirs) {
+    if (!fs::is_directory(d)) {
+      *err = "--src " + d + " is not a directory";
+      return false;
+    }
+    std::vector<std::string> walked;
+    for (const auto& entry : fs::recursive_directory_iterator(d)) {
+      if (entry.is_regular_file() && IsSourceExt(entry.path())) {
+        walked.push_back(entry.path().generic_string());
+      }
+    }
+    std::sort(walked.begin(), walked.end());
+    for (std::string& f : walked) {
+      if (seen.insert(f).second) out->push_back(std::move(f));
+    }
+  }
+  return true;
+}
+
+bool CheckEnabled(const Options& opt, const char* id) {
+  return opt.checks.empty() || opt.checks.count(id) > 0;
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  Options opt;
+  std::string err;
+  if (!ParseArgs(argc, argv, &opt, &err)) {
+    if (err.empty()) return Usage(std::cout, 0);
+    std::cerr << "corm-tidy: " << err << "\n";
+    return Usage(std::cerr, 2);
+  }
+  for (const std::string& id : opt.checks) {
+    const auto& catalog = CheckCatalog();
+    if (std::none_of(catalog.begin(), catalog.end(),
+                     [&](const CheckInfo& c) { return id == c.id; })) {
+      std::cerr << "corm-tidy: unknown check '" << id
+                << "' (see --list-checks)\n";
+      return 2;
+    }
+  }
+
+  if (opt.list_checks) {
+    for (const CheckInfo& c : CheckCatalog()) {
+      std::cout << c.id << "\n    " << c.summary << "\n";
+    }
+    return 0;
+  }
+
+  const bool use_ast =
+      AstEngineAvailable() && !opt.fallback_only && !opt.build_dir.empty();
+  if (opt.print_engine) {
+    std::cout << (use_ast ? "ast" : "token") << "\n";
+    return 0;
+  }
+
+  std::vector<std::string> paths;
+  if (!CollectFiles(&opt, &paths, &err)) {
+    std::cerr << "corm-tidy: " << err << "\n";
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<SourceFile>> files;
+  for (const std::string& p : paths) {
+    auto f = std::make_unique<SourceFile>();
+    if (!SourceFile::Load(p, f.get(), &err)) {
+      std::cerr << "corm-tidy: " << err << "\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  if (opt.list_hotpath) {
+    for (const auto& f : files) {
+      if (f->is_hotpath()) std::cout << f->path() << "\n";
+    }
+    return 0;
+  }
+
+  std::vector<Diagnostic> diags;
+  DiagSink sink{&diags};
+
+  // Engine-independent checks: lexical by design, identical on every host.
+  for (const auto& f : files) {
+    if (CheckEnabled(opt, kCheckUnboundedWait)) CheckUnboundedWait(*f, &sink);
+    if (CheckEnabled(opt, kCheckEscapeRationale)) {
+      CheckEscapeRationale(*f, &sink);
+    }
+    if (CheckEnabled(opt, kCheckRemapHazard)) CheckRemapHazard(*f, &sink);
+  }
+
+  // Allocation checks: AST engine when available (type precision, macro
+  // sight), token engine otherwise.
+  const bool want_alloc_checks = CheckEnabled(opt, kCheckRawNew) ||
+                                 CheckEnabled(opt, kCheckHotpathAlloc);
+  if (use_ast && want_alloc_checks) {
+    std::map<std::string, const SourceFile*> by_real;
+    std::vector<std::string> cc_files;
+    for (const auto& f : files) {
+      std::error_code ec;
+      const fs::path real = fs::canonical(f->path(), ec);
+      if (!ec) by_real[real.generic_string()] = f.get();
+      if (fs::path(f->path()).extension() == ".cc") {
+        cc_files.push_back(f->path());
+      }
+    }
+    if (!RunAstEngine(opt.build_dir, cc_files, by_real, &sink, &err)) {
+      std::cerr << "corm-tidy: AST engine failed: " << err << "\n";
+      return 2;
+    }
+    // Respect --checks for the AST results, and drop the per-TU duplicates
+    // a shared header produces.
+    diags.erase(std::remove_if(diags.begin(), diags.end(),
+                               [&](const Diagnostic& d) {
+                                 return !CheckEnabled(opt, d.check.c_str());
+                               }),
+                diags.end());
+  } else if (want_alloc_checks) {
+    for (const auto& f : files) {
+      if (CheckEnabled(opt, kCheckRawNew)) CheckRawNew(*f, &sink);
+      if (CheckEnabled(opt, kCheckHotpathAlloc)) CheckHotpathAlloc(*f, &sink);
+    }
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.col, a.check, a.message) <
+                     std::tie(b.file, b.line, b.col, b.check, b.message);
+            });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.col == b.col && a.check == b.check;
+                          }),
+              diags.end());
+
+  for (const Diagnostic& d : diags) {
+    std::cout << d.file << ":" << d.line << ":" << d.col
+              << ": warning: " << d.message << " [" << d.check << "]\n";
+  }
+  if (!opt.quiet) {
+    std::cerr << "corm-tidy: " << diags.size() << " diagnostic(s), "
+              << sink.suppressed << " suppressed, " << files.size()
+              << " file(s) [" << (use_ast ? "ast" : "token") << " engine]\n";
+  }
+  return diags.empty() ? 0 : 1;
+}
+
+}  // namespace corm_tidy
+
+int main(int argc, char** argv) { return corm_tidy::Run(argc, argv); }

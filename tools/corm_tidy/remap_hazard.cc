@@ -1,0 +1,212 @@
+#include "remap_hazard.h"
+
+#include <string>
+#include <vector>
+
+namespace corm_tidy {
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+// Calls that produce a Block* / lookup entry whose validity is bounded by
+// the next remap point.
+bool IsLookupName(const std::string& s) {
+  return s == "Lookup" || s == "LookupBlockCached" || s == "LookupBlock" ||
+         s == "ResolveObject" || s == "FindBlock" || s == "ResolveEntry";
+}
+
+// Calls that may advance the compaction engine, re-enter the RPC/inbox
+// drain, or release the kCompacting hand-off — after any of these, every
+// cached lookup result is suspect.
+bool IsRemapPointName(const std::string& s) {
+  return s == "Step" || s == "RunCompaction" || s == "RunPhaseSlice" ||
+         s == "StepRemap" || s == "HandleInbox" || s == "HandleRpc" ||
+         s == "ReapZombies" || s == "BackgroundCompactionLoop" ||
+         s == "DrainInbox" || s == "PollInbox";
+}
+
+// Sanctioned revalidation idioms: a directory-epoch read, an explicit
+// re-validate helper, or pinning the object against relocation.
+bool IsRevalidationToken(const std::vector<Token>& toks, size_t i) {
+  const Token& t = toks[i];
+  if (t.kind != Token::Kind::kIdent) return false;
+  if (t.text == "epoch" && i + 1 < toks.size() && IsPunct(toks[i + 1], "(")) {
+    return true;
+  }
+  if (t.text.find("Revalidate") != std::string::npos ||
+      t.text.find("Validate") != std::string::npos) {
+    return true;
+  }
+  if (t.text == "kCompacting" || t.text.rfind("Pin", 0) == 0) return true;
+  return false;
+}
+
+struct TrackedVar {
+  std::string name;
+  int scope_depth = 0;   // depth the taint was established at
+  int taint_line = 0;    // where the lookup happened
+  bool hazardous = false;
+  bool pinned = false;   // pinned against relocation; remap points skip it
+  int remap_line = 0;    // remap point that made it hazardous
+  std::string remap_callee;
+};
+
+}  // namespace
+
+void CheckRemapHazard(const SourceFile& f, DiagSink* sink) {
+  const auto& toks = f.tokens();
+  std::vector<TrackedVar> vars;
+  int depth = 0;
+
+  auto find_var = [&](const std::string& name) -> TrackedVar* {
+    for (auto& v : vars) {
+      if (v.name == name) return &v;
+    }
+    return nullptr;
+  };
+
+  // Statement spans: [start, end) where end indexes the `;`/`{`/`}` that
+  // terminated it. Source order stands in for control flow — a linter's
+  // trade, not a verifier's.
+  size_t stmt_start = 0;
+  for (size_t i = 0; i <= toks.size(); ++i) {
+    const bool at_end = i == toks.size();
+    if (!at_end && !IsPunct(toks[i], ";") && !IsPunct(toks[i], "{") &&
+        !IsPunct(toks[i], "}")) {
+      continue;
+    }
+    const size_t s = stmt_start;
+    const size_t e = i;
+
+    // (1) Revalidation anywhere in the statement clears standing hazards
+    //     before use-detection: `if (dir.epoch() == e0) use(p);` is the
+    //     sanctioned pattern and must not fire.
+    bool revalidates = false;
+    bool pins = false;
+    for (size_t j = s; j < e; ++j) {
+      if (!IsRevalidationToken(toks, j)) continue;
+      revalidates = true;
+      const std::string& t = toks[j].text;
+      pins = pins || t == "kCompacting" || t.rfind("Pin", 0) == 0;
+    }
+    if (revalidates) {
+      for (auto& v : vars) v.hazardous = false;
+      // Pinning named variables here (before a later remap point) holds the
+      // object still — the kCompacting idiom — so they stay valid across it.
+      if (pins) {
+        for (size_t j = s; j < e; ++j) {
+          if (toks[j].kind != Token::Kind::kIdent) continue;
+          if (TrackedVar* v = find_var(toks[j].text)) v->pinned = true;
+        }
+      }
+    }
+
+    // Locate a top-level assignment `name = ...` (declaration initializer
+    // or plain re-assignment; both re-establish the variable).
+    size_t assign = e;  // index of `=`, e when none
+    std::string target;
+    {
+      int paren = 0;
+      for (size_t j = s; j < e; ++j) {
+        if (IsPunct(toks[j], "(") || IsPunct(toks[j], "[")) ++paren;
+        if (IsPunct(toks[j], ")") || IsPunct(toks[j], "]")) --paren;
+        if (paren == 0 && IsPunct(toks[j], "=") && j > s &&
+            toks[j - 1].kind == Token::Kind::kIdent) {
+          // `a.b = ...` / `a->b = ...` assigns a member, not a tracked var.
+          if (j >= 2 && (IsPunct(toks[j - 2], ".") || IsPunct(toks[j - 2], "->"))) {
+            continue;
+          }
+          assign = j;
+          target = toks[j - 1].text;
+          break;
+        }
+      }
+    }
+
+    // (2) Uses of hazardous variables. The assignment target itself is not
+    //     a use (writing a stale pointer away *is* flagged when read back).
+    for (size_t j = s; j < e; ++j) {
+      if (toks[j].kind != Token::Kind::kIdent) continue;
+      if (assign < e && j == assign - 1) continue;  // the LHS target
+      TrackedVar* v = find_var(toks[j].text);
+      if (v == nullptr || !v->hazardous) continue;
+      sink->Report(
+          f, kCheckRemapHazard, toks[j].line, toks[j].col,
+          "`" + v->name + "` (from a block/object lookup, line " +
+              std::to_string(v->taint_line) + ") is used after `" +
+              v->remap_callee + "()` (line " +
+              std::to_string(v->remap_line) +
+              ") which may advance compaction and remap the block; "
+              "re-lookup, validate the directory epoch, or pin the object "
+              "(kCompacting) before reusing it");
+      v->hazardous = false;  // one diagnostic per stale region
+    }
+
+    // (3) Taint / clear through the assignment.
+    if (assign < e) {
+      bool rhs_taints = false;
+      for (size_t j = assign + 1; j < e && !rhs_taints; ++j) {
+        if (toks[j].kind != Token::Kind::kIdent) continue;
+        if (IsLookupName(toks[j].text) && j + 1 < toks.size() &&
+            (IsPunct(toks[j + 1], "(") || IsPunct(toks[j + 1], "<"))) {
+          rhs_taints = true;
+        }
+        // `x = entry.block` propagates taint (and freshness) from `entry`.
+        if (toks[j].text == "block" && j >= 2 &&
+            (IsPunct(toks[j - 1], ".") || IsPunct(toks[j - 1], "->")) &&
+            find_var(toks[j - 2].text) != nullptr) {
+          rhs_taints = true;
+        }
+      }
+      if (rhs_taints) {
+        if (TrackedVar* v = find_var(target)) {
+          v->hazardous = false;  // freshly re-looked-up
+          v->pinned = false;     // the new referent is not the pinned one
+          v->taint_line = toks[assign].line;
+          v->scope_depth = depth;
+        } else {
+          vars.push_back(
+              {target, depth, toks[assign].line, false, false, 0, ""});
+        }
+      } else if (TrackedVar* v = find_var(target)) {
+        // Reassigned from something that is not a lookup: stop tracking.
+        vars.erase(vars.begin() + (v - vars.data()));
+      }
+    }
+
+    // (4) Remap points poison every live tracked variable for the
+    //     statements that follow.
+    for (size_t j = s; j < e; ++j) {
+      if (toks[j].kind == Token::Kind::kIdent &&
+          IsRemapPointName(toks[j].text) && j + 1 < toks.size() &&
+          IsPunct(toks[j + 1], "(")) {
+        for (auto& v : vars) {
+          if (!v.hazardous && !v.pinned) {
+            v.hazardous = true;
+            v.remap_line = toks[j].line;
+            v.remap_callee = toks[j].text;
+          }
+        }
+      }
+    }
+
+    // Scope bookkeeping.
+    if (!at_end) {
+      if (IsPunct(toks[i], "{")) {
+        ++depth;
+      } else if (IsPunct(toks[i], "}")) {
+        for (size_t k = vars.size(); k-- > 0;) {
+          if (vars[k].scope_depth >= depth) {
+            vars.erase(vars.begin() + static_cast<long>(k));
+          }
+        }
+        --depth;
+      }
+    }
+    stmt_start = i + 1;
+  }
+}
+
+}  // namespace corm_tidy

@@ -1,0 +1,43 @@
+// corm-tidy: the corm-remap-hazard check.
+//
+// CoRM's defining hazard (paper §3.2-§3.3, DESIGN.md §9): background
+// compaction *moves objects under live code*. A raw `Block*` (or a lookup
+// Entry holding one) obtained from the block directory is only meaningful
+// until the next remap point — a call that may advance
+// CompactionEngine::Step(), re-enter the RPC/inbox drain (which can itself
+// step the engine or mutate the directory), or otherwise release the
+// kCompacting hand-off. Code that caches such a pointer across a remap
+// point and then dereferences it is exactly the relocation bug class Mesh
+// (Powers et al.) documents for compacting C/C++ allocators, and no grep
+// can see it: the taint, the remap call, and the stale use are three
+// different lines.
+//
+// The analysis is a deliberately simple source-order dataflow, shared by
+// both engines so a diagnostic means the same thing on every host:
+//
+//   taint   a declaration (or assignment) whose initializer calls a
+//           directory/object lookup (Lookup, LookupBlockCached,
+//           ResolveObject, ...) or extracts `.block` from a tainted value
+//   hazard  a later call, in the same scope chain, to a remap point
+//           (Step, HandleInbox, HandleRpc, ReapZombies, ...) marks every
+//           live tainted variable hazardous
+//   use     any subsequent read of a hazardous variable fires, unless the
+//           code revalidated first: re-assigned the variable from a fresh
+//           lookup, compared the directory epoch, or pinned the object
+//           (kCompacting / Pin*) — the three sanctioned idioms
+//
+// False-negative bias is accepted (this is a linter, not a verifier); the
+// value is that the three-line pattern becomes mechanically visible.
+
+#ifndef CORM_TIDY_REMAP_HAZARD_H_
+#define CORM_TIDY_REMAP_HAZARD_H_
+
+#include "token_checks.h"
+
+namespace corm_tidy {
+
+void CheckRemapHazard(const SourceFile& f, DiagSink* sink);
+
+}  // namespace corm_tidy
+
+#endif  // CORM_TIDY_REMAP_HAZARD_H_

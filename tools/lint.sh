@@ -37,38 +37,129 @@
 #      sleeps — and, unlike rule 5, no NOLINT escape is honored. Phase
 #      handlers poll and return, or bound their loops with a Deadline.
 #
+# Rules 1, 5, and 7 have a precise implementation in tools/corm_tidy (a
+# token/AST-level linter that also adds corm-escape-rationale and
+# corm-remap-hazard). When a built corm-tidy binary is found — via
+# $CORM_TIDY_BIN or under build*/tools/corm_tidy/ — those rules delegate
+# to it and the grep versions below stay dormant. `--fallback-only`
+# forces the grep path (used by CI to keep the fallback from rotting).
+#
 # Additionally runs clang-tidy over src/ when a binary and a compilation
 # database are available; skipped (with a note) otherwise, since the CI
 # lint job provides clang-tidy.
 set -u
 cd "$(dirname "$0")/.."
 
+fallback_only=0
+for arg in "$@"; do
+  case "$arg" in
+    --fallback-only) fallback_only=1 ;;
+    *) printf 'usage: tools/lint.sh [--fallback-only]\n' >&2; exit 2 ;;
+  esac
+done
+
 fail=0
 note() { printf '%s\n' "$*"; }
 violation() { printf 'lint: %s\n' "$*" >&2; fail=1; }
 
+# Locate a built corm-tidy: explicit override first, then build trees.
+corm_tidy="${CORM_TIDY_BIN:-}"
+if [ -z "$corm_tidy" ]; then
+  for cand in build build-clang build-asan build-tsan build-rel; do
+    if [ -x "$cand/tools/corm_tidy/corm-tidy" ]; then
+      corm_tidy="$cand/tools/corm_tidy/corm-tidy"
+      break
+    fi
+  done
+fi
+use_tidy=0
+if [ "$fallback_only" -eq 0 ] && [ -n "$corm_tidy" ] && [ -x "$corm_tidy" ]; then
+  use_tidy=1
+fi
+
 src_files=$(find src -name '*.h' -o -name '*.cc' | sort)
 
+# --- corm-tidy delegation (rules 1, 5, 7 + escape-rationale, remap-hazard,
+# --- strict rule 8). --------------------------------------------------------
+if [ "$use_tidy" -eq 1 ]; then
+  note "lint: delegating rules 1/5/7 to corm-tidy ($corm_tidy)"
+  if ! "$corm_tidy" --src src; then
+    violation 'corm-tidy reported diagnostics (see above)'
+  fi
+fi
+
 # --- Rule 1: raw new/delete in src/. ---------------------------------------
-for f in $src_files; do
-  # Match allocating `new` / `delete` expressions, not words in comments
-  # (e.g. "a new block") or placement-new-free code. Heuristic: `new` or
-  # `delete` followed by a type-ish token, outside line comments.
-  matches=$(grep -nE '(^|[^_[:alnum:]"])(new[[:space:]]+[[:alnum:]_:<]+[[:space:]]*[({[]|new[[:space:]]+[[:alnum:]_:<]+\[|delete[[:space:]]*\[?\]?[[:space:]]*[[:alnum:]_]+)' "$f" \
-      | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
-  [ -z "$matches" ] && continue
-  while IFS= read -r line; do
-    lineno=${line%%:*}
-    # Exemption: NOLINT(corm-raw-new) on this or the preceding line.
-    if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
-        | grep -q 'NOLINT(corm-raw-new)'; then
-      continue
-    fi
-    violation "$f:$line — raw new/delete in src/ (rule 1)"
-  done <<EOF_MATCHES
-$matches
-EOF_MATCHES
-done
+# Comment- and string-aware scanner (awk): block comments and string
+# literals are stripped with a real state machine before matching, so
+# `/* new Foo() */` and "delete p" in a literal never fire; plain
+# placement-new `new (buf) T` is skipped but allocating nothrow-new
+# `new (std::nothrow) T` is caught; a `delete[]` whose operand wrapped to
+# the next line is caught via carried state. corm-tidy does this at the
+# token level — this is the no-binary fallback.
+rule1_scan() {
+  awk '
+    function strip(line,    out, i, n, c, c2, p) {
+      out = ""; i = 1; n = length(line)
+      while (i <= n) {
+        if (inblock) {
+          p = index(substr(line, i), "*/")
+          if (p == 0) return out
+          i += p + 1; inblock = 0; continue
+        }
+        c = substr(line, i, 1); c2 = substr(line, i, 2)
+        if (c2 == "//") return out
+        if (c2 == "/*") { inblock = 1; i += 2; continue }
+        if (c == "\"" || c == "\x27") {
+          q = c; i++
+          while (i <= n) {
+            if (substr(line, i, 1) == "\\") { i += 2; continue }
+            if (substr(line, i, 1) == q) { i++; break }
+            i++
+          }
+          out = out " "; continue
+        }
+        out = out c; i++
+      }
+      return out
+    }
+    {
+      s = strip($0)
+      if (s ~ /^[ \t]*#/) { pending = 0; next }
+      # Declarations and deleted members are not allocation sites.
+      gsub(/operator[ \t]*new[ \t]*\[?[ \t]*\]?/, " ", s)
+      gsub(/operator[ \t]*delete[ \t]*\[?[ \t]*\]?/, " ", s)
+      gsub(/=[ \t]*delete/, " ", s)
+      if (pending && s ~ /^[ \t]*[A-Za-z_*(]/) print pending_line
+      pending = 0
+      hit = 0
+      # Allocating new: `new Type(...)` / `new Type[...]` / `new Type{...}`
+      # (a `(` directly after `new` is placement and stays silent) ...
+      if (s ~ /(^|[^A-Za-z0-9_])new[ \t]+[A-Za-z_:][A-Za-z0-9_:<>, \t]*[({[]/) hit = 1
+      # ... except nothrow placement, which does allocate.
+      if (s ~ /(^|[^A-Za-z0-9_])new[ \t]*\([ \t]*(std[ \t]*::[ \t]*)?nothrow/) hit = 1
+      # delete / delete[] with the operand on the same line.
+      if (s ~ /(^|[^A-Za-z0-9_])delete[ \t]*(\[[ \t]*\])?[ \t]*[A-Za-z_*(]/) hit = 1
+      if (hit) { print NR }
+      else if (s ~ /(^|[^A-Za-z0-9_])delete[ \t]*(\[[ \t]*\])?[ \t]*$/) {
+        pending = 1; pending_line = NR
+      }
+    }
+  ' "$1" | sort -un
+}
+if [ "$use_tidy" -eq 0 ]; then
+  for f in $src_files; do
+    linenos=$(rule1_scan "$f")
+    [ -z "$linenos" ] && continue
+    for lineno in $linenos; do
+      # Exemption: NOLINT(corm-raw-new) on this or the preceding line.
+      if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
+          | grep -q 'NOLINT(corm-raw-new)'; then
+        continue
+      fi
+      violation "$f:$lineno:$(sed -n "${lineno}p" "$f") — raw new/delete in src/ (rule 1)"
+    done
+  done
+fi
 
 # --- Rule 2: std::mutex in the data plane. ---------------------------------
 for f in $(find src/alloc src/core -name '*.h' -o -name '*.cc' | sort); do
@@ -103,22 +194,24 @@ done
 # A `while (...load(...))` loop with no deadline is exactly the bug the
 # RPC transport had: a remote death turns it into a hang. The low-level
 # primitives (common/, rdma/) own the sanctioned bounded waits.
-for f in $(find src -name '*.h' -o -name '*.cc' \
-               | grep -v '^src/common/' | grep -v '^src/rdma/' | sort); do
-  matches=$(grep -nE 'while[[:space:]]*\(.*(\.|->)load\(' "$f" \
-      | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
-  [ -z "$matches" ] && continue
-  while IFS= read -r line; do
-    lineno=${line%%:*}
-    if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
-        | grep -q 'NOLINT(corm-spin-wait)'; then
-      continue
-    fi
-    violation "$f:$line — unbounded spin-wait on an atomic; bound it with a Deadline (common/retry.h) or annotate NOLINT(corm-spin-wait) (rule 5)"
-  done <<EOF_MATCHES
+if [ "$use_tidy" -eq 0 ]; then
+  for f in $(find src -name '*.h' -o -name '*.cc' \
+                 | grep -v '^src/common/' | grep -v '^src/rdma/' | sort); do
+    matches=$(grep -nE 'while[[:space:]]*\(.*(\.|->)load\(' "$f" \
+        | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
+    [ -z "$matches" ] && continue
+    while IFS= read -r line; do
+      lineno=${line%%:*}
+      if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
+          | grep -q 'NOLINT(corm-spin-wait)'; then
+        continue
+      fi
+      violation "$f:$line — unbounded spin-wait on an atomic; bound it with a Deadline (common/retry.h) or annotate NOLINT(corm-spin-wait) (rule 5)"
+    done <<EOF_MATCHES
 $matches
 EOF_MATCHES
-done
+  done
+fi
 
 # --- Rule 6: every analysis escape carries a written rationale. ------------
 # An escape (NOLINT(corm-*) or NO_THREAD_SAFETY_ANALYSIS) silences a checker;
@@ -145,22 +238,26 @@ done
 # The steady-state data plane must not allocate; a marked file promising
 # that gets every allocating expression flagged unless explicitly exempted
 # as cold-path.
-for f in $src_files; do
-  head -1 "$f" | grep -q '^// corm-hotpath' || continue
-  matches=$(grep -nE '(^|[^_[:alnum:]"])(new[[:space:]]+[[:alnum:]_:<]+[[:space:]]*[({[]|std::make_unique|std::make_shared|(^|[^_[:alnum:]])(malloc|calloc|realloc)[[:space:]]*\()' "$f" \
-      | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
-  [ -z "$matches" ] && continue
-  while IFS= read -r line; do
-    lineno=${line%%:*}
-    if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
-        | grep -qE 'NOLINT\(corm-hotpath-alloc\)|NOLINT\(corm-raw-new\)'; then
-      continue
-    fi
-    violation "$f:$line — heap allocation in a corm-hotpath file; move it off the data plane or annotate NOLINT(corm-hotpath-alloc) with a rationale (rule 7)"
-  done <<EOF_MATCHES
+if [ "$use_tidy" -eq 0 ]; then
+  for f in $src_files; do
+    # Exact-line marker: a first line merely *starting* with the marker
+    # text (e.g. a prose comment) does not opt a file in.
+    head -1 "$f" | grep -qE '^// corm-hotpath[[:space:]]*$' || continue
+    matches=$(grep -nE '(^|[^_[:alnum:]"])(new[[:space:]]+[[:alnum:]_:<]+[[:space:]]*[({[]|std::make_unique|std::make_shared|(^|[^_[:alnum:]])(malloc|calloc|realloc)[[:space:]]*\()' "$f" \
+        | grep -vE '^\s*[0-9]+:\s*(//|\*)' || true)
+    [ -z "$matches" ] && continue
+    while IFS= read -r line; do
+      lineno=${line%%:*}
+      if sed -n "$((lineno > 1 ? lineno - 1 : 1)),${lineno}p" "$f" \
+          | grep -qE 'NOLINT\(corm-hotpath-alloc\)|NOLINT\(corm-raw-new\)'; then
+        continue
+      fi
+      violation "$f:$line — heap allocation in a corm-hotpath file; move it off the data plane or annotate NOLINT(corm-hotpath-alloc) with a rationale (rule 7)"
+    done <<EOF_MATCHES
 $matches
 EOF_MATCHES
-done
+  done
+fi
 
 # --- Rule 8: compaction phase handlers carry no unbounded waits. -----------
 # The sliced engine's contract (DESIGN.md §9) is that every phase handler
