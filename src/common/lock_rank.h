@@ -36,6 +36,8 @@ namespace corm {
 // Gaps leave room for future locks without renumbering.
 enum class LockRank : int {
   kNone = 0,
+  kScheduler = 50,          // CormNode::sched_tasks_mu_ (outermost: registered
+                            // tasks run under it and may take any CoRM lock)
   kCompactionLeader = 100,  // region: leader-side collection + merge
   kThreadAllocator = 200,   // region: single-owner allocator mutation
   kAliasList = 260,         // CormNode::alias_mu_ (ghost alias lists)
@@ -43,12 +45,15 @@ enum class LockRank : int {
   kBlockAllocator = 400,    // BlockAllocator counters
   kVaddrTracker = 500,      // VaddrTracker::mu_ (leaf among CoRM locks)
   kGraveyard = 520,         // CormNode::graveyard_mu_ (leaf)
+  kReplIngress = 560,       // CormNode::repl_ingress_mu_ (append-only, leaf)
   kSubstrate = 600,         // sim/rdma internal mutexes (leaf, uninstrumented)
 };
 
 inline const char* LockRankName(LockRank r) {
   switch (r) {
     case LockRank::kNone: return "none";
+    case LockRank::kScheduler: return "scheduler";
+    case LockRank::kReplIngress: return "repl-ingress";
     case LockRank::kCompactionLeader: return "compaction-leader";
     case LockRank::kThreadAllocator: return "thread-allocator";
     case LockRank::kAliasList: return "alias-list";

@@ -43,6 +43,8 @@ CormNode::CormNode(CormConfig config)
       space_.get(), files_.get(), rnic_.get(), &classes_, ba_config);
   rpc_queue_.rate_limiter()->SetRate(config_.nic_msg_rate);
 
+  repl_ingress_.resize(kMaxReplIngress);  // fixed capacity, never reallocates
+
   workers_.reserve(config_.num_workers);
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(this, i));
@@ -55,59 +57,141 @@ CormNode::CormNode(CormConfig config)
 }
 
 CormNode::~CormNode() {
-  // Scheduler first: it issues Compact() control calls that need live
-  // workers to complete.
-  StopBackgroundCompaction();
+  // Scheduler first: it issues Compact() control calls (and registered
+  // background tasks) that need live workers to complete. Unconditional:
+  // a leaked registered task must not keep the thread alive past the node.
+  if (sched_running_) {
+    sched_stop_.store(true, std::memory_order_relaxed);
+    sched_thread_.join();
+    sched_running_ = false;
+  }
   stop_.store(true, std::memory_order_relaxed);
   for (auto& t : threads_) t.join();
   threads_.clear();
 }
 
 // ---------------------------------------------------------------------------
-// Background compaction scheduler.
+// Background scheduler (compaction pass + registered tasks).
 // ---------------------------------------------------------------------------
 
-void CormNode::StartBackgroundCompaction() {
+void CormNode::EnsureSchedulerThread() {
   if (sched_running_) return;
   sched_stop_.store(false, std::memory_order_relaxed);
-  sched_thread_ = std::thread([this] { BackgroundCompactionLoop(); });
+  sched_thread_ = std::thread([this] { BackgroundSchedulerLoop(); });
   sched_running_ = true;
 }
 
-void CormNode::StopBackgroundCompaction() {
+void CormNode::StopSchedulerThreadIfIdle() {
   if (!sched_running_) return;
+  if (sched_compact_.load(std::memory_order_relaxed)) return;
+  {
+    LockGuard<RankedSpinLock> lock(sched_tasks_mu_);
+    if (!sched_tasks_.empty()) return;
+  }
   sched_stop_.store(true, std::memory_order_relaxed);
   sched_thread_.join();
   sched_running_ = false;
 }
 
-// Duty-cycled scheduler: sleep out the check interval, snapshot per-class
-// fragmentation (the same stats CompactIfFragmented consults), and run one
-// synchronous Compact per class over the §3.1.3 trigger. The engine slices
-// each run on the leader, so a scheduler pass stalls the data plane no more
-// than an explicit Compact() call would; the sleep bounds the duty cycle.
-void CormNode::BackgroundCompactionLoop() {
+void CormNode::StartBackgroundCompaction() {
+  sched_compact_.store(true, std::memory_order_relaxed);
+  EnsureSchedulerThread();
+}
+
+void CormNode::StopBackgroundCompaction() {
+  sched_compact_.store(false, std::memory_order_relaxed);
+  StopSchedulerThreadIfIdle();
+}
+
+int CormNode::RegisterBackgroundTask(std::function<void()> task) {
+  int id;
+  {
+    LockGuard<RankedSpinLock> lock(sched_tasks_mu_);
+    id = sched_task_next_id_++;
+    sched_tasks_.emplace_back(id, std::move(task));
+  }
+  EnsureSchedulerThread();
+  return id;
+}
+
+void CormNode::UnregisterBackgroundTask(int id) {
+  {
+    // Acquiring the lock waits out any in-progress tick of the task (the
+    // scheduler runs tasks with the lock held) — after this erase returns,
+    // the task never runs again.
+    LockGuard<RankedSpinLock> lock(sched_tasks_mu_);
+    std::erase_if(sched_tasks_,
+                  [id](const auto& entry) { return entry.first == id; });
+  }
+  StopSchedulerThreadIfIdle();
+}
+
+// Duty-cycled scheduler: sleep out the check interval, then (a) snapshot
+// per-class fragmentation (the same stats CompactIfFragmented consults) and
+// run one synchronous Compact per class over the §3.1.3 trigger, and (b)
+// run every registered background task (DESIGN.md §11: the anti-entropy
+// sweep rides this thread). The engine slices each compaction run on the
+// leader, so a scheduler pass stalls the data plane no more than an
+// explicit Compact() call would; the sleep bounds the duty cycle.
+void CormNode::BackgroundSchedulerLoop() {
   const auto interval =
       std::chrono::microseconds(std::max<uint64_t>(
           config_.compaction_check_interval_us, 1));
   // Not a spin: each pass sleeps out the duty-cycle interval, and the loop
-  // exits as soon as StopBackgroundCompaction stores the flag.
+  // exits as soon as the stop flag is stored.
   while (!sched_stop_.load(std::memory_order_relaxed)) {  // NOLINT(corm-spin-wait)
     std::this_thread::sleep_for(interval);
     if (sched_stop_.load(std::memory_order_relaxed)) break;
     // A paused node (injected crash) keeps its memory quiescent.
     if (!IsServingRequests()) continue;
-    for (const auto& cls : Fragmentation()) {
-      if (sched_stop_.load(std::memory_order_relaxed)) break;
-      if (cls.num_blocks < 2) continue;
-      if (cls.Ratio() < config_.fragmentation_threshold) continue;
-      ++stat_shard(-1).compaction_bg_runs;
-      // kNotSupported (non-compactable class) and kTimeout (stalled
-      // collector) are expected here; anything else is surfaced by the
-      // stats the run already recorded.
-      (void)Compact(cls.class_idx);
+    if (sched_compact_.load(std::memory_order_relaxed)) {
+      for (const auto& cls : Fragmentation()) {
+        if (sched_stop_.load(std::memory_order_relaxed)) break;
+        if (cls.num_blocks < 2) continue;
+        if (cls.Ratio() < config_.fragmentation_threshold) continue;
+        ++stat_shard(-1).compaction_bg_runs;
+        // kNotSupported (non-compactable class) and kTimeout (stalled
+        // collector) are expected here; anything else is surfaced by the
+        // stats the run already recorded.
+        (void)Compact(cls.class_idx);
+      }
+    }
+    if (sched_stop_.load(std::memory_order_relaxed)) break;
+    {
+      LockGuard<RankedSpinLock> lock(sched_tasks_mu_);
+      for (auto& [id, task] : sched_tasks_) task();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Replicated-log ingress.
+// ---------------------------------------------------------------------------
+
+Result<CormNode::ReplIngressCoords> CormNode::CreateReplIngress(
+    uint32_t slots, uint32_t slot_bytes) {
+  auto ring = rdma::ReplLogRing::Create(space_.get(), rnic_.get(), slots,
+                                        slot_bytes);
+  CORM_RETURN_NOT_OK(ring.status());
+  ReplIngressCoords coords;
+  coords.base = ring->base();
+  coords.r_key = ring->r_key();
+  coords.slots = ring->slots();
+  coords.slot_bytes = ring->slot_bytes();
+  {
+    LockGuard<RankedSpinLock> lock(repl_ingress_mu_);
+    const size_t idx = repl_ingress_count_.load(std::memory_order_relaxed);
+    if (idx >= kMaxReplIngress) {
+      return Status::OutOfMemory("repl ingress registry full");
+    }
+    repl_ingress_[idx] =
+        std::make_unique<rdma::ReplLogRing>(std::move(*ring));
+    coords.id = static_cast<int>(idx);
+    // Publish: workers scan [0, count) lock-free, so the slot must be
+    // written before the count release-store makes it visible.
+    repl_ingress_count_.store(idx + 1, std::memory_order_release);
+  }
+  return coords;
 }
 
 Result<uint32_t> CormNode::ClassForPayload(uint32_t payload_size) const {
@@ -158,6 +242,18 @@ NodeStats CormNode::stats() const {
     out.compaction_bytes_copied += s.compaction_bytes_copied.Load();
     out.compaction_timeouts += s.compaction_timeouts.Load();
     out.compaction_bg_runs += s.compaction_bg_runs.Load();
+    out.repl_ship_records += s.repl_ship_records.Load();
+    out.repl_acked_writes += s.repl_acked_writes.Load();
+    out.repl_degraded_writes += s.repl_degraded_writes.Load();
+    out.repl_quorum_timeouts += s.repl_quorum_timeouts.Load();
+    out.repl_failovers += s.repl_failovers.Load();
+    out.repl_seals += s.repl_seals.Load();
+    out.repl_stale_reads += s.repl_stale_reads.Load();
+    out.repl_anti_entropy_repairs += s.repl_anti_entropy_repairs.Load();
+    out.repl_applied_records += s.repl_applied_records.Load();
+    out.repl_fenced_records += s.repl_fenced_records.Load();
+    out.repl_apply_dups += s.repl_apply_dups.Load();
+    out.repl_apply_orphans += s.repl_apply_orphans.Load();
   });
   return out;
 }

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "alloc/block.h"
@@ -33,6 +34,7 @@
 #include "core/vaddr_tracker.h"
 #include "rdma/rnic.h"
 #include "rdma/rpc_transport.h"
+#include "rdma/write_ring.h"
 #include "sim/address_space.h"
 #include "sim/latency_model.h"
 #include "sim/mem_file.h"
@@ -167,6 +169,22 @@ struct NodeStatShard {
   StatCounter dir_cache_misses;
   StatCounter rpc_batches;  // PollBatch calls that returned >= 1 message
   StatCounter rpc_polled;   // messages those batches carried
+  // Replicated-log instrumentation (DESIGN.md §11). Ship-side counters are
+  // incremented from the client thread driving a ReplicatedContext (they
+  // land on the primary node's overflow shard via client_stat_shard());
+  // apply-side counters are incremented by the worker draining the ring.
+  StatCounter repl_ship_records;        // records RDMA-written into rings
+  StatCounter repl_acked_writes;        // writes acked by a full quorum
+  StatCounter repl_degraded_writes;     // writes that skipped a dead replica
+  StatCounter repl_quorum_timeouts;     // writes whose quorum never formed
+  StatCounter repl_failovers;           // primary failovers executed
+  StatCounter repl_seals;               // epoch seals shipped by failover
+  StatCounter repl_stale_reads;         // replica copies rejected on read
+  StatCounter repl_anti_entropy_repairs;  // objects the sweep re-replicated
+  StatCounter repl_applied_records;     // records durably applied
+  StatCounter repl_fenced_records;      // stale-epoch records rejected
+  StatCounter repl_apply_dups;          // duplicate/old-version records
+  StatCounter repl_apply_orphans;       // records whose object is gone
 };
 
 // Aggregated snapshot of the sharded counters (CormNode::stats()). A read
@@ -198,6 +216,18 @@ struct NodeStats {
   uint64_t dir_cache_misses = 0;
   uint64_t rpc_batches = 0;
   uint64_t rpc_polled = 0;
+  uint64_t repl_ship_records = 0;
+  uint64_t repl_acked_writes = 0;
+  uint64_t repl_degraded_writes = 0;
+  uint64_t repl_quorum_timeouts = 0;
+  uint64_t repl_failovers = 0;
+  uint64_t repl_seals = 0;
+  uint64_t repl_stale_reads = 0;
+  uint64_t repl_anti_entropy_repairs = 0;
+  uint64_t repl_applied_records = 0;
+  uint64_t repl_fenced_records = 0;
+  uint64_t repl_apply_dups = 0;
+  uint64_t repl_apply_orphans = 0;
 };
 
 // Result of one compaction run.
@@ -315,6 +345,37 @@ class CormNode {
   void StartBackgroundCompaction();
   void StopBackgroundCompaction();
 
+  // --- Background task registry (DESIGN.md §11). -------------------------
+  // Registers `task` with the duty-cycled scheduler thread: it runs once
+  // per tick while the node is serving (the same gate the compaction pass
+  // uses). Returns a handle for UnregisterBackgroundTask, which blocks
+  // until any in-progress tick of the task has finished — after it returns,
+  // the task will never run again and its captures may be destroyed.
+  int RegisterBackgroundTask(std::function<void()> task);
+  void UnregisterBackgroundTask(int id);
+
+  // --- Replicated-log ingress (DESIGN.md §11). ---------------------------
+  // Remote-access coordinates of one ingress ring, handed to the primary's
+  // ReplicaLogShipper at session setup.
+  struct ReplIngressCoords {
+    int id = 0;
+    sim::VAddr base = 0;
+    rdma::RKey r_key = 0;
+    uint32_t slots = 0;
+    uint32_t slot_bytes = 0;
+  };
+  // Creates a sequenced ingress ring in this node's registered memory.
+  // Ring `id` is drained (and its records applied in sequence order) by
+  // worker `id % num_workers` between RPC batches. Rings live until node
+  // teardown — like RPC rings, they are connection state, not data.
+  Result<ReplIngressCoords> CreateReplIngress(uint32_t slots,
+                                              uint32_t slot_bytes);
+
+  // Stat shard for non-worker threads (clients, control plane): the
+  // replication layer attributes its ship-side counters to the primary
+  // node through this.
+  NodeStatShard& client_stat_shard() { return stat_shard(-1); }
+
  private:
   friend class Worker;
   friend class CompactionEngine;
@@ -395,13 +456,36 @@ class CormNode {
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
 
-  // Background compaction scheduler (DESIGN.md §9): a duty-cycled thread
-  // that polls Fragmentation() and feeds over-threshold classes to the
-  // engine. Guarded by sched_running_ so Start/Stop are idempotent.
-  void BackgroundCompactionLoop();
+  // Replicated-log ingress registry. Fixed capacity, pre-sized at
+  // construction: workers scan [0, repl_ingress_count_) lock-free between
+  // RPC batches, so the vector must never reallocate. Appends serialize on
+  // repl_ingress_mu_ and publish by release-storing the new count.
+  // Declared after rnic_/space_ (rings deregister through both on
+  // destruction, so they must be destroyed first).
+  static constexpr size_t kMaxReplIngress = 512;
+  RankedSpinLock repl_ingress_mu_{LockRank::kReplIngress};
+  std::vector<std::unique_ptr<rdma::ReplLogRing>> repl_ingress_;
+  std::atomic<size_t> repl_ingress_count_{0};
+
+  // Background scheduler (DESIGN.md §9, generalized in §11): one
+  // duty-cycled thread that runs the compaction pass (when
+  // sched_compact_ is set) and every registered background task per tick.
+  // The thread exists while either client needs it; sched_running_ guards
+  // Start/Stop idempotence.
+  void BackgroundSchedulerLoop();
+  void EnsureSchedulerThread();
+  void StopSchedulerThreadIfIdle();
   std::thread sched_thread_;
   std::atomic<bool> sched_stop_{false};
   bool sched_running_ = false;
+  std::atomic<bool> sched_compact_{false};
+  // Outermost-ranked: tasks run while it is held (that is what gives
+  // UnregisterBackgroundTask its blocks-until-done guarantee) and may take
+  // any CoRM lock underneath.
+  RankedSpinLock sched_tasks_mu_{LockRank::kScheduler};
+  std::vector<std::pair<int, std::function<void()>>> sched_tasks_
+      GUARDED_BY(sched_tasks_mu_);
+  int sched_task_next_id_ GUARDED_BY(sched_tasks_mu_) = 0;
 };
 
 }  // namespace corm::core

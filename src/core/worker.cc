@@ -90,6 +90,11 @@ void Worker::Run() {
         }
         served_rpc = true;
       }
+      // Replicated-log ingress (DESIGN.md §11): apply in-sequence records
+      // after the RPC batch, behind the same serving gate — a paused
+      // (crashed) node stops applying, and its ring records wait in the
+      // registered memory until restart.
+      if (DrainReplIngress() > 0) served_rpc = true;
     }
     // One compaction slice per loop iteration, strictly *after* the RPC
     // batch: an active run cannot starve the data plane (the point of the
@@ -636,6 +641,138 @@ void Worker::HandleWrite(rdma::RpcMessage* rpc) {
   resp.addr = CorrectedAddr(req.addr, *resolved, block->slot_size());
   EncodeResponse(resp, &rpc->response);
   Complete(rpc, Status::OK());
+}
+
+// ---------------------------------------------------------------------------
+// Replicated-log apply path (DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+size_t Worker::DrainReplIngress() {
+  const size_t n =
+      node_->repl_ingress_count_.load(std::memory_order_acquire);
+  if (n == 0) return 0;
+  size_t applied = 0;
+  const size_t nw = static_cast<size_t>(node_->num_workers());
+  for (size_t i = static_cast<size_t>(id_); i < n; i += nw) {
+    rdma::ReplLogRing* ring = node_->repl_ingress_[i].get();
+    for (int b = 0; b < kReplApplyBatch; ++b) {
+      rdma::ReplRecordHeader hdr;
+      if (!ring->NextRecord(&hdr, &repl_record_buf_)) break;
+      if (!ApplyReplRecord(hdr, repl_record_buf_)) break;
+      // Advance only after the record is durably applied (or provably
+      // inapplicable): a crash between apply and Advance re-applies on
+      // restart, which the version check makes idempotent.
+      ring->Advance();
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+bool Worker::ApplyReplRecord(const rdma::ReplRecordHeader& hdr,
+                             const Buffer& payload) {
+  GlobalAddr addr;
+  static_assert(sizeof(addr) == sizeof(hdr.addr),
+                "record address field carries a full GlobalAddr");
+  std::memcpy(&addr, hdr.addr, sizeof(addr));
+
+  auto resolved = ResolveObject(addr);
+  if (!resolved.ok()) {
+    // The object was freed (or never landed): records may outlive objects,
+    // so drop it and advance rather than wedging the ring.
+    ++stats_.repl_apply_orphans;
+    return true;
+  }
+  alloc::Block* block = resolved->block;
+  const ConsistencyMode mode = node_->config().consistency;
+  const uint32_t cap = PayloadCapacity(block->slot_size(), mode);
+  if (hdr.kind == rdma::kReplRecordData &&
+      (payload.size() < sizeof(rdma::ReplObjectHeader) ||
+       payload.size() > cap)) {
+    ++stats_.repl_apply_orphans;  // image cannot fit this object
+    return true;
+  }
+  uint8_t* ptr = SlotPtr(resolved->base, block, resolved->slot);
+
+  // Acquire the object seqlock — HandleWrite's discipline, but with a short
+  // contention bound: a locked or kCompacting object defers the record (it
+  // stays at the ring head for the next drain pass) instead of spinning,
+  // because this worker must get back to its RPC ring. This deferral is the
+  // whole replication/compaction hand-off: while compaction holds the slot,
+  // the log simply waits.
+  uint64_t w = LoadHeaderWord(ptr);
+  for (int attempt = 0;; ++attempt) {
+    ObjectHeader h = ObjectHeader::Unpack(w);
+    if (h.lock == LockState::kCompacting) return false;
+    if (h.lock == LockState::kTombstone || h.obj_id != addr.obj_id) {
+      ++stats_.repl_apply_orphans;
+      return true;
+    }
+    if (h.lock == LockState::kWriteLocked) {
+      if (attempt > 64) return false;
+      CpuRelax();
+      w = LoadHeaderWord(ptr);
+      continue;
+    }
+    ObjectHeader locked = h;
+    locked.lock = LockState::kWriteLocked;
+    if (!CasHeaderWord(ptr, w, locked.Pack())) continue;  // reloaded w
+
+    // Locked. Read the stored replica-image header and decide.
+    rdma::ReplObjectHeader stored;
+    ReadPayload(ptr, block->slot_size(),
+                reinterpret_cast<uint8_t*>(&stored), sizeof(stored), mode);
+    const uint8_t* img = nullptr;  // full image to install, when applying
+    size_t img_len = 0;
+    if (hdr.kind == rdma::kReplRecordSeal) {
+      if (hdr.epoch > stored.epoch &&
+          sizeof(stored) + stored.len <= cap) {
+        // Seal: rewrite the stored image verbatim with only the epoch
+        // bumped. The object crc excludes the epoch by design, so the
+        // image stays self-consistent without recomputing payload sums.
+        const size_t full = sizeof(stored) + stored.len;
+        repl_seal_scratch_.resize(full);  // NOLINT(corm-hotpath-alloc) high-water only
+        ReadPayload(ptr, block->slot_size(), repl_seal_scratch_.data(),
+                    full, mode);
+        stored.epoch = hdr.epoch;
+        std::memcpy(repl_seal_scratch_.data(), &stored, sizeof(stored));
+        img = repl_seal_scratch_.data();
+        img_len = full;
+      } else {
+        ++stats_.repl_apply_dups;  // already sealed to this epoch or newer
+      }
+    } else {
+      rdma::ReplObjectHeader rec;
+      std::memcpy(&rec, payload.data(), sizeof(rec));
+      if (hdr.epoch < stored.epoch) {
+        // Epoch fence: a record shipped before a failover sealed its epoch
+        // must never overwrite post-seal state (fault site repl.seal_race
+        // proves this path).
+        ++stats_.repl_fenced_records;
+      } else if (rec.version <= stored.version) {
+        ++stats_.repl_apply_dups;  // retransmit or reordered older write
+      } else {
+        img = payload.data();
+        img_len = payload.size();
+      }
+    }
+
+    if (img == nullptr) {
+      StoreHeaderWord(ptr, w);  // release the lock, nothing changed
+      return true;
+    }
+    ObjectHeader next = locked;
+    next.version = NextVersion(h.version);
+    next.lock = LockState::kFree;
+    if constexpr (kAuditEnabled) {
+      CORM_CHECK(VersionMonotonic(h.version, next.version));
+    }
+    WritePayload(ptr, block->slot_size(), next.version, img, img_len, mode);
+    sim::Pace(node_->latency_model().WriteLockHoldNs(img_len));
+    StoreHeaderWord(ptr, next.Pack());
+    ++stats_.repl_applied_records;
+    return true;
+  }
 }
 
 // ---------------------------------------------------------------------------

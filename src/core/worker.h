@@ -151,6 +151,20 @@ class Worker {
   void HandleWrite(rdma::RpcMessage* rpc);
   void HandleReleasePtr(rdma::RpcMessage* rpc);
 
+  // --- Replicated-log apply path (DESIGN.md §11). ------------------------
+  // Drains up to kReplApplyBatch in-sequence records from every ingress
+  // ring this worker owns (ring id % num_workers == id_). Returns the
+  // number of records durably applied.
+  size_t DrainReplIngress();
+  // Applies one record through the object seqlock (same lock discipline as
+  // HandleWrite). Returns true when the ring may advance past the record —
+  // applied, duplicate, epoch-fenced, or orphaned — and false when the
+  // object is transiently unavailable (write-locked or kCompacting): the
+  // record stays at the ring head and is retried on a later drain, which
+  // is the replication/compaction hand-off.
+  bool ApplyReplRecord(const rdma::ReplRecordHeader& hdr,
+                       const Buffer& payload);
+
   // --- Shared helpers. ----------------------------------------------------
   // Locates the object referenced by `addr`: optimistic hinted-offset check
   // first, then the configured correction strategy. Never blocks on locked
@@ -208,6 +222,9 @@ class Worker {
   // Largest batch a worker drains from its RPC ring per queue
   // synchronization (CormConfig::poll_batch is clamped to this).
   static constexpr size_t kMaxPollBatch = 64;
+  // Records applied per ingress ring per drain pass: bounds how long the
+  // apply path keeps the worker away from its RPC ring.
+  static constexpr int kReplApplyBatch = 16;
   // Random ID draws before DrawObjectId falls back to scanning.
   static constexpr int kIdRandomDraws = 32;
   // Dry polls an idle worker yields through before parking in short sleeps.
@@ -236,6 +253,10 @@ class Worker {
   // Reusable read-payload staging buffer (capacity persists across ops, so
   // the steady-state read path performs no heap allocation).
   Buffer read_scratch_;
+  // Replicated-log apply staging: the record snapshot pulled from the ring
+  // and the stored-image scratch the seal path rewrites. High-water sized.
+  Buffer repl_record_buf_;
+  Buffer repl_seal_scratch_;
   std::vector<DirCacheSlot> dir_cache_;
   // Leader-side compaction state machine (compaction_engine.h), stepped
   // one budgeted slice at a time from Run(); present on every worker but

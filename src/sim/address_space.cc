@@ -141,14 +141,17 @@ Result<FrameId> AddressSpace::TranslatePage(VAddr addr) const {
 }
 
 uint8_t* AddressSpace::TranslatePtr(VAddr addr) const {
-  FrameId frame;
-  {
-    LockGuard<Mutex> lock(mu_);
-    auto it = page_table_.find(PageBase(addr));
-    if (it == page_table_.end()) return nullptr;
-    frame = it->second;
-  }
-  return phys_->FrameData(frame) + PageOffset(addr);
+  // The page-table lock is held across the frame dereference: Remap/Unmap
+  // drop their frame references under the same lock, so a frame resolved
+  // here cannot die before FrameData returns. (Without this, a translate
+  // racing a compaction remap could look up a frame id, lose the CPU, and
+  // call FrameData on a frame whose last reference was just dropped —
+  // the replicated-log applier retries kCompacting objects persistently
+  // and hits that window reliably.)
+  LockGuard<Mutex> lock(mu_);
+  auto it = page_table_.find(PageBase(addr));
+  if (it == page_table_.end()) return nullptr;
+  return phys_->FrameData(it->second) + PageOffset(addr);
 }
 
 Status AddressSpace::ReadVirtual(VAddr addr, void* out, size_t size) const {

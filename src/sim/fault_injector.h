@@ -41,6 +41,14 @@ inline constexpr const char* kNodeCrash = "node.crash";
 // the stall into kTimeout instead of spinning forever.
 inline constexpr const char* kCompactionCollectStall =
     "compaction.collect_stall";
+// Replicated-log sites (DESIGN.md §11). A dropped ship is a log record that
+// never reaches a replica's ingress ring (the shipper's retransmit path
+// must fill the sequence gap); an ack delay stalls the one-sided high-water
+// read; a seal race ships a stale-epoch record *after* a failover sealed
+// the old epoch (the applier's epoch fence must reject it).
+inline constexpr const char* kReplShipDrop = "repl.ship_drop";
+inline constexpr const char* kReplAckDelay = "repl.ack_delay";
+inline constexpr const char* kReplSealRace = "repl.seal_race";
 }  // namespace fault_sites
 
 // When a site fires. All three triggers compose (any match fires).

@@ -294,6 +294,12 @@ TEST(ChaosTest, SeededFaultScheduleKeepsClusterConsistent) {
   arm(sim::fault_sites::kQpBreak, 0.004);
   arm(sim::fault_sites::kTornWrite, 0.01, 3000);
   arm(sim::fault_sites::kNodeCrash, 0.08);
+  // Replicated-log sites (DESIGN.md §11): lost ship records (retransmit
+  // must fill the sequence gap), stalled high-water reads, and stale-epoch
+  // stragglers racing a failover seal (the epoch fence must reject them).
+  arm(sim::fault_sites::kReplShipDrop, 0.02);
+  arm(sim::fault_sites::kReplAckDelay, 0.02, 4000);
+  arm(sim::fault_sites::kReplSealRace, 0.2);
 
   ClusterConfig cfg;
   cfg.num_nodes = 3;
@@ -420,6 +426,163 @@ TEST(ChaosTest, SeededFaultScheduleKeepsClusterConsistent) {
       static_cast<unsigned long long>(cluster.failure_detector()->deaths()),
       static_cast<unsigned long long>(
           cluster.failure_detector()->revivals()));
+}
+
+// --- Zero lost acknowledged writes under replica and primary kills. --------
+// The tentpole invariant, tested head-on: keys are initialized on a clean
+// cluster, then a driver thread crash/restarts nodes — including each key's
+// primary, mid-ship — while a writer hammers every key through the
+// replicated log. Every write that returned OK must remain readable (the
+// acked value or a newer accepted one) after the cluster heals; a failover
+// during the storm must never surface the pre-failover value of an acked
+// write.
+TEST(ChaosTest, ReplicaAndPrimaryKillsLoseNoAckedWrites) {
+  uint64_t seed = 0x5EA15EED;
+  if (const char* env = std::getenv("CORM_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 0) ^ 0x5EA1;
+  }
+  SCOPED_TRACE("derived seed=" + std::to_string(seed));
+
+  sim::FaultInjector injector(seed);
+  auto arm = [&](const char* site, double p, uint64_t delay_ns = 0) {
+    sim::FaultSchedule s;
+    s.probability = p;
+    s.delay_ns = delay_ns;
+    injector.Arm(site, s);
+  };
+  arm(sim::fault_sites::kReplShipDrop, 0.03);
+  arm(sim::fault_sites::kReplAckDelay, 0.03, 4000);
+  arm(sim::fault_sites::kReplSealRace, 0.5);
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.node_config.num_workers = 2;
+  cfg.node_config.seed = seed;
+  Cluster cluster(cfg);
+
+  constexpr uint64_t kKeys = 8;
+#ifdef CORM_TSAN_ENABLED
+  constexpr int kOps = 250;
+#else
+  constexpr int kOps = 900;
+#endif
+
+  dsm::ReplicatedContext ctx(&cluster, /*replication_factor=*/2,
+                             ChaosClientOptions());
+  std::vector<KeyState> keys(kKeys);
+  std::vector<uint8_t> buf(kObjectSize), out(kObjectSize);
+  std::vector<std::string> hard_errors;
+  uint64_t seq = 0;
+
+  // Initialize every key on the quiet cluster so the storm below never has
+  // to reason about half-initialized replicas.
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    auto addr = ctx.Alloc(kObjectSize);
+    ASSERT_TRUE(addr.ok()) << addr.status().ToString();
+    keys[key].addr = *addr;
+    const uint64_t pid = PatternId(0, key, ++seq);
+    core::PatternFill(pid, buf.data(), kObjectSize);
+    ASSERT_TRUE(ctx.Write(&keys[key].addr, buf.data(), kObjectSize).ok());
+    ASSERT_EQ(ctx.degraded_writes(), 0u);
+    keys[key].live = true;
+    keys[key].committed = pid;
+  }
+
+  uint64_t acked = 0, uncertain_writes = 0;
+  {
+    sim::ScopedFaultInjector install(&injector);
+
+    // Driver: seeded crash/restart cycles with heartbeats, so the failure
+    // detector declares real deaths (driving degrade + failover paths)
+    // while some kills stay undetected long enough to land mid-ship.
+    std::atomic<bool> stop{false};
+    std::thread driver([&] {
+      Rng rng(seed ^ 0xD21CEULL);
+      int crashed = -1;
+      int restart_in = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        cluster.Heartbeat();
+        if (crashed < 0) {
+          crashed = static_cast<int>(rng.Uniform(cfg.num_nodes));
+          cluster.CrashNode(crashed);
+          restart_in = 2 + static_cast<int>(rng.Uniform(4));
+        } else if (--restart_in <= 0) {
+          cluster.RestartNode(crashed);
+          crashed = -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (crashed >= 0) cluster.RestartNode(crashed);
+    });
+
+    Rng rng(seed);
+    for (int i = 0; i < kOps; ++i) {
+      KeyState& k = keys[rng.Uniform(kKeys)];
+      const uint64_t pid = PatternId(0, rng.Uniform(kKeys), ++seq);
+      core::PatternFill(pid, buf.data(), kObjectSize);
+      const uint64_t degraded_before = ctx.degraded_writes();
+      Status st = ctx.Write(&k.addr, buf.data(), kObjectSize);
+      if (st.ok()) {
+        ++acked;
+        if (ctx.degraded_writes() != degraded_before) {
+          k.uncertain.push_back(k.committed);
+        }
+        k.committed = pid;
+      } else if (Transient(st)) {
+        ++uncertain_writes;
+        k.uncertain.push_back(pid);
+      } else {
+        hard_errors.push_back("write: " + st.ToString());
+      }
+      // Interleave repair so a degraded key regains full redundancy before
+      // its primary is the next to die.
+      if (i % 32 == 31) ctx.RunAntiEntropySweep(4);
+    }
+
+    stop.store(true, std::memory_order_release);
+    driver.join();
+  }
+
+  // Heal: every node must come back, then repair any remaining degraded
+  // replicas on the clean fabric.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 4; ++i) cluster.Heartbeat();
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    ASSERT_EQ(cluster.failure_detector()->health(n), NodeHealth::kAlive)
+        << "node " << n << " did not recover";
+  }
+  while (ctx.pending_repairs() > 0) ctx.RunAntiEntropySweep(8);
+
+  for (const auto& err : hard_errors) ADD_FAILURE() << err;
+
+  // The invariant: every key serves its last acked write (or a newer
+  // accepted value) — nothing acked was lost to any kill, including
+  // primary kills that forced epoch-fenced failovers.
+  uint64_t lost = 0;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    KeyState& k = keys[key];
+    Status st = ctx.Read(&k.addr, out.data(), kObjectSize);
+    ASSERT_TRUE(st.ok()) << "key " << key << ": " << st.ToString();
+    if (!Matches(k, out.data())) {
+      ++lost;
+      ADD_FAILURE() << "key " << key << " lost its acked write";
+    }
+    EXPECT_TRUE(ctx.Free(&k.addr).ok());
+  }
+  EXPECT_EQ(lost, 0u);
+  EXPECT_GT(acked, 0u);
+
+  std::printf(
+      "repl-chaos: seed=%#llx acked=%llu uncertain=%llu failovers=%llu "
+      "seals=%llu degraded=%llu quorum_timeouts=%llu repairs=%llu\n",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(uncertain_writes),
+      static_cast<unsigned long long>(ctx.failovers()),
+      static_cast<unsigned long long>(ctx.seals()),
+      static_cast<unsigned long long>(ctx.degraded_writes()),
+      static_cast<unsigned long long>(ctx.quorum_timeouts()),
+      static_cast<unsigned long long>(ctx.anti_entropy_repairs()));
 }
 
 }  // namespace

@@ -185,11 +185,23 @@ TEST(ReplicationTest, WritesDegradeWhenBackupDies) {
   // Data durable on the primary.
   ASSERT_TRUE(rctx.Read(&*addr, out.data(), 100).ok());
   EXPECT_EQ(in, out);
-  // A dead *primary* makes writes fail loudly instead.
+  // Revive the backup and let anti-entropy re-replicate the degraded
+  // write onto it (the primary holds the only durable copy until then —
+  // failing over before the repair would correctly refuse, since promoting
+  // the version-0 backup would lose the acked write).
   cluster.ReviveNode(backup);
+  rctx.RunAntiEntropySweep(8);
+  EXPECT_GE(rctx.anti_entropy_repairs(), 1u);
+  // A dead *primary* now triggers an epoch-fenced failover: the repaired
+  // backup is promoted and the write proceeds under the new epoch
+  // (DESIGN.md §11).
   cluster.KillNode(NodeOf(addr->primary()));
-  EXPECT_EQ(rctx.Write(&*addr, in.data(), 100).code(),
-            StatusCode::kNetworkError);
+  PatternFill(7, in.data(), 100);
+  ASSERT_TRUE(rctx.Write(&*addr, in.data(), 100).ok());
+  EXPECT_GE(rctx.failovers(), 1u);
+  EXPECT_EQ(addr->epoch, 2u);
+  ASSERT_TRUE(rctx.Read(&*addr, out.data(), 100).ok());
+  EXPECT_EQ(in, out);
 }
 
 TEST(ReplicationTest, ReplicasSurviveCompactionOnEveryNode) {
@@ -205,9 +217,11 @@ TEST(ReplicationTest, ReplicasSurviveCompactionOnEveryNode) {
     PatternFill(i, buf.data(), 56);
     ASSERT_TRUE(rctx.Write(&*addr, buf.data(), 56).ok());
     objects.push_back(*addr);
-    // Interleave chaff that gets freed to create fragmentation.
+    // Interleave chaff that gets freed to create fragmentation. Replica
+    // images carry a 24-byte ReplObjectHeader, so the chaff must match the
+    // *image* size to land in the same size class as the replicas.
     for (int c = 0; c < 6; ++c) {
-      auto extra = filler.Alloc(56);
+      auto extra = filler.Alloc(56 + sizeof(rdma::ReplObjectHeader));
       ASSERT_TRUE(extra.ok());
       chaff.push_back(*extra);
     }

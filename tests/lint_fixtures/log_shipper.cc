@@ -1,0 +1,31 @@
+// Rule-8 strict-mode fixture for the replicated-log ship path. The file
+// NAME is the trigger: corm-tidy treats any path containing log_shipper.cc
+// (or replication.cc) as strict, overriding the src/rdma/ wait exemption —
+// a blocked shipper stalls every replicated write behind it, so waits must
+// be Deadline-bounded, sleeps are banned, stop flags do not count, and
+// NOLINT is not honored.
+// EXPECT-LINE 18: corm-unbounded-wait
+// EXPECT-LINE 23: corm-unbounded-wait
+// EXPECT-LINE 24: corm-unbounded-wait
+// EXPECT-LINE 30: corm-unbounded-wait
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+void AwaitAppliedForever(std::atomic<unsigned long>& applied,
+                         unsigned long seq) {
+  std::atomic<bool> stop_requested{false};  // stop flags don't bound strict
+  while (applied.load() < seq && !stop_requested.load()) {  // fires: strict
+  }
+}
+
+void AwaitAckSuppressed(std::atomic<bool>& acked) {
+  // Attempted escape; strict mode flags the marker itself. NOLINT(corm-unbounded-wait)
+  while (!acked.load()) {
+  }
+}
+
+void ShipBackoff() {
+  // A sleeping shipper holds the write's quorum deadline hostage.
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}

@@ -53,7 +53,7 @@ const std::vector<CheckInfo>& CheckCatalog() {
       {kCheckUnboundedWait,
        "loops polling a std::atomic with no Deadline or stop-flag bound; "
        "absolute ban (incl. sleeps and escapes) in compaction_engine.cc "
-       "(rules 5+8)"},
+       "and the replicated-log ship path (rules 5+8)"},
       {kCheckEscapeRationale,
        "every NOLINT(corm-*) / NO_THREAD_SAFETY_ANALYSIS escape must carry "
        "a written rationale on the same or preceding line (rule 6)"},

@@ -183,14 +183,14 @@ void CheckHotpathAlloc(const SourceFile& f, DiagSink* sink) {
 }
 
 void CheckUnboundedWait(const SourceFile& f, DiagSink* sink) {
-  const bool strict = IsCompactionEnginePath(f.path());
+  const bool strict = IsStrictWaitPath(f.path());
   if (!strict && IsWaitExemptPath(f.path())) return;
   const auto& toks = f.tokens();
 
   auto report = [&](const std::string& check, int line, int col,
                     std::string msg) {
     if (strict) {
-      // Rule 8: no escape hatch inside the compaction engine — diagnostics
+      // Rule 8: no escape hatch inside the strict-wait files — diagnostics
       // bypass the NOLINT window entirely.
       sink->diags->push_back({f.path(), line, col, check, std::move(msg)});
     } else {
@@ -201,8 +201,9 @@ void CheckUnboundedWait(const SourceFile& f, DiagSink* sink) {
   for (size_t i = 0; i < toks.size(); ++i) {
     if (strict && IsIdent(toks[i], "sleep_for")) {
       report(kCheckUnboundedWait, toks[i].line, toks[i].col,
-             "sleep inside a compaction phase handler; poll and re-enter on "
-             "the next slice (rule 8)");
+             "sleep inside a strict-wait file; compaction phase handlers "
+             "and the replication ship path poll and re-enter on the next "
+             "slice (rule 8)");
       continue;
     }
     if (!IsIdent(toks[i], "while")) continue;
@@ -257,9 +258,9 @@ void CheckUnboundedWait(const SourceFile& f, DiagSink* sink) {
     if (bounded) continue;
 
     report(kCheckUnboundedWait, toks[i].line, toks[i].col,
-           strict ? "unbounded atomic wait in a compaction phase handler; "
-                    "poll and re-enter on the next slice, or bound it with "
-                    "a Deadline (rule 8, no NOLINT honored)"
+           strict ? "unbounded atomic wait in a strict-wait file; poll and "
+                    "re-enter on the next slice, or bound it with a "
+                    "Deadline (rule 8, no NOLINT honored)"
                   : "unbounded spin-wait on an atomic; bound it with a "
                     "Deadline (common/retry.h) so a dead peer converts to "
                     "kTimeout instead of a hang");
@@ -273,8 +274,9 @@ void CheckUnboundedWait(const SourceFile& f, DiagSink* sink) {
       if (ids.count("corm-spin-wait") || ids.count(kCheckUnboundedWait)) {
         sink->diags->push_back(
             {f.path(), line, 1, kCheckUnboundedWait,
-             "spin-wait NOLINT marker inside compaction_engine.cc; rule 8 "
-             "grants no escape here — remove the wait instead"});
+             "spin-wait NOLINT marker inside a strict-wait file "
+             "(compaction_engine.cc, log_shipper.cc, replication.cc); rule "
+             "8 grants no escape here — remove the wait instead"});
       }
     }
   }
@@ -332,8 +334,16 @@ bool IsWaitExemptPath(const std::string& path) {
          path.find("src/rdma/") != std::string::npos;
 }
 
-bool IsCompactionEnginePath(const std::string& path) {
-  return path.find("compaction_engine.cc") != std::string::npos;
+bool IsStrictWaitPath(const std::string& path) {
+  // Rule 8's absolute ban covers the compaction engine and, since the
+  // replicated log landed, the ship path: a blocked shipper stalls every
+  // replicated write behind it, and a blocked applier stalls a whole
+  // ingress ring — both must convert dead peers into kTimeout via
+  // Deadline, never wait unboundedly. Strict mode overrides the src/rdma/
+  // wait exemption for log_shipper.cc.
+  return path.find("compaction_engine.cc") != std::string::npos ||
+         path.find("log_shipper.cc") != std::string::npos ||
+         path.find("replication.cc") != std::string::npos;
 }
 
 bool IsThreadAnnotationsPath(const std::string& path) {
