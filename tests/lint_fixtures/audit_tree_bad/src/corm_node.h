@@ -1,0 +1,19 @@
+// Mini node stats for the failing --audit fixture tree: rpc_writes has no
+// snapshot mirror.
+#pragma once
+
+#include <cstdint>
+
+struct StatCounter {
+  void Add(uint64_t d);
+  uint64_t Load() const;
+};
+
+struct NodeStatShard {
+  StatCounter rpc_reads;
+  StatCounter rpc_writes;
+};
+
+struct NodeStats {
+  uint64_t rpc_reads = 0;
+};

@@ -1,0 +1,9 @@
+// Mini test for the failing --audit fixture tree: qp.break is exercised by
+// nothing.
+#include "../src/fault_injector.h"
+
+void Arm(const char* site);
+
+void ExerciseSome() {
+  Arm(fault_sites::kRpcDelay);
+}

@@ -1,0 +1,7 @@
+// Mini fault injector for the --audit fixture tree.
+#pragma once
+
+namespace fault_sites {
+inline constexpr const char* kRpcDelay = "rpc.delay";
+inline constexpr const char* kQpBreak = "qp.break";
+}  // namespace fault_sites

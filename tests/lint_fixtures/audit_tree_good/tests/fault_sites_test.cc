@@ -1,0 +1,10 @@
+// Mini test for the --audit fixture tree: exercises every fault site, one
+// by constant name and one by its literal site string.
+#include "../src/fault_injector.h"
+
+void Arm(const char* site);
+
+void ExerciseAll() {
+  Arm(fault_sites::kRpcDelay);
+  Arm("qp.break");
+}

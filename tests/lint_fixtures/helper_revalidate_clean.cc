@@ -1,0 +1,37 @@
+// corm-remap-hazard clean control for the interprocedural *revalidation*
+// widening: `StillCurrent` carries no Validate/epoch spelling at the call
+// site, but its body reads the directory epoch, so the summary marks it
+// pins-or-validates and the call clears standing hazards. This is the
+// false-positive the per-function pass would emit; v2 stays silent.
+// (Deliberately not interproc_-prefixed: under --no-interproc this fixture
+// WOULD fire — the summary is what makes it clean.)
+struct Block {
+  char* base;
+};
+
+struct Entry {
+  Block* block;
+};
+
+struct Directory {
+  Entry* Lookup(unsigned long addr);
+  unsigned long epoch() const;
+};
+
+struct CompactionEngine {
+  void Step();
+};
+
+bool StillCurrent(Directory& dir, unsigned long e0) {
+  return dir.epoch() == e0;
+}
+
+char ReadWithHelperCheck(Directory& dir, CompactionEngine& engine,
+                         unsigned long addr) {
+  unsigned long e0 = dir.epoch();
+  Entry* e = dir.Lookup(addr);
+  Block* b = e->block;
+  engine.Step();
+  if (!StillCurrent(dir, e0)) return 0;
+  return b->base[0];
+}

@@ -1,0 +1,32 @@
+// corm-lock-rank interprocedural fixture: no inversion is visible inside
+// any single function — the caller holds kNodeDirectory (300) and the
+// helper acquires kThreadAllocator (200). Only the propagated may-acquire
+// summary exposes the latent deadlock; --no-interproc must stay silent
+// (asserted by the fixture runner).
+enum class LockRank {
+  kThreadAllocator = 200,
+  kNodeDirectory = 300,
+};
+
+struct RankedSpinLock {
+  explicit RankedSpinLock(LockRank rank);
+};
+
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+
+struct Pool {
+  RankedSpinLock alloc_mu_{LockRank::kThreadAllocator};
+  RankedSpinLock dir_mu_{LockRank::kNodeDirectory};
+};
+
+void RefillFreeList(Pool& p) {
+  LockGuard<RankedSpinLock> g(p.alloc_mu_);
+}
+
+void PublishBlock(Pool& p) {
+  LockGuard<RankedSpinLock> g(p.dir_mu_);
+  RefillFreeList(p);  // EXPECT: corm-lock-rank
+}

@@ -1,0 +1,32 @@
+// corm-remap-hazard interprocedural fixture: the *taint source* hides one
+// call away. `FindEntryForAddr` is not a lookup-root name, but it returns
+// `dir.Lookup(...)` directly, so the v2 summary marks it
+// returns-lookup-tainted-pointer and the assignment taints `e`. The remap
+// point itself (`Step`) is a plain root; only the taint is interprocedural,
+// so --no-interproc stays silent (asserted by the runner).
+struct Block {
+  char* base;
+};
+
+struct Entry {
+  Block* block;
+};
+
+struct Directory {
+  Entry* Lookup(unsigned long addr);
+};
+
+struct CompactionEngine {
+  void Step();
+};
+
+Entry* FindEntryForAddr(Directory& dir, unsigned long addr) {
+  return dir.Lookup(addr);
+}
+
+char ReadViaHelper(Directory& dir, CompactionEngine& engine,
+                   unsigned long addr) {
+  Entry* e = FindEntryForAddr(dir, addr);
+  engine.Step();
+  return e->block->base[0];  // EXPECT: corm-remap-hazard
+}

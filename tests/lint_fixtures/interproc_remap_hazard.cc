@@ -1,0 +1,33 @@
+// corm-remap-hazard interprocedural fixture (DESIGN.md section 10): the
+// remap point hides one call away. `MaybeCompact` is not a remap-root name,
+// but its body calls `engine.Step()`, so the v2 call-graph summary marks it
+// may-advance-remap and the call site poisons the held pointer. The PR-6
+// per-function pass provably misses this shape — the fixture runner re-lints
+// every interproc_* fixture under --no-interproc and asserts silence.
+struct Block {
+  char* base;
+};
+
+struct Entry {
+  Block* block;
+};
+
+struct Directory {
+  Entry* Lookup(unsigned long addr);
+};
+
+struct CompactionEngine {
+  void Step();
+};
+
+void MaybeCompact(CompactionEngine& engine) {
+  engine.Step();
+}
+
+char ReadAcrossHelper(Directory& dir, CompactionEngine& engine,
+                      unsigned long addr) {
+  Entry* e = dir.Lookup(addr);
+  Block* b = e->block;
+  MaybeCompact(engine);
+  return b->base[0];  // EXPECT: corm-remap-hazard
+}

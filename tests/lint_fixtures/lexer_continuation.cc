@@ -1,0 +1,30 @@
+// Lexer fixture: backslash continuations keep multi-line preprocessor
+// directives out of the token stream, literal prefixes keep strings as
+// strings, and C++14 digit separators keep one number one token. Each
+// construct below turns into a spurious corm-raw-new — or swallows the
+// real one at the bottom — if the lexer regresses.
+#include <new>
+
+// The continued line is still part of the directive: its `new` must not
+// lex as code.
+#define MAKE_THING(type, arg) \
+  new type(arg)
+
+// Prefixed raw string: an unrecognized u8R prefix would end the string at
+// the first embedded quote and leak `new int` into the token stream.
+const char* kRawMsg = u8R"(say "new int" without firing)";
+
+// Plain prefixed literals: contents stay opaque.
+const wchar_t* kWideMsg = L"delete nothing";
+const char* kU8Msg = u8"new is just prose here";
+
+// The probe-word idiom from rdma/repl_record.h: splitting at the digit
+// separator would lex the tail as an unterminated char literal and eat the
+// rest of the file.
+unsigned long long Probe() {
+  return 0x12345678'beefaaabULL;
+}
+
+int* StillDetected() {
+  return new int(7);  // EXPECT: corm-raw-new
+}

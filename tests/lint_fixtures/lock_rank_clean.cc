@@ -1,0 +1,47 @@
+// corm-lock-rank fixture: clean control — the sanctioned nesting shapes.
+// Ascending ranks, scope-bounded release before a lower acquisition, and
+// LockRankRegion re-entry at the held rank all stay silent.
+enum class LockRank {
+  kThreadAllocator = 200,
+  kNodeDirectory = 300,
+};
+
+struct RankedSpinLock {
+  explicit RankedSpinLock(LockRank rank);
+};
+
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+
+struct LockRankRegion {
+  explicit LockRankRegion(LockRank rank);
+};
+
+struct State {
+  RankedSpinLock alloc_mu_{LockRank::kThreadAllocator};
+  RankedSpinLock dir_mu_{LockRank::kNodeDirectory};
+};
+
+// Hierarchy order: strictly increasing ranks nest freely.
+void Ascending(State& s) {
+  LockGuard<RankedSpinLock> a(s.alloc_mu_);
+  LockGuard<RankedSpinLock> b(s.dir_mu_);
+}
+
+// The inner guard dies with its scope; the lower rank afterwards is a
+// sequential acquisition, not a nesting.
+void ScopedRelease(State& s) {
+  {
+    LockGuard<RankedSpinLock> a(s.dir_mu_);
+  }
+  LockGuard<RankedSpinLock> b(s.alloc_mu_);
+}
+
+// Regions are reentrant: marking the held rank again is the documented
+// LockRankRegion idiom for code that runs under a caller's lock.
+void ReentrantRegion(State& s) {
+  LockGuard<RankedSpinLock> a(s.dir_mu_);
+  LockRankRegion r(LockRank::kNodeDirectory);
+}

@@ -1,0 +1,42 @@
+// corm-lock-rank fixture: direct (same-function) hierarchy violations.
+// The LockRank values mirror common/lock_rank.h's shape; the check reads
+// whatever enum is in scope, so the fixture carries its own.
+enum class LockRank {
+  kThreadAllocator = 200,
+  kAliasList = 260,
+  kNodeDirectory = 300,
+};
+
+struct RankedSpinLock {
+  explicit RankedSpinLock(LockRank rank);
+};
+
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+
+struct LockRankRegion {
+  explicit LockRankRegion(LockRank rank);
+};
+
+struct State {
+  RankedSpinLock alloc_mu_{LockRank::kThreadAllocator};
+  RankedSpinLock alias_mu_{LockRank::kAliasList};
+  RankedSpinLock dir_mu_{LockRank::kNodeDirectory};
+};
+
+// Descending ranks: directory then alias deadlocks against any thread that
+// nests them in hierarchy order.
+void DirectInversion(State& s) {
+  LockGuard<RankedSpinLock> a(s.dir_mu_);
+  LockGuard<RankedSpinLock> b(s.alias_mu_);  // EXPECT: corm-lock-rank
+}
+
+// Equal rank is only reentrant for LockRankRegion: a second real lock of
+// the same rank self-deadlocks on a spinlock.
+void EqualRank(State& s) {
+  LockGuard<RankedSpinLock> a(s.alloc_mu_);
+  LockRankRegion r(LockRank::kThreadAllocator);  // region re-entry: fine
+  LockGuard<RankedSpinLock> b(s.alloc_mu_);  // EXPECT: corm-lock-rank
+}

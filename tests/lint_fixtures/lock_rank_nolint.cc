@@ -1,0 +1,28 @@
+// corm-lock-rank fixture: the direct inversion, suppressed with a written
+// rationale — e.g. a trylock-with-backoff path where the inversion cannot
+// block (the runtime's TryLock is rank-exempt for the same reason).
+enum class LockRank {
+  kAliasList = 260,
+  kNodeDirectory = 300,
+};
+
+struct RankedSpinLock {
+  explicit RankedSpinLock(LockRank rank);
+};
+
+template <typename M>
+struct LockGuard {
+  explicit LockGuard(M& m);
+};
+
+struct State {
+  RankedSpinLock alias_mu_{LockRank::kAliasList};
+  RankedSpinLock dir_mu_{LockRank::kNodeDirectory};
+};
+
+void InversionWithRationale(State& s) {
+  LockGuard<RankedSpinLock> a(s.dir_mu_);
+  // The alias list is only ever taken with try_lock on this path; a failed
+  // acquisition falls back to the deferred queue instead of spinning.
+  LockGuard<RankedSpinLock> b(s.alias_mu_);  // NOLINT(corm-lock-rank)
+}

@@ -6,8 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <map>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
+#include <sstream>
+#include <string>
 #include <thread>
 
 namespace corm {
@@ -140,6 +145,91 @@ TEST(RankedSpinLockTest, OutOfOrderGuardsAbort) {
   std::lock_guard<RankedSpinLock> hold(inner);
   EXPECT_DEATH(outer.lock(), "lock-order violation");
 }
+
+// End-to-end bridge to the static analysis: corm-tidy's --dump-lock-graph
+// (tools/corm_tidy/lock_order.cc) extracts the rank hierarchy and every
+// statically visible nested acquisition from src/. These cases pin the
+// extracted graph to the *compiled* enum, so renaming or renumbering a
+// LockRank — or a regression in the extractor — fails here, not in review.
+#if defined(CORM_TIDY_BIN) && defined(CORM_REPO_ROOT)
+
+std::string DumpLockGraph() {
+  const std::string cmd = std::string(CORM_TIDY_BIN) +
+                          " --dump-lock-graph --src " CORM_REPO_ROOT "/src";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  const int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0) << "corm-tidy --dump-lock-graph failed:\n" << out;
+  return out;
+}
+
+TEST(StaticLockOrderTest, ExtractedRanksMatchCompiledEnum) {
+  const std::map<std::string, int> compiled = {
+      {"kNone", static_cast<int>(LockRank::kNone)},
+      {"kScheduler", static_cast<int>(LockRank::kScheduler)},
+      {"kCompactionLeader", static_cast<int>(LockRank::kCompactionLeader)},
+      {"kThreadAllocator", static_cast<int>(LockRank::kThreadAllocator)},
+      {"kAliasList", static_cast<int>(LockRank::kAliasList)},
+      {"kNodeDirectory", static_cast<int>(LockRank::kNodeDirectory)},
+      {"kBlockAllocator", static_cast<int>(LockRank::kBlockAllocator)},
+      {"kVaddrTracker", static_cast<int>(LockRank::kVaddrTracker)},
+      {"kGraveyard", static_cast<int>(LockRank::kGraveyard)},
+      {"kReplIngress", static_cast<int>(LockRank::kReplIngress)},
+      {"kSubstrate", static_cast<int>(LockRank::kSubstrate)},
+  };
+  std::map<std::string, int> extracted;
+  std::istringstream dump(DumpLockGraph());
+  std::string kind;
+  while (dump >> kind) {
+    if (kind == "rank") {
+      std::string name;
+      int value = 0;
+      ASSERT_TRUE(dump >> name >> value);
+      extracted[name] = value;
+    } else {
+      std::string rest;
+      std::getline(dump, rest);  // edges checked by the next case
+    }
+  }
+  EXPECT_EQ(extracted, compiled)
+      << "the LockRank hierarchy corm-tidy extracted from "
+         "common/lock_rank.h drifted from the compiled enum";
+}
+
+TEST(StaticLockOrderTest, EveryExtractedEdgeRespectsTheHierarchy) {
+  std::istringstream dump(DumpLockGraph());
+  std::string kind;
+  int edges = 0;
+  while (dump >> kind) {
+    std::string held_name, acq_name, where;
+    int held = 0, acq = 0, reentrant = 0;
+    if (kind != "edge") {
+      std::getline(dump, where);
+      continue;
+    }
+    ASSERT_TRUE(dump >> held_name >> held >> acq_name >> acq >> reentrant >>
+                where);
+    ++edges;
+    if (reentrant != 0) {
+      EXPECT_GE(acq, held) << "reentrant acquisition of " << acq_name
+                           << " under " << held_name << " at " << where;
+    } else {
+      EXPECT_GT(acq, held) << "acquisition of " << acq_name << " under "
+                           << held_name << " at " << where;
+    }
+  }
+  // src/ is expected to contain at least one statically visible nesting
+  // (the RNIC's region-map/entries substrate locks); zero edges would mean
+  // the extractor went blind, which is its own regression.
+  EXPECT_GT(edges, 0) << "--dump-lock-graph found no nested acquisitions "
+                         "in src/ at all";
+}
+
+#endif  // CORM_TIDY_BIN && CORM_REPO_ROOT
 
 TEST(RankedSharedMutexTest, SharedAndExclusiveTrackRank) {
   ScopedEnforce enforce;

@@ -1,0 +1,283 @@
+#include "call_graph.h"
+
+#include <algorithm>
+
+namespace corm_tidy {
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+bool IsIdent(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+// Keywords that look like `name (` but never are calls or definitions.
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "new" ||
+         s == "delete" || s == "throw" || s == "do" || s == "else" ||
+         s == "case" || s == "defined" || s == "assert" || s == "operator";
+}
+
+// Index one past the matching closer for the opener at `open`.
+size_t PastMatching(const std::vector<Token>& toks, size_t open,
+                    const char* opener, const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], opener)) ++depth;
+    if (IsPunct(toks[i], closer) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+// After a parameter list's `)`, decides whether a definition body follows.
+// Accepts trailers (const, noexcept[(...)], override, final, ref-qualifiers,
+// trailing return types) and constructor initializer lists. Returns the
+// token index of the body `{`, or 0 when this is not a definition.
+size_t FindBodyBrace(const std::vector<Token>& toks, size_t after_params) {
+  size_t i = after_params;
+  // Trailer tokens before `{`, `:", `;`, or `=`.
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "{")) return i;
+    if (IsPunct(t, ";") || IsPunct(t, "=") || IsPunct(t, ",") ||
+        IsPunct(t, ")")) {
+      return 0;  // declaration, default/deleted member, or an actual call
+    }
+    if (IsPunct(t, ":")) break;  // constructor initializer list
+    if (IsIdent(t) || IsPunct(t, "->") || IsPunct(t, "::") ||
+        IsPunct(t, "<") || IsPunct(t, ">") || IsPunct(t, "*") ||
+        IsPunct(t, "&") || IsPunct(t, "&&")) {
+      ++i;
+      continue;
+    }
+    if (IsPunct(t, "(")) {  // noexcept(...)
+      i = PastMatching(toks, i, "(", ")");
+      continue;
+    }
+    if (IsPunct(t, "[")) {  // attribute [[...]]
+      i = PastMatching(toks, i, "[", "]");
+      continue;
+    }
+    return 0;
+  }
+  if (i >= toks.size()) return 0;
+  // Initializer list: `: member(init), member{init}, base(init) {`.
+  ++i;  // past `:`
+  while (i < toks.size()) {
+    // Entry name (possibly qualified/templated).
+    while (i < toks.size() &&
+           (IsIdent(toks[i]) || IsPunct(toks[i], "::") ||
+            IsPunct(toks[i], "<") || IsPunct(toks[i], ">"))) {
+      ++i;
+    }
+    if (i >= toks.size()) return 0;
+    if (IsPunct(toks[i], "(")) {
+      i = PastMatching(toks, i, "(", ")");
+    } else if (IsPunct(toks[i], "{")) {
+      i = PastMatching(toks, i, "{", "}");
+    } else {
+      return 0;
+    }
+    if (i < toks.size() && IsPunct(toks[i], ",")) {
+      ++i;
+      continue;
+    }
+    if (i < toks.size() && IsPunct(toks[i], "{")) return i;
+    return 0;
+  }
+  return 0;
+}
+
+// Collects bare callee names in [begin, end): identifiers directly followed
+// by `(`, including member calls (`x.F(`, `x->F(`) and qualified calls
+// (`NS::F(`). Control keywords excluded.
+void CollectCallees(const std::vector<Token>& toks, size_t begin, size_t end,
+                    std::set<std::string>* out) {
+  for (size_t i = begin; i < end; ++i) {
+    if (!IsIdent(toks[i]) || i + 1 >= end || !IsPunct(toks[i + 1], "(")) {
+      continue;
+    }
+    if (IsControlKeyword(toks[i].text)) continue;
+    out->insert(toks[i].text);
+  }
+}
+
+// True when any token in [begin, end) is a sanctioned-revalidation idiom —
+// the same set remap_hazard.cc honors (epoch reads, Revalidate/Validate
+// helpers, kCompacting / Pin* pinning).
+bool ContainsRevalidation(const std::vector<Token>& toks, size_t begin,
+                          size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (!IsIdent(t)) continue;
+    if (t.text == "epoch" && i + 1 < end && IsPunct(toks[i + 1], "(")) {
+      return true;
+    }
+    if (t.text.find("Revalidate") != std::string::npos ||
+        t.text.find("Validate") != std::string::npos) {
+      return true;
+    }
+    if (t.text == "kCompacting" || t.text.rfind("Pin", 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CallGraph::IsRemapRootName(const std::string& s) {
+  return s == "Step" || s == "RunCompaction" || s == "RunPhaseSlice" ||
+         s == "StepRemap" || s == "HandleInbox" || s == "HandleRpc" ||
+         s == "ReapZombies" || s == "BackgroundCompactionLoop" ||
+         s == "DrainInbox" || s == "PollInbox" || s == "DrainReplIngress" ||
+         s == "RunAntiEntropySweep";
+}
+
+bool CallGraph::IsLookupRootName(const std::string& s) {
+  return s == "Lookup" || s == "LookupBlockCached" || s == "LookupBlock" ||
+         s == "ResolveObject" || s == "FindBlock" || s == "ResolveEntry";
+}
+
+std::vector<FunctionDef> FindFunctionDefs(const SourceFile& f) {
+  const auto& toks = f.tokens();
+  std::vector<FunctionDef> defs;
+  size_t i = 0;
+  while (i < toks.size()) {
+    if (!IsIdent(toks[i]) || i + 1 >= toks.size() ||
+        !IsPunct(toks[i + 1], "(") || IsControlKeyword(toks[i].text)) {
+      ++i;
+      continue;
+    }
+    const size_t after_params = PastMatching(toks, i + 1, "(", ")");
+    if (after_params >= toks.size()) {
+      ++i;
+      continue;
+    }
+    const size_t body = FindBodyBrace(toks, after_params);
+    if (body == 0) {
+      ++i;
+      continue;
+    }
+    FunctionDef def;
+    def.name = toks[i].text;
+    if (i >= 2 && IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2])) {
+      def.qualifier = toks[i - 2].text;
+    }
+    def.file = &f;
+    def.line = toks[i].line;
+    def.body_begin = body;
+    def.body_end = PastMatching(toks, body, "{", "}");
+    CollectCallees(toks, def.body_begin, def.body_end, &def.callees);
+    defs.push_back(std::move(def));
+    // Jump past the body: call sites inside it are callees, not defs.
+    // (Inline methods of a class are still found individually — the class
+    // braces are not a parameter-list+body shape, so the scan walks into
+    // them token by token.)
+    i = defs.back().body_end;
+  }
+  return defs;
+}
+
+CallGraph CallGraph::Build(const std::vector<const SourceFile*>& files) {
+  CallGraph g;
+  for (const SourceFile* f : files) {
+    auto defs = FindFunctionDefs(*f);
+    g.defs_.insert(g.defs_.end(), defs.begin(), defs.end());
+  }
+
+  // Local facts + the per-definition return-expression call sets.
+  struct Local {
+    const FunctionDef* def;
+    std::set<std::string> return_calls;  // callees inside return statements
+    bool returns_lookup_direct = false;
+  };
+  std::vector<Local> locals;
+  locals.reserve(g.defs_.size());
+  for (const FunctionDef& def : g.defs_) {
+    Local loc;
+    loc.def = &def;
+    FunctionSummary& s = g.summaries_[def.name];
+    const auto& toks = def.file->tokens();
+    for (const std::string& callee : def.callees) {
+      if (IsRemapRootName(callee)) s.advances_remap = true;
+    }
+    if (ContainsRevalidation(toks, def.body_begin, def.body_end)) {
+      s.pins_or_validates = true;
+    }
+    // Return statements: `return <expr>;` — a lookup-root call or a
+    // `.block` extraction in the expression makes the function a taint
+    // source; other callees are recorded for the fixpoint.
+    for (size_t i = def.body_begin; i < def.body_end; ++i) {
+      if (!IsIdent(toks[i]) || toks[i].text != "return") continue;
+      size_t e = i + 1;
+      while (e < def.body_end && !IsPunct(toks[e], ";")) ++e;
+      for (size_t j = i + 1; j < e; ++j) {
+        if (!IsIdent(toks[j])) continue;
+        const bool called = j + 1 < e && (IsPunct(toks[j + 1], "(") ||
+                                          IsPunct(toks[j + 1], "<"));
+        if (IsLookupRootName(toks[j].text) && called) {
+          loc.returns_lookup_direct = true;
+        } else if (called && !IsControlKeyword(toks[j].text)) {
+          loc.return_calls.insert(toks[j].text);
+        }
+        if (toks[j].text == "block" && j >= 1 &&
+            (IsPunct(toks[j - 1], ".") || IsPunct(toks[j - 1], "->"))) {
+          loc.returns_lookup_direct = true;
+        }
+      }
+      i = e;
+    }
+    if (loc.returns_lookup_direct) s.returns_lookup = true;
+    locals.push_back(std::move(loc));
+  }
+
+  // Fixpoint: facts only ever flip false -> true, so iterate to stability.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Local& loc : locals) {
+      FunctionSummary& s = g.summaries_[loc.def->name];
+      if (!s.advances_remap || !s.pins_or_validates) {
+        for (const std::string& callee : loc.def->callees) {
+          auto it = g.summaries_.find(callee);
+          if (it == g.summaries_.end()) continue;
+          if (it->second.advances_remap && !s.advances_remap) {
+            s.advances_remap = true;
+            changed = true;
+          }
+          if (it->second.pins_or_validates && !s.pins_or_validates) {
+            s.pins_or_validates = true;
+            changed = true;
+          }
+        }
+      }
+      if (!s.returns_lookup) {
+        for (const std::string& callee : loc.return_calls) {
+          auto it = g.summaries_.find(callee);
+          if (it != g.summaries_.end() && it->second.returns_lookup) {
+            s.returns_lookup = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+const FunctionSummary* CallGraph::SummaryFor(const std::string& name) const {
+  auto it = summaries_.find(name);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FunctionDef*> CallGraph::DefsNamed(
+    const std::string& name) const {
+  std::vector<const FunctionDef*> out;
+  for (const FunctionDef& d : defs_) {
+    if (d.name == name) out.push_back(&d);
+  }
+  return out;
+}
+
+}  // namespace corm_tidy

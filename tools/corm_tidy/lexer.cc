@@ -59,10 +59,16 @@ LexResult Lex(const std::string& text) {
     }
 
     // Preprocessor directive: skip the logical line (with continuations).
+    // A continuation is a backslash immediately before the line break in
+    // either convention — LF or CRLF. Before the CRLF case was handled, a
+    // directive saved with Windows line endings ended at the `\r`, and its
+    // continuation lines leaked into the token stream as ordinary code.
     if (c == '#' && at_line_start) {
       while (i < n) {
-        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
-          advance(2);
+        if (text[i] == '\\' && i + 1 < n &&
+            (text[i + 1] == '\n' ||
+             (text[i + 1] == '\r' && i + 2 < n && text[i + 2] == '\n'))) {
+          advance(text[i + 1] == '\r' ? 3 : 2);
           continue;
         }
         if (text[i] == '\n') break;
@@ -104,39 +110,70 @@ LexResult Lex(const std::string& text) {
       continue;
     }
 
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      size_t j = i + 2;
+    // Raw string literal, with or without an encoding prefix:
+    // R"delim(...)delim", u8R"...", uR"...", UR"...", LR"...".
+    // Lexed before the identifier branch: a prefixed raw string that fell
+    // through to it would tokenize as identifier + ordinary string, and a
+    // raw string body spanning quotes or newlines would leak its contents
+    // (`delete p`, `while (x.load())`, ...) into the token stream as code.
+    auto lex_raw_string = [&](size_t r) {
+      size_t j = r + 2;  // past R"
       std::string delim;
       while (j < n && text[j] != '(' && text[j] != '\n') delim += text[j++];
       const std::string closer = ")" + delim + "\"";
+      size_t body = j < n ? j + 1 : n;  // past the (
       size_t end = text.find(closer, j);
+      std::string value =
+          end == std::string::npos ? "" : text.substr(body, end - body);
       end = (end == std::string::npos) ? n : end + closer.size();
-      out.tokens.push_back({Token::Kind::kString, "", line, col});
+      out.tokens.push_back(
+          {Token::Kind::kString, std::move(value), line, col});
       advance(end - i);
-      continue;
-    }
-
-    // String / char literals (with escape handling).
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.tokens.push_back({quote == '"' ? Token::Kind::kString
-                                         : Token::Kind::kChar,
-                            "", line, col});
-      advance(1);
+    };
+    auto lex_quoted = [&](size_t q) {
+      const char quote = text[q];
+      const int tline = line;
+      const int tcol = col;
+      advance(q + 1 - i);
+      const size_t body = i;
       while (i < n && text[i] != quote && text[i] != '\n') {
         advance(text[i] == '\\' && i + 1 < n ? 2 : 1);
       }
+      std::string value = text.substr(body, i - body);
       if (i < n && text[i] == quote) advance(1);
+      out.tokens.push_back({quote == '"' ? Token::Kind::kString
+                                         : Token::Kind::kChar,
+                            std::move(value), tline, tcol});
+    };
+
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      lex_raw_string(i);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      lex_quoted(i);
       continue;
     }
 
-    // Identifier / keyword.
+    // Identifier / keyword — or an encoding prefix (u8, u, U, L) glued to a
+    // string/char literal, which must lex as ONE literal token, not as
+    // identifier + literal.
     if (IsIdentStart(c)) {
       size_t j = i;
       while (j < n && IsIdentChar(text[j])) ++j;
-      out.tokens.push_back(
-          {Token::Kind::kIdent, text.substr(i, j - i), line, col});
+      const std::string ident = text.substr(i, j - i);
+      if (j < n && text[j] == '"' &&
+          (ident == "u8R" || ident == "uR" || ident == "UR" ||
+           ident == "LR")) {
+        lex_raw_string(j - 1);  // hand the R" pair to the raw-string lexer
+        continue;
+      }
+      if (j < n && (text[j] == '"' || text[j] == '\'') &&
+          (ident == "u8" || ident == "u" || ident == "U" || ident == "L")) {
+        lex_quoted(j);
+        continue;
+      }
+      out.tokens.push_back({Token::Kind::kIdent, ident, line, col});
       advance(j - i);
       continue;
     }
@@ -146,12 +183,18 @@ LexResult Lex(const std::string& text) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       size_t j = i;
       while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
+                       // C++14 digit separator: 0x12345678'BEEFAAAB must stay
+                       // one token — split at the ', the tail would lex as an
+                       // unterminated char literal and eat the rest of the line
+                       (text[j] == '\'' && j + 1 < n &&
+                        IsIdentChar(text[j + 1])) ||
                        ((text[j] == '+' || text[j] == '-') && j > i &&
                         (text[j - 1] == 'e' || text[j - 1] == 'E' ||
                          text[j - 1] == 'p' || text[j - 1] == 'P')))) {
         ++j;
       }
-      out.tokens.push_back({Token::Kind::kNumber, "", line, col});
+      out.tokens.push_back(
+          {Token::Kind::kNumber, text.substr(i, j - i), line, col});
       advance(j - i);
       continue;
     }

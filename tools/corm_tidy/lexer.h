@@ -22,12 +22,14 @@ struct Token {
   enum class Kind {
     kIdent,   // identifiers and keywords (new/delete/while/...)
     kNumber,  // numeric literals
-    kString,  // string literals (incl. raw strings), value dropped
+    kString,  // string literals (incl. raw/prefixed forms), body in text
     kChar,    // character literals
     kPunct,   // operators / punctuation, multi-char where it matters
   };
   Kind kind = Kind::kPunct;
-  std::string text;  // identifier/punct spelling; empty for string/char
+  std::string text;  // identifier/punct spelling; literal spelling for
+                     // numbers and the body (quotes stripped) for strings —
+                     // the wire-ABI extractor and the audits read literals
   int line = 0;      // 1-based
   int col = 0;       // 1-based
 };

@@ -1,0 +1,85 @@
+// corm-tidy: the corm-lock-rank check — static lock-order verification.
+//
+// common/lock_rank.h enforces the node's lock hierarchy at *runtime*: a
+// thread may only acquire a rank strictly greater than every rank it holds
+// (critical regions re-enter at equal rank). Runtime enforcement needs the
+// bad interleaving to actually run under an enforcing build; a nesting that
+// only occurs on a failover path or an error branch can sit in the tree for
+// months before a test walks it. This pass proves the ordering *statically*:
+//
+//   1. Rank table: the LockRank enum is parsed out of the loaded files
+//      (name -> integer), so fixtures can declare their own mini hierarchy
+//      and src/ is checked against the real one in common/lock_rank.h.
+//   2. Lock table: every `RankedSpinLock`/`RankedSharedMutex` whose rank is
+//      visible — declaration initializer `RankedSpinLock mu_{LockRank::kX}`
+//      or constructor initializer `mu(LockRank::kX)` — maps a member name
+//      to a rank. corm::Mutex/SharedMutex (substrate, outside the
+//      hierarchy) rank as kSubstrate when that rank exists.
+//   3. Acquisition events per function: LockGuard<...>/SharedLockGuard<...>
+//      guard declarations (rank via the lock table, ambiguous names
+//      resolved by file stem, else skipped) and LockRankRegion declarations
+//      (rank spelled inline, reentrant). Guards are scoped by brace depth,
+//      exactly like their destructors.
+//   4. Direct check: an acquisition while a higher (or, for non-reentrant
+//      locks, equal) rank is held diagnoses corm-lock-rank.
+//   5. Interprocedural check: each function's may-acquire rank set is
+//      propagated over the call graph (same fixpoint machinery as the
+//      remap-hazard summaries); a call made while holding rank R to a
+//      function that may acquire a rank < R diagnoses the call site. Equal
+//      rank is allowed across calls: the summary cannot distinguish a
+//      reentrant region from a real lock, and regions legitimately
+//      re-enter.
+//
+// The held->acquired edges observed in step 3/4 form the lock-order graph
+// `corm-tidy --dump-lock-graph` prints; lock_rank_test cross-checks that
+// graph against the compiled LockRank enum end-to-end.
+
+#ifndef CORM_TIDY_LOCK_ORDER_H_
+#define CORM_TIDY_LOCK_ORDER_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "call_graph.h"
+#include "token_checks.h"
+
+namespace corm_tidy {
+
+// One observed nesting: `acquired` taken while `held` was held.
+struct LockOrderEdge {
+  int held_rank = 0;
+  int acquired_rank = 0;
+  bool reentrant = false;  // the acquisition is a LockRankRegion
+  std::string file;
+  int line = 0;
+};
+
+class LockOrderAnalysis {
+ public:
+  // Runs the analysis. `cg` may be null (fixture/--no-interproc mode):
+  // direct nesting is still checked, call-site propagation is skipped.
+  // Deposits may-acquire sets into cg->summaries() when cg is non-null.
+  static LockOrderAnalysis Run(const std::vector<const SourceFile*>& files,
+                               CallGraph* cg, DiagSink* sink);
+
+  // Rank table parsed from the LockRank enum(s) in the file set.
+  const std::map<std::string, int>& ranks() const { return ranks_; }
+
+  const std::vector<LockOrderEdge>& edges() const { return edges_; }
+
+  // `rank <name> <value>` and `edge <held> <acquired> <reentrant> <site>`
+  // lines, the --dump-lock-graph format lock_rank_test parses.
+  void Dump(std::ostream& os) const;
+
+ private:
+  std::string RankName(int value) const;
+
+  std::map<std::string, int> ranks_;
+  std::vector<LockOrderEdge> edges_;
+};
+
+}  // namespace corm_tidy
+
+#endif  // CORM_TIDY_LOCK_ORDER_H_

@@ -25,9 +25,13 @@
 #include <vector>
 
 #include "ast_engine.h"
+#include "audits.h"
+#include "call_graph.h"
+#include "lock_order.h"
 #include "remap_hazard.h"
 #include "source_file.h"
 #include "token_checks.h"
+#include "wire_abi.h"
 
 namespace corm_tidy {
 namespace {
@@ -39,11 +43,16 @@ struct Options {
   std::vector<std::string> src_dirs;  // --src (recursive *.h/*.cc)
   std::string build_dir;              // -p (compilation database)
   std::set<std::string> checks;       // empty = all
+  std::string audit_root = ".";       // --root, for --audit
   bool fallback_only = false;
   bool list_checks = false;
   bool list_hotpath = false;
   bool print_engine = false;
   bool quiet = false;
+  bool no_interproc = false;          // PR-6 per-function analysis only
+  bool audit = false;                 // project contract audits, then exit
+  bool wire_abi = false;              // print wire-ABI JSON, then exit
+  bool dump_lock_graph = false;       // print lock-order graph, then exit
 };
 
 int Usage(std::ostream& os, int code) {
@@ -59,6 +68,16 @@ int Usage(std::ostream& os, int code) {
         "  --list-hotpath    print files carrying the `// corm-hotpath`\n"
         "                    contract marker and exit\n"
         "  --engine          print the engine that would run (ast|token)\n"
+        "  --no-interproc    disable the whole-program call-graph analysis\n"
+        "                    (per-function checks only, as before v2)\n"
+        "  --audit           run the project contract audits (fault sites,\n"
+        "                    sharded counters) against --root and exit\n"
+        "  --root <dir>      repo root for --audit (default: .)\n"
+        "  --wire-abi        print the wire-ABI layout JSON for the loaded\n"
+        "                    files and exit (diffed against the committed\n"
+        "                    tools/corm_tidy/wire_abi.json golden in CI)\n"
+        "  --dump-lock-graph print the static lock-order graph (ranks and\n"
+        "                    held->acquired edges) and exit\n"
         "  -q, --quiet       no summary line\n";
   return code;
 }
@@ -86,6 +105,20 @@ bool ParseArgs(int argc, char** argv, Options* opt, std::string* err) {
       }
     } else if (a == "--fallback-only") {
       opt->fallback_only = true;
+    } else if (a == "--no-interproc") {
+      opt->no_interproc = true;
+    } else if (a == "--audit") {
+      opt->audit = true;
+    } else if (a == "--root") {
+      if (++i == argc) {
+        *err = "--root needs a directory";
+        return false;
+      }
+      opt->audit_root = argv[i];
+    } else if (a == "--wire-abi") {
+      opt->wire_abi = true;
+    } else if (a == "--dump-lock-graph") {
+      opt->dump_lock_graph = true;
     } else if (a == "--list-checks") {
       opt->list_checks = true;
     } else if (a == "--list-hotpath") {
@@ -178,6 +211,10 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
+  // The contract audits collect their own file sets (src/ AND tests/ —
+  // "exercised by a test" needs the tests) and bypass the lint pipeline.
+  if (opt.audit) return RunAudits(opt.audit_root, std::cout);
+
   const bool use_ast =
       AstEngineAvailable() && !opt.fallback_only && !opt.build_dir.empty();
   if (opt.print_engine) {
@@ -208,8 +245,42 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
+  std::vector<const SourceFile*> file_ptrs;
+  for (const auto& f : files) file_ptrs.push_back(f.get());
+
+  if (opt.wire_abi) {
+    WireAbi abi;
+    if (!ExtractWireAbi(file_ptrs, &abi, &err)) {
+      std::cerr << "corm-tidy: --wire-abi: " << err << "\n";
+      return 2;
+    }
+    PrintWireAbi(abi, std::cout);
+    return 0;
+  }
+
   std::vector<Diagnostic> diags;
   DiagSink sink{&diags};
+
+  // Whole-program view: call graph + summaries (remap/lookup/revalidation
+  // facts now, may-acquire rank sets deposited by the lock-order pass).
+  // --no-interproc reproduces the per-function PR-6 analysis bit-for-bit,
+  // which the fixture suite uses to prove the interprocedural catches are
+  // new.
+  std::unique_ptr<CallGraph> cg;
+  if (!opt.no_interproc) {
+    cg = std::make_unique<CallGraph>(CallGraph::Build(file_ptrs));
+  }
+
+  if (opt.dump_lock_graph) {
+    std::vector<Diagnostic> scratch;
+    DiagSink scratch_sink{&scratch};
+    LockOrderAnalysis::Run(file_ptrs, cg.get(), &scratch_sink)
+        .Dump(std::cout);
+    return 0;
+  }
+  if (CheckEnabled(opt, kCheckLockRank)) {
+    LockOrderAnalysis::Run(file_ptrs, cg.get(), &sink);
+  }
 
   // Engine-independent checks: lexical by design, identical on every host.
   for (const auto& f : files) {
@@ -217,7 +288,9 @@ int Run(int argc, char** argv) {
     if (CheckEnabled(opt, kCheckEscapeRationale)) {
       CheckEscapeRationale(*f, &sink);
     }
-    if (CheckEnabled(opt, kCheckRemapHazard)) CheckRemapHazard(*f, &sink);
+    if (CheckEnabled(opt, kCheckRemapHazard)) {
+      CheckRemapHazard(*f, cg.get(), &sink);
+    }
   }
 
   // Allocation checks: AST engine when available (type precision, macro

@@ -10,23 +10,6 @@ bool IsPunct(const Token& t, const char* text) {
   return t.kind == Token::Kind::kPunct && t.text == text;
 }
 
-// Calls that produce a Block* / lookup entry whose validity is bounded by
-// the next remap point.
-bool IsLookupName(const std::string& s) {
-  return s == "Lookup" || s == "LookupBlockCached" || s == "LookupBlock" ||
-         s == "ResolveObject" || s == "FindBlock" || s == "ResolveEntry";
-}
-
-// Calls that may advance the compaction engine, re-enter the RPC/inbox
-// drain, or release the kCompacting hand-off — after any of these, every
-// cached lookup result is suspect.
-bool IsRemapPointName(const std::string& s) {
-  return s == "Step" || s == "RunCompaction" || s == "RunPhaseSlice" ||
-         s == "StepRemap" || s == "HandleInbox" || s == "HandleRpc" ||
-         s == "ReapZombies" || s == "BackgroundCompactionLoop" ||
-         s == "DrainInbox" || s == "PollInbox";
-}
-
 // Sanctioned revalidation idioms: a directory-epoch read, an explicit
 // re-validate helper, or pinning the object against relocation.
 bool IsRevalidationToken(const std::vector<Token>& toks, size_t i) {
@@ -55,10 +38,34 @@ struct TrackedVar {
 
 }  // namespace
 
-void CheckRemapHazard(const SourceFile& f, DiagSink* sink) {
+void CheckRemapHazard(const SourceFile& f, const CallGraph* cg,
+                      DiagSink* sink) {
   const auto& toks = f.tokens();
   std::vector<TrackedVar> vars;
   int depth = 0;
+
+  // Summary-widened token classes (DESIGN.md §10.3). The textual root sets
+  // are always honored; a CallGraph widens each class with the functions
+  // whose summaries carry the corresponding interprocedural fact.
+  auto summary = [&](const std::string& name) -> const FunctionSummary* {
+    return cg == nullptr ? nullptr : cg->SummaryFor(name);
+  };
+  auto is_lookup = [&](const std::string& name) {
+    if (CallGraph::IsLookupRootName(name)) return true;
+    const FunctionSummary* s = summary(name);
+    return s != nullptr && s->returns_lookup;
+  };
+  auto is_remap_point = [&](const std::string& name) {
+    if (CallGraph::IsRemapRootName(name)) return true;
+    const FunctionSummary* s = summary(name);
+    return s != nullptr && s->advances_remap;
+  };
+  auto is_revalidating_call = [&](const std::string& name) {
+    const FunctionSummary* s = summary(name);
+    // A helper that both revalidates *and* advances remap must count as a
+    // remap point, not a revalidation: the remap can land after the check.
+    return s != nullptr && s->pins_or_validates && !s->advances_remap;
+  };
 
   auto find_var = [&](const std::string& name) -> TrackedVar* {
     for (auto& v : vars) {
@@ -86,7 +93,15 @@ void CheckRemapHazard(const SourceFile& f, DiagSink* sink) {
     bool revalidates = false;
     bool pins = false;
     for (size_t j = s; j < e; ++j) {
-      if (!IsRevalidationToken(toks, j)) continue;
+      if (!IsRevalidationToken(toks, j)) {
+        // Interprocedural: a call to a pins-or-validates helper is a
+        // revalidation (unless it may also advance remap; see above).
+        if (toks[j].kind == Token::Kind::kIdent && j + 1 < toks.size() &&
+            IsPunct(toks[j + 1], "(") && is_revalidating_call(toks[j].text)) {
+          revalidates = true;
+        }
+        continue;
+      }
       revalidates = true;
       const std::string& t = toks[j].text;
       pins = pins || t == "kCompacting" || t.rfind("Pin", 0) == 0;
@@ -149,7 +164,7 @@ void CheckRemapHazard(const SourceFile& f, DiagSink* sink) {
       bool rhs_taints = false;
       for (size_t j = assign + 1; j < e && !rhs_taints; ++j) {
         if (toks[j].kind != Token::Kind::kIdent) continue;
-        if (IsLookupName(toks[j].text) && j + 1 < toks.size() &&
+        if (is_lookup(toks[j].text) && j + 1 < toks.size() &&
             (IsPunct(toks[j + 1], "(") || IsPunct(toks[j + 1], "<"))) {
           rhs_taints = true;
         }
@@ -180,10 +195,15 @@ void CheckRemapHazard(const SourceFile& f, DiagSink* sink) {
     //     statements that follow.
     for (size_t j = s; j < e; ++j) {
       if (toks[j].kind == Token::Kind::kIdent &&
-          IsRemapPointName(toks[j].text) && j + 1 < toks.size() &&
+          is_remap_point(toks[j].text) && j + 1 < toks.size() &&
           IsPunct(toks[j + 1], "(")) {
         for (auto& v : vars) {
           if (!v.hazardous && !v.pinned) {
+            // A remap point on the RHS of this statement's own assignment
+            // does not poison the assigned variable: `p = ResolveObject(a)`
+            // returns a *fresh* pointer even when ResolveObject may advance
+            // remap internally before resolving.
+            if (assign < e && v.name == target && j > assign) continue;
             v.hazardous = true;
             v.remap_line = toks[j].line;
             v.remap_callee = toks[j].text;

@@ -60,7 +60,12 @@ const std::vector<CheckInfo>& CheckCatalog() {
       {kCheckRemapHazard,
        "a raw pointer derived from a Block/object lookup stays live across "
        "a call that may advance compaction (remap point) without "
-       "revalidation or pinning"},
+       "revalidation or pinning; interprocedural since v2 (lookups, remap "
+       "points, and revalidations hidden behind helpers are summarized)"},
+      {kCheckLockRank,
+       "static lock-order verification against the LockRank hierarchy: an "
+       "acquisition (or a call that may transitively acquire) a rank <= one "
+       "already held is a latent deadlock (common/lock_rank.h)"},
   };
   return kCatalog;
 }

@@ -25,6 +25,7 @@ inline constexpr char kCheckHotpathAlloc[] = "corm-hotpath-alloc";
 inline constexpr char kCheckUnboundedWait[] = "corm-unbounded-wait";
 inline constexpr char kCheckEscapeRationale[] = "corm-escape-rationale";
 inline constexpr char kCheckRemapHazard[] = "corm-remap-hazard";
+inline constexpr char kCheckLockRank[] = "corm-lock-rank";
 
 struct CheckInfo {
   const char* id;

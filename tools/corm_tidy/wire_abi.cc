@@ -1,0 +1,302 @@
+#include "wire_abi.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+namespace corm_tidy {
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+bool IsIdent(const Token& t) { return t.kind == Token::Kind::kIdent; }
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+// The structs whose layout is wire format. Adding a new wire struct means
+// adding it here AND regenerating tools/corm_tidy/wire_abi.json — both
+// show up in review.
+const char* kRoots[] = {"GlobalAddr", "ReplObjectHeader", "ReplRecordHeader"};
+
+// Sizes (== alignments: every entry is its own alignment) of the types wire
+// structs may use. Project aliases resolve to their fixed-width definitions:
+// sim::VAddr = uint64_t, rdma::RKey = uint32_t, LockState : uint8_t.
+const std::map<std::string, uint32_t>& TypeSizes() {
+  static const std::map<std::string, uint32_t> kSizes = {
+      {"bool", 1},     {"char", 1},     {"int8_t", 1},  {"uint8_t", 1},
+      {"int16_t", 2},  {"uint16_t", 2}, {"int32_t", 4}, {"uint32_t", 4},
+      {"int64_t", 8},  {"uint64_t", 8}, {"VAddr", 8},   {"RKey", 4},
+      {"LockState", 1},
+  };
+  return kSizes;
+}
+
+uint32_t AlignUp(uint32_t v, uint32_t a) { return (v + a - 1) / a * a; }
+
+// Parses a C++ integer literal (handles 0x prefixes, digit separators, and
+// literal suffixes — the lexer keeps the raw spelling).
+bool ParseUint(const std::string& spelling, uint64_t* out) {
+  std::string digits;
+  for (char c : spelling) {
+    if (c == '\'') continue;
+    digits += c;
+  }
+  while (!digits.empty() && std::isalpha(static_cast<unsigned char>(
+                                digits.back())) &&
+         digits.compare(0, 2, "0x") != 0) {
+    digits.pop_back();
+  }
+  // Strip u/U/l/L suffixes from hex literals too (back() may be a hex digit;
+  // only trailing u/l characters are suffix).
+  while (!digits.empty() &&
+         (digits.back() == 'u' || digits.back() == 'U' ||
+          digits.back() == 'l' || digits.back() == 'L')) {
+    digits.pop_back();
+  }
+  if (digits.empty()) return false;
+  try {
+    *out = std::stoull(digits, nullptr, 0);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+// Extracts the fields of `struct Name { ... };` starting with `open` at the
+// opening brace. Member functions, static members, and nested declarations
+// are skipped; what remains must be plain data members in declaration
+// order — exactly what a trivially-copyable wire struct contains.
+bool ParseStructBody(const SourceFile& f, size_t open, WireStruct* out,
+                     std::string* err) {
+  const auto& toks = f.tokens();
+  size_t i = open + 1;
+  int depth = 1;
+  while (i < toks.size() && depth > 0) {
+    if (IsPunct(toks[i], "}")) {
+      --depth;
+      ++i;
+      continue;
+    }
+    // One member statement: tokens up to `;` at depth 1, treating a body
+    // `{...}` after a parameter list as the end (member function).
+    std::vector<size_t> stmt;
+    bool saw_parens = false;
+    bool is_function = false;
+    int nest = 0;
+    while (i < toks.size()) {
+      const Token& t = toks[i];
+      if (nest == 0 && IsPunct(t, ";")) {
+        ++i;
+        break;
+      }
+      if (nest == 0 && IsPunct(t, "}")) break;  // struct body ends
+      if (IsPunct(t, "(")) {
+        saw_parens = true;
+        ++nest;
+      } else if (IsPunct(t, "{")) {
+        if (nest == 0 && saw_parens) {
+          // Member function body: skip it wholesale.
+          int b = 0;
+          while (i < toks.size()) {
+            if (IsPunct(toks[i], "{")) ++b;
+            if (IsPunct(toks[i], "}") && --b == 0) break;
+            ++i;
+          }
+          ++i;
+          is_function = true;
+          break;
+        }
+        ++nest;
+      } else if (IsPunct(t, ")") || IsPunct(t, "}")) {
+        --nest;
+      }
+      stmt.push_back(i);
+      ++i;
+    }
+    if (is_function || stmt.empty()) continue;
+    const Token& first = toks[stmt.front()];
+    if (IsIdent(first, "static") || IsIdent(first, "using") ||
+        IsIdent(first, "friend") || IsIdent(first, "struct") ||
+        IsIdent(first, "enum") || IsIdent(first, "class")) {
+      continue;
+    }
+    // A paren before `=` means a declaration-only member function
+    // (`bool operator==(...) const = default;`).
+    for (size_t k : stmt) {
+      if (IsPunct(toks[k], "=")) break;
+      if (IsPunct(toks[k], "(") || IsIdent(toks[k], "operator")) {
+        is_function = true;
+        break;
+      }
+    }
+    if (is_function) continue;
+
+    // Field: <type tokens> NAME [= init | [N] = init] — the name is the
+    // last identifier before `=`/`[`/end, the type the identifier before it.
+    size_t name_at = stmt.size();
+    for (size_t s = 0; s < stmt.size(); ++s) {
+      const Token& t = toks[stmt[s]];
+      if (IsPunct(t, "=") || IsPunct(t, "[")) break;
+      if (IsIdent(t)) name_at = s;
+    }
+    if (name_at == stmt.size() || name_at == 0) continue;
+    WireField field;
+    field.name = toks[stmt[name_at]].text;
+    for (size_t s = name_at; s-- > 0;) {
+      if (IsIdent(toks[stmt[s]])) {
+        field.type = toks[stmt[s]].text;
+        break;
+      }
+    }
+    if (name_at + 2 < stmt.size() && IsPunct(toks[stmt[name_at + 1]], "[") &&
+        toks[stmt[name_at + 2]].kind == Token::Kind::kNumber) {
+      uint64_t extent = 0;
+      if (!ParseUint(toks[stmt[name_at + 2]].text, &extent)) {
+        *err = out->name + "." + field.name + ": unparsable array extent";
+        return false;
+      }
+      field.count = static_cast<uint32_t>(extent);
+    }
+    const auto it = TypeSizes().find(field.type);
+    if (it == TypeSizes().end()) {
+      *err = out->name + "." + field.name + ": type '" + field.type +
+             "' is not in the wire-ABI size table (wire_abi.cc); wire "
+             "structs may only use fixed-width types";
+      return false;
+    }
+    const uint32_t elem = it->second;
+    field.offset = AlignUp(
+        out->fields.empty()
+            ? 0
+            : out->fields.back().offset + out->fields.back().size,
+        elem);
+    field.size = elem * field.count;
+    out->align = std::max(out->align, elem);
+    out->fields.push_back(field);
+  }
+  if (out->fields.empty()) {
+    *err = out->name + ": no data members found";
+    return false;
+  }
+  out->size = AlignUp(out->fields.back().offset + out->fields.back().size,
+                      out->align);
+  return true;
+}
+
+}  // namespace
+
+bool ExtractWireAbi(const std::vector<const SourceFile*>& files, WireAbi* out,
+                    std::string* err) {
+  for (const char* root : kRoots) {
+    bool found = false;
+    for (const SourceFile* f : files) {
+      const auto& toks = f->tokens();
+      for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!IsIdent(toks[i], "struct") || !IsIdent(toks[i + 1], root) ||
+            !IsPunct(toks[i + 2], "{")) {
+          continue;
+        }
+        WireStruct ws;
+        ws.name = root;
+        // Repo-relative path: the golden must not depend on whether --src
+        // was given as `src` or an absolute path.
+        ws.file = f->path();
+        const size_t anchor = ws.file.rfind("/src/");
+        if (anchor != std::string::npos) ws.file = ws.file.substr(anchor + 1);
+        if (!ParseStructBody(*f, i + 2, &ws, err)) return false;
+        out->structs.push_back(std::move(ws));
+        found = true;
+        break;
+      }
+      if (found) break;
+    }
+    if (!found) {
+      *err = std::string("wire struct '") + root +
+             "' not found in the loaded files";
+      return false;
+    }
+  }
+  std::sort(out->structs.begin(), out->structs.end(),
+            [](const WireStruct& a, const WireStruct& b) {
+              return a.name < b.name;
+            });
+
+  // Cross-check against the sources' own `static_assert(sizeof(S) == N)`:
+  // a disagreement means either the size table or the layout rules drifted
+  // from the compiler's — hard error, never a silently different golden.
+  for (const SourceFile* f : files) {
+    const auto& toks = f->tokens();
+    for (size_t i = 0; i + 5 < toks.size(); ++i) {
+      if (!IsIdent(toks[i], "sizeof") || !IsPunct(toks[i + 1], "(") ||
+          !IsIdent(toks[i + 2]) || !IsPunct(toks[i + 3], ")") ||
+          !IsPunct(toks[i + 4], "==") ||
+          toks[i + 5].kind != Token::Kind::kNumber) {
+        continue;
+      }
+      for (const WireStruct& ws : out->structs) {
+        if (ws.name != toks[i + 2].text) continue;
+        uint64_t want = 0;
+        if (ParseUint(toks[i + 5].text, &want) && want != ws.size) {
+          *err = "computed sizeof(" + ws.name + ") = " +
+                 std::to_string(ws.size) + " contradicts " + f->path() +
+                 ":" + std::to_string(toks[i].line) + " static_assert (" +
+                 std::to_string(want) + ")";
+          return false;
+        }
+      }
+    }
+  }
+
+  // The packed object-header word: bit layout pinned by the probe
+  // static_assert in object_layout.h (`kHeaderProbeWord == 0x...`).
+  for (const SourceFile* f : files) {
+    const auto& toks = f->tokens();
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (IsIdent(toks[i], "kHeaderProbeWord") && IsPunct(toks[i + 1], "==") &&
+          toks[i + 2].kind == Token::Kind::kNumber) {
+        uint64_t word = 0;
+        if (!ParseUint(toks[i + 2].text, &word)) {
+          *err = "unparsable kHeaderProbeWord literal in " + f->path();
+          return false;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%016llx",
+                      static_cast<unsigned long long>(word));
+        out->header_probe_word = buf;
+        break;
+      }
+    }
+    if (!out->header_probe_word.empty()) break;
+  }
+  return true;
+}
+
+void PrintWireAbi(const WireAbi& abi, std::ostream& os) {
+  os << "{\n";
+  os << "  \"header_probe_word\": \"" << abi.header_probe_word << "\",\n";
+  os << "  \"structs\": {\n";
+  for (size_t s = 0; s < abi.structs.size(); ++s) {
+    const WireStruct& ws = abi.structs[s];
+    os << "    \"" << ws.name << "\": {\n";
+    os << "      \"file\": \"" << ws.file << "\",\n";
+    os << "      \"size\": " << ws.size << ",\n";
+    os << "      \"align\": " << ws.align << ",\n";
+    os << "      \"fields\": [\n";
+    for (size_t i = 0; i < ws.fields.size(); ++i) {
+      const WireField& fl = ws.fields[i];
+      os << "        {\"name\": \"" << fl.name << "\", \"type\": \""
+         << fl.type << "\", \"offset\": " << fl.offset
+         << ", \"size\": " << fl.size << ", \"count\": " << fl.count << "}"
+         << (i + 1 < ws.fields.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (s + 1 < abi.structs.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+}
+
+}  // namespace corm_tidy

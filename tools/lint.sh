@@ -77,6 +77,19 @@ if [ "$fallback_only" -eq 0 ] && [ -n "$corm_tidy" ] && [ -x "$corm_tidy" ]; the
   use_tidy=1
 fi
 
+# A corm-tidy binary older than any of its sources silently lints with
+# yesterday's rules — the worst failure mode for a gate. Fail fast with the
+# rebuild recipe instead of delegating to a stale analysis.
+if [ "$use_tidy" -eq 1 ]; then
+  stale=$(find tools/corm_tidy -name '*.h' -o -name '*.cc' -o -name 'CMakeLists.txt' \
+              | xargs -I{} find {} -newer "$corm_tidy" 2>/dev/null | head -1)
+  if [ -n "$stale" ]; then
+    violation "corm-tidy binary $corm_tidy is older than $stale; rebuild it (cmake --build ${corm_tidy%%/tools/*} --target corm-tidy) or set CORM_TIDY_BIN"
+    note 'lint: FAILED'
+    exit 1
+  fi
+fi
+
 src_files=$(find src -name '*.h' -o -name '*.cc' | sort)
 
 # --- corm-tidy delegation (rules 1, 5, 7 + escape-rationale, remap-hazard,
