@@ -1,6 +1,7 @@
 // corm-hotpath
 #include "core/client.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -20,6 +21,14 @@ int NextClientRing(int num_rings) {
   return static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
                           static_cast<uint32_t>(num_rings));
 }
+
+sync::SchemeOptions SchemeOptionsFor(const CormConfig& config,
+                                     const Context::Options& options) {
+  sync::SchemeOptions so;
+  so.lock_retry = options.recovery_retry;
+  so.lease_ns = config.sync_lease_ns;
+  return so;
+}
 }  // namespace
 
 Context::Context(CormNode* node, Options options)
@@ -28,7 +37,11 @@ Context::Context(CormNode* node, Options options)
       qp_(node->rnic()),
       rpc_(node->rpc_queue(), node->latency_model(), options.rpc_retry),
       ring_(NextClientRing(node->rpc_queue()->num_rings())),
-      scratch_(node->block_bytes()) {}
+      scratch_(node->block_bytes()),
+      batch_scratch_(kBatchChain * node->block_bytes()),
+      scheme_(sync::MakeScheme(node->config().sync_scheme, this,
+                               node->sync_table(),
+                               SchemeOptionsFor(node->config(), options))) {}
 
 std::unique_ptr<Context> Context::Create(CormNode* node, Options options) {
   // Private constructor: make_unique cannot reach it. NOLINT(corm-raw-new)
@@ -140,6 +153,18 @@ Status Context::Read(GlobalAddr* addr, void* buf, size_t size) {
 
 Status Context::Write(GlobalAddr* addr, const void* buf, size_t size) {
   OpTimer timer(this);
+  // Bracket the RPC with the configured scheme's write lock (a no-op under
+  // kOptimistic): scheme-abiding peers serialize here, and the server-side
+  // object seqlock still guards the bytes underneath. Release targets the
+  // slot that was locked — the RPC may correct the pointer.
+  const GlobalAddr locked = *addr;
+  CORM_RETURN_NOT_OK(scheme_->AcquireWrite(locked));
+  Status st = WriteRpc(addr, buf, size);
+  Status release = scheme_->ReleaseWrite(locked);
+  return st.ok() ? release : st;
+}
+
+Status Context::WriteRpc(GlobalAddr* addr, const void* buf, size_t size) {
   rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
   EncodeRequest(RpcOp::kWrite,
                 WriteRequest{*addr, static_cast<uint32_t>(size)},
@@ -191,19 +216,19 @@ Status Context::ValidateAndExtract(const uint8_t* slot, uint32_t slot_size,
   return Status::OK();
 }
 
-Status Context::DirectRead(const GlobalAddr& addr, void* buf, size_t size) {
-  OpTimer timer(this);
-  stats_.direct_reads++;
+Status Context::SnapshotRead(const GlobalAddr& addr, void* buf, size_t size) {
   const uint32_t slot_size = node_->classes().ClassSize(addr.class_idx);
   uint8_t stack_slot[4096];
   uint8_t* slot =
       slot_size <= sizeof(stack_slot) ? stack_slot : scratch_.data();
-  Status st = RawRead(addr.r_key, addr.vaddr, slot, slot_size);
-  if (!st.ok()) {
-    stats_.direct_read_failures++;
-    return st;
-  }
-  st = ValidateAndExtract(slot, slot_size, addr, buf, size);
+  CORM_RETURN_NOT_OK(RawRead(addr.r_key, addr.vaddr, slot, slot_size));
+  return ValidateAndExtract(slot, slot_size, addr, buf, size);
+}
+
+Status Context::DirectRead(const GlobalAddr& addr, void* buf, size_t size) {
+  OpTimer timer(this);
+  stats_.direct_reads++;
+  Status st = scheme_->GuardedRead(addr, buf, size);
   if (!st.ok()) {
     stats_.direct_read_failures++;
     if (st.IsTornRead()) stats_.torn_reads++;
@@ -211,6 +236,189 @@ Status Context::DirectRead(const GlobalAddr& addr, void* buf, size_t size) {
     if (st.IsObjectMoved()) stats_.moved_reads++;
   }
   return st;
+}
+
+Status Context::DirectReadBatch(const GlobalAddr* addrs, size_t n, void* bufs,
+                                size_t size, Status* statuses) {
+  OpTimer timer(this);
+  if (n == 0) return Status::OK();
+  uint8_t* out = static_cast<uint8_t*>(bufs);
+  Status first;
+  if (options_.local || !node_->config().doorbell_batching) {
+    // Nothing to amortize colocated, and the knob is the bench's A/B lever.
+    for (size_t i = 0; i < n; ++i) {
+      statuses[i] = DirectRead(addrs[i], out + i * size, size);
+      if (!statuses[i].ok() && first.ok()) first = statuses[i];
+    }
+    return first;
+  }
+  const size_t block_bytes = node_->block_bytes();
+  size_t done = 0;
+  while (done < n) {
+    const size_t k = std::min(n - done, kBatchChain);
+    rdma::WorkRequest wrs[kBatchChain];
+    for (size_t i = 0; i < k; ++i) {
+      const GlobalAddr& a = addrs[done + i];
+      wrs[i] = rdma::WorkRequest{};
+      wrs[i].op = rdma::WorkRequest::Op::kRead;
+      wrs[i].r_key = a.r_key;
+      wrs[i].addr = a.vaddr;
+      wrs[i].buf = batch_scratch_.data() + i * block_bytes;
+      wrs[i].len = node_->classes().ClassSize(a.class_idx);
+    }
+    stats_.direct_reads += k;
+    auto ns = qp_.PostBatch(wrs, k);
+    if (!ns.ok()) {
+      // Whole-chain failure (QP already broken): every op inherits it.
+      for (size_t i = 0; i < k; ++i) statuses[done + i] = ns.status();
+      stats_.direct_read_failures += k;
+      if (first.ok()) first = ns.status();
+    } else {
+      stats_.modeled_ns_total += *ns;
+      stats_.direct_read_batches++;
+      NodeStatShard& shard = node_->client_stat_shard();
+      ++shard.doorbell_batches;
+      shard.doorbell_batched_wrs += k;
+      for (size_t i = 0; i < k; ++i) {
+        const GlobalAddr& a = addrs[done + i];
+        Status st = wrs[i].status;
+        if (st.ok()) {
+          st = ValidateAndExtract(
+              batch_scratch_.data() + i * block_bytes,
+              node_->classes().ClassSize(a.class_idx), a,
+              out + (done + i) * size, size);
+        }
+        if (!st.ok()) {
+          stats_.direct_read_failures++;
+          if (st.IsTornRead()) stats_.torn_reads++;
+          if (st.IsObjectLocked()) stats_.locked_reads++;
+          if (st.IsObjectMoved()) stats_.moved_reads++;
+          if (first.ok()) first = st;
+        }
+        statuses[done + i] = st;
+      }
+    }
+    if (qp_.state() == rdma::QueuePair::State::kError) {
+      stats_.qp_reconnects++;
+      qp_.Reconnect();
+    }
+    done += k;
+  }
+  return first;
+}
+
+// ---------------------------------------------------------------------------
+// sync::SyncMedium: the scheme's window into this client.
+// ---------------------------------------------------------------------------
+
+Status Context::LockRead(rdma::RKey r_key, sim::VAddr vaddr, uint64_t* word) {
+  return RawRead(r_key, vaddr, word, sizeof(uint64_t));
+}
+
+Status Context::LockReadPair(rdma::RKey r_key, sim::VAddr addr_a,
+                             sim::VAddr addr_b, uint64_t* word_a,
+                             uint64_t* word_b) {
+  if (options_.local || !node_->config().doorbell_batching) {
+    CORM_RETURN_NOT_OK(RawRead(r_key, addr_a, word_a, sizeof(uint64_t)));
+    return RawRead(r_key, addr_b, word_b, sizeof(uint64_t));
+  }
+  rdma::WorkRequest wrs[2];
+  wrs[0].op = rdma::WorkRequest::Op::kRead;
+  wrs[0].r_key = r_key;
+  wrs[0].addr = addr_a;
+  wrs[0].buf = word_a;
+  wrs[0].len = sizeof(uint64_t);
+  wrs[1] = wrs[0];
+  wrs[1].addr = addr_b;
+  wrs[1].buf = word_b;
+  auto ns = qp_.PostBatch(wrs, 2);
+  if (!ns.ok() || !wrs[0].status.ok() || !wrs[1].status.ok()) {
+    if (qp_.state() == rdma::QueuePair::State::kError) {
+      stats_.qp_reconnects++;
+      qp_.Reconnect();
+    }
+    if (!ns.ok()) return ns.status();
+    return wrs[0].status.ok() ? wrs[1].status : wrs[0].status;
+  }
+  stats_.modeled_ns_total += *ns;
+  NodeStatShard& shard = node_->client_stat_shard();
+  ++shard.doorbell_batches;
+  shard.doorbell_batched_wrs += 2;
+  return Status::OK();
+}
+
+Status Context::LockCas(rdma::RKey r_key, sim::VAddr vaddr, uint64_t expected,
+                        uint64_t desired, uint64_t* prior) {
+  if (options_.local) {
+    // Colocated: CPU CAS on the mapped word — globally coherent with
+    // remote RNIC atomics (IBV_ATOMIC_GLOB, see Rnic::MttAtomic).
+    uint8_t* p = node_->rnic()->address_space()->TranslatePtr(vaddr);
+    uint64_t e = expected;
+    std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(p))
+        .compare_exchange_strong(e, desired, std::memory_order_acq_rel);
+    *prior = e;
+    return Status::OK();
+  }
+  auto ns = qp_.CompareSwap(r_key, vaddr, expected, desired, prior);
+  if (!ns.ok()) {
+    if (ns.status().IsQpBroken()) {
+      stats_.qp_reconnects++;
+      qp_.Reconnect();
+    }
+    return ns.status();
+  }
+  stats_.modeled_ns_total += *ns;
+  return Status::OK();
+}
+
+Status Context::LockFetchAdd(rdma::RKey r_key, sim::VAddr vaddr,
+                             uint64_t addend, uint64_t* prior) {
+  if (options_.local) {
+    uint8_t* p = node_->rnic()->address_space()->TranslatePtr(vaddr);
+    *prior = std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(p))
+                 .fetch_add(addend, std::memory_order_acq_rel);
+    return Status::OK();
+  }
+  auto ns = qp_.FetchAdd(r_key, vaddr, addend, prior);
+  if (!ns.ok()) {
+    if (ns.status().IsQpBroken()) {
+      stats_.qp_reconnects++;
+      qp_.Reconnect();
+    }
+    return ns.status();
+  }
+  stats_.modeled_ns_total += *ns;
+  return Status::OK();
+}
+
+void Context::CountSyncEvent(sync::SyncEvent event) {
+  NodeStatShard& shard = node_->client_stat_shard();
+  switch (event) {
+    case sync::SyncEvent::kLockAcquire:
+      stats_.sync_lock_acquires++;
+      ++shard.sync_lock_acquires;
+      break;
+    case sync::SyncEvent::kLockConflict:
+      stats_.sync_lock_conflicts++;
+      ++shard.sync_lock_conflicts;
+      break;
+    case sync::SyncEvent::kLockSteal:
+      stats_.sync_lock_steals++;
+      ++shard.sync_lock_steals;
+      break;
+    case sync::SyncEvent::kLockTimeout:
+      stats_.sync_lock_timeouts++;
+      ++shard.sync_lock_timeouts;
+      break;
+    case sync::SyncEvent::kEpochFence:
+      stats_.sync_epoch_fences++;
+      ++shard.sync_epoch_fences;
+      break;
+  }
+}
+
+uint64_t Context::SyncJitterSeed() {
+  return node_->config().seed ^ (++retry_seq_ * 0x9e3779b97f4a7c15ULL);
 }
 
 Status Context::ScanRead(GlobalAddr* addr, void* buf, size_t size) {

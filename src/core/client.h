@@ -27,6 +27,7 @@
 #include "core/rpc_protocol.h"
 #include "rdma/queue_pair.h"
 #include "rdma/rpc_transport.h"
+#include "sync/sync_scheme.h"
 
 namespace corm::core {
 
@@ -45,6 +46,15 @@ struct ClientStats {
   uint64_t timeouts = 0;          // ops that exhausted a RetryPolicy deadline
   uint64_t failovers = 0;         // moved-object fallbacks (scan / RPC read)
   uint64_t dup_completions = 0;   // injected duplicate RPC completions seen
+  // Remote-synchronization + doorbell-batching counters (DESIGN.md §12);
+  // the same events also land on the node's sync_* / doorbell_* shard
+  // counters for cluster-wide aggregation.
+  uint64_t sync_lock_acquires = 0;
+  uint64_t sync_lock_conflicts = 0;
+  uint64_t sync_lock_steals = 0;
+  uint64_t sync_lock_timeouts = 0;
+  uint64_t sync_epoch_fences = 0;
+  uint64_t direct_read_batches = 0;  // chained multi-slot posts issued
   // Modeled nanoseconds: network round trips + RNIC faults + charged
   // server-side processing. Benchmarks derive latency/throughput figures
   // from these instead of wall clock (see DESIGN.md §2 on pacing).
@@ -52,7 +62,12 @@ struct ClientStats {
   uint64_t last_op_ns = 0;  // modeled duration of the last public API call
 };
 
-class Context {
+// The client context doubles as the sync::SyncMedium its scheme runs
+// through: lock words are touched with one-sided verbs on the context's QP
+// (CPU atomics when colocated — coherent with RNIC atomics, see
+// Rnic::MttAtomic), object snapshots go through the validated DirectRead
+// core, and scheme events land on both ClientStats and the node's shards.
+class Context : public sync::SyncMedium {
  public:
   struct Options {
     // Colocated client: accesses go through CPU loads (the local half of
@@ -81,6 +96,19 @@ class Context {
   Status ScanRead(GlobalAddr* addr, void* buf, size_t size);
   Status ReleasePtr(GlobalAddr* addr);
 
+  // Chained one-sided read of `n` objects (DESIGN.md §12): all slots are
+  // posted as one WR chain per group of kBatchChain — one doorbell + one
+  // completion per chain instead of n round trips. `bufs` is a contiguous
+  // array of n payload buffers with stride `size`; per-object outcomes land
+  // in `statuses[i]` (the same vocabulary as DirectRead). Returns the first
+  // per-object failure (OK when all succeeded). Batched reads always use
+  // optimistic validation — a single READ WR is the only scheme whose guard
+  // chains — so lock schemes apply to DirectRead, not to batches. Falls
+  // back to sequential DirectReads when colocated or when
+  // config.doorbell_batching is off (the bench A/B lever).
+  Status DirectReadBatch(const GlobalAddr* addrs, size_t n, void* bufs,
+                         size_t size, Status* statuses);
+
   // --- Recovery policy helper (client behaviour in §4.3.2). --------------
   enum class MovedFallback { kScanRead, kRpcRead };
   // DirectRead with bounded retry/backoff for transient invalidity and the
@@ -92,14 +120,37 @@ class Context {
   void ResetStats() { stats_ = ClientStats{}; }
 
   rdma::QueuePair* queue_pair() { return &qp_; }
+  sync::SchemeKind sync_scheme() const { return scheme_->kind(); }
+
+  // --- sync::SyncMedium (the scheme's window into this client). ----------
+  Status LockRead(rdma::RKey r_key, sim::VAddr vaddr, uint64_t* word) override;
+  Status LockReadPair(rdma::RKey r_key, sim::VAddr addr_a, sim::VAddr addr_b,
+                      uint64_t* word_a, uint64_t* word_b) override;
+  Status LockCas(rdma::RKey r_key, sim::VAddr vaddr, uint64_t expected,
+                 uint64_t desired, uint64_t* prior) override;
+  Status LockFetchAdd(rdma::RKey r_key, sim::VAddr vaddr, uint64_t addend,
+                      uint64_t* prior) override;
+  // The validated snapshot read every scheme guards: RawRead + header/
+  // version validation, no retry and no stats (DirectRead layers those).
+  Status SnapshotRead(const GlobalAddr& addr, void* buf, size_t size) override;
+  void CountSyncEvent(sync::SyncEvent event) override;
+  uint64_t SyncJitterSeed() override;
 
  private:
   class OpTimer;  // modeled-latency scope guard (client.cc)
+
+  // WRs per chained post in DirectReadBatch (bounds the per-context batch
+  // scratch; longer batches run as back-to-back chains).
+  static constexpr size_t kBatchChain = 16;
 
   Context(CormNode* node, Options options);
 
   // One-sided read of `len` bytes at `vaddr` (network or local).
   Status RawRead(rdma::RKey r_key, sim::VAddr vaddr, void* buf, size_t len);
+
+  // The RPC half of Write(); the public Write brackets it with the sync
+  // scheme's AcquireWrite/ReleaseWrite.
+  Status WriteRpc(GlobalAddr* addr, const void* buf, size_t size);
 
   // Validates a slot snapshot against `addr`; extracts payload on success.
   Status ValidateAndExtract(const uint8_t* slot, uint32_t slot_size,
@@ -126,7 +177,14 @@ class Context {
   const int ring_;
   ClientStats stats_;
   std::vector<uint8_t> scratch_;  // block-sized scan buffer
+  // kBatchChain block-sized slot images for DirectReadBatch (sized once
+  // here so the batch path never allocates).
+  std::vector<uint8_t> batch_scratch_;
   uint64_t retry_seq_ = 0;        // deterministic jitter stream position
+  // The configured synchronization scheme (config.sync_scheme), driving
+  // DirectRead guards and Write brackets through this context as medium.
+  // Declared last: it captures `this`.
+  std::unique_ptr<sync::RemoteSyncScheme> scheme_;
 };
 
 }  // namespace corm::core

@@ -43,6 +43,27 @@ CormNode::CormNode(CormConfig config)
       space_.get(), files_.get(), rnic_.get(), &classes_, ba_config);
   rpc_queue_.rate_limiter()->SetRate(config_.nic_msg_rate);
 
+  // Sync-lock table (DESIGN.md §12): epoch word + one lock word per slot,
+  // mapped fresh (all-zero: epoch 0, every slot free) and registered ODP
+  // like a repl ring so remote CAS/FETCH_ADD verbs reach it.
+  sync_table_slots_ =
+      static_cast<uint32_t>(std::max<size_t>(config_.sync_lock_slots, 1));
+  const size_t table_bytes = (1 + static_cast<size_t>(sync_table_slots_)) *
+                             sizeof(uint64_t);
+  sync_table_pages_ = (table_bytes + sim::kVPageSize - 1) / sim::kVPageSize;
+  // Virtual ranges are reserved at block granularity (see BlockBaseOf in
+  // core/addr.h): round the table up so the blocks reserved after it stay
+  // block_bytes-aligned.
+  sync_table_pages_ =
+      (sync_table_pages_ + config_.block_pages - 1) / config_.block_pages *
+      config_.block_pages;
+  sync_table_base_ = space_->ReserveRange(sync_table_pages_);
+  CORM_CHECK(space_->MapFresh(sync_table_base_, sync_table_pages_).ok());
+  auto sync_keys =
+      rnic_->RegisterMemory(sync_table_base_, sync_table_pages_, /*odp=*/true);
+  CORM_CHECK(sync_keys.ok());
+  sync_table_keys_ = *sync_keys;
+
   repl_ingress_.resize(kMaxReplIngress);  // fixed capacity, never reallocates
 
   workers_.reserve(config_.num_workers);
@@ -68,6 +89,28 @@ CormNode::~CormNode() {
   stop_.store(true, std::memory_order_relaxed);
   for (auto& t : threads_) t.join();
   threads_.clear();
+  // Sync-lock table teardown (after every thread that could touch it has
+  // joined; rnic_ and space_ are still alive here).
+  if (sync_table_base_ != 0) {
+    rnic_->DeregisterMemory(sync_table_keys_.r_key).ok();
+    space_->Unmap(sync_table_base_, sync_table_pages_).ok();
+    space_->ReleaseRange(sync_table_base_, sync_table_pages_);
+  }
+}
+
+uint64_t CormNode::SyncEpoch() const {
+  const uint8_t* p = space_->TranslatePtr(sync_table_base_);
+  return std::atomic_ref<const uint64_t>(
+             *reinterpret_cast<const uint64_t*>(p))
+      .load(std::memory_order_acquire);
+}
+
+void CormNode::SealSyncEpoch() {
+  // Local CPU atomic on the registered word: coherent with remote RNIC
+  // atomics (IBV_ATOMIC_GLOB semantics, see Rnic::MttAtomic).
+  uint8_t* p = space_->TranslatePtr(sync_table_base_);
+  std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(p))
+      .fetch_add(1, std::memory_order_acq_rel);
 }
 
 // ---------------------------------------------------------------------------
@@ -254,6 +297,13 @@ NodeStats CormNode::stats() const {
     out.repl_fenced_records += s.repl_fenced_records.Load();
     out.repl_apply_dups += s.repl_apply_dups.Load();
     out.repl_apply_orphans += s.repl_apply_orphans.Load();
+    out.sync_lock_acquires += s.sync_lock_acquires.Load();
+    out.sync_lock_conflicts += s.sync_lock_conflicts.Load();
+    out.sync_lock_steals += s.sync_lock_steals.Load();
+    out.sync_lock_timeouts += s.sync_lock_timeouts.Load();
+    out.sync_epoch_fences += s.sync_epoch_fences.Load();
+    out.doorbell_batches += s.doorbell_batches.Load();
+    out.doorbell_batched_wrs += s.doorbell_batched_wrs.Load();
   });
   return out;
 }
@@ -507,7 +557,10 @@ std::string CormNode::DebugReport() {
 }
 
 uint64_t CormNode::ActiveMemoryBytes() const {
-  return phys_->live_frames() * sim::kFrameSize;
+  // The always-mapped sync-lock table is fixed infrastructure, not object
+  // memory: exclude it so placement and the Fig. 17 memory curves keep
+  // measuring data, and an empty node still reports zero.
+  return (phys_->live_frames() - sync_table_pages_) * sim::kFrameSize;
 }
 
 uint64_t CormNode::VirtualMemoryBytes() const {

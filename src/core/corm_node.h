@@ -39,6 +39,7 @@
 #include "sim/latency_model.h"
 #include "sim/mem_file.h"
 #include "sim/physical_memory.h"
+#include "sync/sync_scheme.h"
 
 namespace corm::core {
 
@@ -132,6 +133,22 @@ struct CormConfig {
   // rotation otherwise taxes every RPC round trip.
   bool idle_park = true;
 
+  // --- Remote synchronization & doorbell batching (DESIGN.md §12). -------
+  // Client read/write synchronization scheme (the §12 shootout knob):
+  // optimistic versioned reads, an RDMA-CAS spinlock, or the lease/epoch
+  // reader-writer lock. Snapshot validation stays on in every scheme.
+  sync::SchemeKind sync_scheme = sync::SchemeKind::kOptimistic;
+  // Lock words in this node's registered sync-lock table (objects hash to
+  // slots; collisions are safe, just extra contention).
+  size_t sync_lock_slots = 1024;
+  // How long a waiter watches an unchanged held lock word before stealing
+  // it (crashed-holder recovery, fault site sync.holder_crash).
+  uint64_t sync_lease_ns = 2'000'000;
+  // Client contexts coalesce multi-slot reads (and the replication layer
+  // its quorum ack polls) into chained posts: one doorbell + one
+  // completion per chain.
+  bool doorbell_batching = true;
+
   sim::LatencyModel MakeLatencyModel() const {
     return sim::LatencyModel{rnic_model, cpu_model};
   }
@@ -185,6 +202,16 @@ struct NodeStatShard {
   StatCounter repl_fenced_records;      // stale-epoch records rejected
   StatCounter repl_apply_dups;          // duplicate/old-version records
   StatCounter repl_apply_orphans;       // records whose object is gone
+  // Remote-synchronization + doorbell-batching instrumentation (DESIGN.md
+  // §12). Incremented from the client threads driving contexts against this
+  // node, so they land on the overflow shard via client_stat_shard().
+  StatCounter sync_lock_acquires;    // locks (or read admissions) obtained
+  StatCounter sync_lock_conflicts;   // attempts that saw a competing holder
+  StatCounter sync_lock_steals;      // leases expired and slots stolen
+  StatCounter sync_lock_timeouts;    // acquire retry budgets exhausted
+  StatCounter sync_epoch_fences;     // stale-epoch lock words fenced
+  StatCounter doorbell_batches;      // chained posts (one doorbell each)
+  StatCounter doorbell_batched_wrs;  // WRs those chains carried
 };
 
 // Aggregated snapshot of the sharded counters (CormNode::stats()). A read
@@ -228,6 +255,13 @@ struct NodeStats {
   uint64_t repl_fenced_records = 0;
   uint64_t repl_apply_dups = 0;
   uint64_t repl_apply_orphans = 0;
+  uint64_t sync_lock_acquires = 0;
+  uint64_t sync_lock_conflicts = 0;
+  uint64_t sync_lock_steals = 0;
+  uint64_t sync_lock_timeouts = 0;
+  uint64_t sync_epoch_fences = 0;
+  uint64_t doorbell_batches = 0;
+  uint64_t doorbell_batched_wrs = 0;
 };
 
 // Result of one compaction run.
@@ -376,6 +410,25 @@ class CormNode {
   // node through this.
   NodeStatShard& client_stat_shard() { return stat_shard(-1); }
 
+  // --- Sync-lock table (DESIGN.md §12). ----------------------------------
+  // Remote-access coordinates of this node's sync-lock table: word 0 is
+  // the sync epoch, words 1..sync_lock_slots are lock words hashed by
+  // object address. Registered (ODP) at construction, like a repl ring.
+  sync::LockTableCoords sync_table() const {
+    sync::LockTableCoords coords;
+    coords.base = sync_table_base_;
+    coords.r_key = sync_table_keys_.r_key;
+    coords.slots = sync_table_slots_;
+    return coords;
+  }
+  // Current sync epoch (word 0 of the table).
+  uint64_t SyncEpoch() const;
+  // Bumps the sync epoch. Invoked whenever a failover seal record is
+  // applied (worker.cc), so lease_rw lock words minted before the seal are
+  // fenced by their next acquirer — the PR-7 epoch machinery extended to
+  // lock state. Public for tests.
+  void SealSyncEpoch();
+
  private:
   friend class Worker;
   friend class CompactionEngine;
@@ -466,6 +519,14 @@ class CormNode {
   RankedSpinLock repl_ingress_mu_{LockRank::kReplIngress};
   std::vector<std::unique_ptr<rdma::ReplLogRing>> repl_ingress_;
   std::atomic<size_t> repl_ingress_count_{0};
+
+  // Sync-lock table backing state (mapped + registered in the constructor,
+  // torn down explicitly in ~CormNode after the threads join — it needs
+  // rnic_ and space_ alive).
+  sim::VAddr sync_table_base_ = 0;
+  size_t sync_table_pages_ = 0;
+  rdma::MrKeys sync_table_keys_;
+  uint32_t sync_table_slots_ = 0;
 
   // Background scheduler (DESIGN.md §9, generalized in §11): one
   // duty-cycled thread that runs the compaction pass (when

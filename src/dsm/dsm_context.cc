@@ -97,6 +97,30 @@ Status DsmContext::DirectRead(const core::GlobalAddr& addr, void* buf,
   return (*ctx)->DirectRead(addr, buf, size);
 }
 
+Status DsmContext::DirectReadBatch(const core::GlobalAddr* addrs, size_t n,
+                                   void* bufs, size_t size, Status* statuses) {
+  Status first;
+  uint8_t* out = static_cast<uint8_t*>(bufs);
+  size_t i = 0;
+  while (i < n) {
+    // Coalesce the run of consecutive same-node addresses into one batch.
+    const int node = NodeOf(addrs[i]);
+    size_t j = i + 1;
+    while (j < n && NodeOf(addrs[j]) == node) ++j;
+    auto ctx = Route(addrs[i]);
+    if (!ctx.ok()) {
+      for (size_t k = i; k < j; ++k) statuses[k] = ctx.status();
+      if (first.ok()) first = ctx.status();
+    } else {
+      Status st = (*ctx)->DirectReadBatch(addrs + i, j - i, out + i * size,
+                                          size, statuses + i);
+      if (!st.ok() && first.ok()) first = st;
+    }
+    i = j;
+  }
+  return first;
+}
+
 Status DsmContext::ScanRead(core::GlobalAddr* addr, void* buf, size_t size) {
   auto ctx = Route(*addr);
   CORM_RETURN_NOT_OK(ctx.status());

@@ -34,6 +34,12 @@ class DsmContext {
   Status Read(core::GlobalAddr* addr, void* buf, size_t size);
   Status Write(core::GlobalAddr* addr, const void* buf, size_t size);
   Status DirectRead(const core::GlobalAddr& addr, void* buf, size_t size);
+  // Chained multi-object DirectRead (DESIGN.md §12): consecutive
+  // same-node runs of `addrs` coalesce into one doorbell-batched post on
+  // that node's context. `bufs` strides by `size`; per-object outcomes in
+  // `statuses`. Returns the first failure (OK when all succeeded).
+  Status DirectReadBatch(const core::GlobalAddr* addrs, size_t n, void* bufs,
+                         size_t size, Status* statuses);
   Status ScanRead(core::GlobalAddr* addr, void* buf, size_t size);
   Status ReleasePtr(core::GlobalAddr* addr);
   Status ReadWithRecovery(

@@ -244,7 +244,10 @@ Status ReplicatedContext::Write(ReplicatedAddr* addr, const void* buf,
   size_t open = pending.size();
   int round = 0;
   uint64_t ack_ns = 0;
+  std::vector<int> poll_sessions;
+  poll_sessions.reserve(pending.size());
   while (open > 0 && !deadline.Expired()) {
+    poll_sessions.clear();
     for (auto& p : pending) {
       if (p.done) continue;
       if (!ReplicaLive(cluster, NodeOf(addr->replicas[p.r]))) {
@@ -253,20 +256,33 @@ Status ReplicatedContext::Write(ReplicatedAddr* addr, const void* buf,
         degraded = true;
         continue;
       }
-      const uint64_t poll_ns0 = shipper_.modeled_ns();
-      auto applied = shipper_.ReadApplied(p.session);
-      if (applied.ok() && *applied >= p.seq) {
+      poll_sessions.push_back(p.session);
+    }
+    if (poll_sessions.empty()) break;
+    // Coalesced high-water poll (DESIGN.md §12): every open replica's
+    // applied_seq word is fetched in one chained post over the sessions'
+    // shared CQ — one doorbell + one completion per round instead of one
+    // full round trip per replica.
+    const uint64_t poll_ns0 = shipper_.modeled_ns();
+    if (shipper_.ReadAppliedBatch(poll_sessions.data(), poll_sessions.size())
+            .ok()) {
+      ++shard.doorbell_batches;
+      shard.doorbell_batched_wrs += poll_sessions.size();
+    }
+    const uint64_t round_poll_ns = shipper_.modeled_ns() - poll_ns0;
+    for (auto& p : pending) {
+      if (p.done) continue;
+      if (shipper_.acked(p.session) >= p.seq) {
         p.done = true;
         --open;
         any_durable = true;
-        // Per-replica op cost = its record write + the high-water read
-        // that *observed* the ack. The fan-out is concurrent (the writer
-        // posts every replica's WRITE back to back) and the intermediate
-        // poll count is a wall-clock artifact of running applier threads
-        // at host speed, so the write's modeled latency is the slowest
-        // replica's write+ack pair — not the sum of every poll.
-        ack_ns = std::max(
-            ack_ns, p.ship_ns + (shipper_.modeled_ns() - poll_ns0));
+        // Per-replica op cost = its record write + the chained high-water
+        // poll that *observed* the ack. The fan-out is concurrent (the
+        // writer posts every replica's WRITE back to back) and the
+        // intermediate poll count is a wall-clock artifact of running
+        // applier threads at host speed, so the write's modeled latency is
+        // the slowest replica's write+ack pair — not the sum of every poll.
+        ack_ns = std::max(ack_ns, p.ship_ns + round_poll_ns);
       }
     }
     if (open == 0) break;

@@ -135,6 +135,55 @@ Result<uint64_t> ReplicaLogShipper::ReadApplied(int session) {
   return word;
 }
 
+Result<uint64_t> ReplicaLogShipper::ReadAppliedBatch(const int* sessions,
+                                                     size_t n) {
+  // Fixed chain width keeps this allocation-free (hotpath discipline):
+  // wider polls run as back-to-back chains.
+  constexpr size_t kChain = 16;
+  uint64_t total_ns = 0;
+  while (n > 0) {
+    const size_t k = n < kChain ? n : kChain;
+    QueuePair* qps[kChain];
+    WorkRequest wrs[kChain];
+    uint64_t words[kChain] = {};
+    for (size_t i = 0; i < k; ++i) {
+      Session& s = *sessions_[sessions[i]];
+      if (s.qp.state() == QueuePair::State::kError) {
+        const uint64_t reconnect_ns = s.qp.Reconnect();
+        modeled_ns_ += reconnect_ns;
+        total_ns += reconnect_ns;
+      }
+      uint64_t delay_ns = 0;
+      if (auto* inj = sim::GlobalFaultInjector();
+          inj != nullptr &&
+          inj->ShouldFire(sim::fault_sites::kReplAckDelay, &delay_ns)) {
+        sim::Pace(delay_ns);
+        modeled_ns_ += delay_ns;
+        total_ns += delay_ns;
+      }
+      qps[i] = &s.qp;
+      wrs[i] = WorkRequest{};
+      wrs[i].op = WorkRequest::Op::kRead;
+      wrs[i].r_key = s.r_key;
+      wrs[i].addr = s.base;
+      wrs[i].buf = &words[i];
+      wrs[i].len = sizeof(uint64_t);
+    }
+    auto ns = PostBatchShared(qps, wrs, k);
+    CORM_RETURN_NOT_OK(ns.status());
+    modeled_ns_ += *ns;
+    total_ns += *ns;
+    for (size_t i = 0; i < k; ++i) {
+      if (!wrs[i].status.ok()) continue;  // flushed mid-chain: next round
+      Session& s = *sessions_[sessions[i]];
+      if (words[i] > s.acked) s.acked = words[i];
+    }
+    sessions += k;
+    n -= k;
+  }
+  return total_ns;
+}
+
 Status ReplicaLogShipper::Retransmit(int session) {
   Session& s = *sessions_[session];
   for (uint64_t seq = s.acked + 1; seq < s.next; ++seq) {

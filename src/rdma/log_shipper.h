@@ -64,6 +64,15 @@ class ReplicaLogShipper {
   // modeled time before the read completes.
   Result<uint64_t> ReadApplied(int session);
 
+  // Coalesced ack poll: reads the applied_seq word of every listed session
+  // in chained posts over the sessions' shared completion queue, paying one
+  // doorbell + one completion per chain instead of a full round trip per
+  // replica (DESIGN.md §12). Each session's ack cursor advances exactly as
+  // ReadApplied would. A QP found broken is reconnected before the chain;
+  // one broken *mid-chain* simply misses this round and is retried by the
+  // caller's next poll. Returns the modeled ns charged for the whole call.
+  Result<uint64_t> ReadAppliedBatch(const int* sessions, size_t n);
+
   // Re-writes every staged record in (acked, next) verbatim.
   Status Retransmit(int session);
 

@@ -18,6 +18,39 @@
 
 namespace corm::rdma {
 
+class QueuePair;
+
+// One work request inside a chained post (ibv_send_wr analogue). The
+// poster fills the input fields; PostBatch fills `old_value` (atomics) and
+// `status` per WR — the per-WR CQE. Reads/writes scatter through `buf`;
+// atomics operate on one naturally-aligned 8-byte remote word.
+struct WorkRequest {
+  enum class Op : uint8_t { kRead, kWrite, kCas, kFetchAdd };
+
+  Op op = Op::kRead;
+  RKey r_key = 0;
+  sim::VAddr addr = 0;
+  void* buf = nullptr;     // read destination / write source (kRead/kWrite)
+  size_t len = 0;          // byte count for kRead/kWrite
+  uint64_t compare = 0;    // kCas: expected remote word
+  uint64_t operand = 0;    // kCas: swap value; kFetchAdd: addend
+  uint64_t old_value = 0;  // out (atomics): the word's prior contents
+  Status status;           // out: per-WR completion status
+};
+
+// Chained post with selective signaling across one or more QPs sharing a
+// completion queue: qps[i] executes wrs[i]. One doorbell charge covers the
+// chain (per-QP MMIO posts are back-to-back, overlapped with the first wire
+// leg) and only the final WR is signaled, so the batch pays
+// DoorbellNs + sum(wire legs) + CompletionNs — the LatencyModel::RdmaBatchNs
+// shape — instead of n full round trips. Per-WR failures land in
+// wrs[i].status (a WR that breaks its QP flushes that QP's remaining WRs
+// with kQpBroken, IB flush semantics); the call itself only fails when
+// every QP was already broken on entry or n == 0. Returns the total
+// modeled ns, already paced.
+Result<uint64_t> PostBatchShared(QueuePair* const* qps, WorkRequest* wrs,
+                                 size_t n);
+
 class QueuePair {
  public:
   enum class State { kConnected, kError };
@@ -39,6 +72,18 @@ class QueuePair {
   Result<uint64_t> Write(RKey r_key, sim::VAddr addr, const void* data,
                          size_t len);
 
+  // One-sided masked atomics on a remote 8-byte word (the synchronization
+  // verbs of DESIGN.md §12). `*old_value` receives the prior contents; a
+  // CAS succeeded iff *old_value == compare. Charged as a single-WR post
+  // (doorbell + wire + RMW + completion) and paced.
+  Result<uint64_t> CompareSwap(RKey r_key, sim::VAddr addr, uint64_t compare,
+                               uint64_t swap, uint64_t* old_value);
+  Result<uint64_t> FetchAdd(RKey r_key, sim::VAddr addr, uint64_t addend,
+                            uint64_t* old_value);
+
+  // Chained post on this QP alone (see PostBatchShared above).
+  Result<uint64_t> PostBatch(WorkRequest* wrs, size_t n);
+
   // Re-establishes a broken connection. Models the paper's "few
   // milliseconds" of reconnection cost.
   uint64_t Reconnect();
@@ -49,15 +94,34 @@ class QueuePair {
   uint64_t reconnects() const {
     return reconnects_.load(std::memory_order_relaxed);
   }
+  uint64_t batches_posted() const {
+    return batches_posted_.load(std::memory_order_relaxed);
+  }
+  uint64_t batched_wrs() const {
+    return batched_wrs_.load(std::memory_order_relaxed);
+  }
+
+  const sim::LatencyModel& model() const { return rnic_->model(); }
 
  private:
+  friend Result<uint64_t> PostBatchShared(QueuePair* const*, WorkRequest*,
+                                          size_t);
+
   Result<uint64_t> Access(RKey r_key, sim::VAddr addr, void* buf, size_t len,
                           bool is_write);
+
+  // Executes one WR unpaced: runs the MTT access/atomic, fills the WR's
+  // out-fields, and returns the modeled wire-side cost of this WR alone
+  // (wire leg + MTT faults + RMW; no doorbell/completion — the batch
+  // poster charges those once per chain).
+  uint64_t ExecuteWr(WorkRequest* wr);
 
   Rnic* const rnic_;
   std::atomic<State> state_{State::kConnected};
   std::atomic<uint64_t> reads_issued_{0};
   std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> batches_posted_{0};
+  std::atomic<uint64_t> batched_wrs_{0};
 };
 
 }  // namespace corm::rdma

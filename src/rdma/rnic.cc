@@ -324,6 +324,74 @@ Result<uint64_t> Rnic::MttAccess(RKey r_key, sim::VAddr addr, void* buf,
   return fault_ns;
 }
 
+Result<uint64_t> Rnic::MttAtomic(RKey r_key, sim::VAddr addr, bool is_cas,
+                                 uint64_t compare, uint64_t operand,
+                                 uint64_t* old_value, bool* broke_qp) {
+  *broke_qp = false;
+  if (auto* fi = sim::GlobalFaultInjector();
+      fi != nullptr && fi->ShouldFire(sim::fault_sites::kQpBreak)) {
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    *broke_qp = true;
+    return Status::QpBroken("injected QP break");
+  }
+  if (addr % sizeof(uint64_t) != 0) {
+    // The IB spec only defines atomics on naturally-aligned 8-byte words.
+    *broke_qp = true;
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    return Status::QpBroken("remote atomic on unaligned address");
+  }
+  auto mr = Lookup(r_key);
+  if (!mr) {
+    *broke_qp = true;
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    return Status::QpBroken("remote access error: unknown r_key");
+  }
+  if (!mr->Covers(addr, sizeof(uint64_t))) {
+    *broke_qp = true;
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    return Status::QpBroken("remote access error: out of region bounds");
+  }
+  if (mr->reregistering_.load(std::memory_order_acquire)) {
+    *broke_qp = true;
+    stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+    return Status::QpBroken("access during memory re-registration");
+  }
+  stats_.atomics.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t fault_ns = MttCacheAccess(addr);
+  LockGuard<Mutex> elock(mr->entries_mu_);
+  const size_t page_idx = (addr - mr->base_) >> sim::kVPageShift;
+  auto& entry = mr->entries_[page_idx];
+  if (!entry.valid) {
+    if (!mr->odp_) {
+      *broke_qp = true;
+      stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+      return Status::QpBroken("MTT entry invalid on non-ODP region");
+    }
+    Status st = ResolveEntryLocked(mr.get(), page_idx);
+    if (!st.ok()) {
+      *broke_qp = true;
+      stats_.qp_breaks.fetch_add(1, std::memory_order_relaxed);
+      return Status::QpBroken("ODP fault on unmapped page: " + st.message());
+    }
+    fault_ns += model_.OdpMissNs();
+    stats_.odp_faults.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto* word = reinterpret_cast<uint64_t*>(
+      space_->physical_memory()->FrameData(entry.frame) +
+      sim::PageOffset(addr));
+  std::atomic_ref<uint64_t> ref(*word);
+  if (is_cas) {
+    uint64_t expected = compare;
+    ref.compare_exchange_strong(expected, operand,
+                                std::memory_order_acq_rel);
+    *old_value = expected;  // prior contents whether or not the CAS won
+  } else {
+    *old_value = ref.fetch_add(operand, std::memory_order_acq_rel);
+  }
+  return fault_ns;
+}
+
 void Rnic::OnMappingChange(sim::VAddr page) {
   // Regions are disjoint: find the (at most one) region covering `page`
   // via the base-ordered index, then invalidate under the region's lock.

@@ -53,14 +53,45 @@ struct LatencyModel {
   uint64_t RnicReadServiceNs() const { return 360; }
 
   // --- Network round trips (Fig. 9, §4.1 prose). ---
-  // One-sided RDMA read round trip for `bytes` of payload. 1.7 us base,
-  // FDR-like ~6.8 GB/s on-wire bandwidth.
+  // The round-trip constants decompose into the verbs cost structure the
+  // SIGMOD'23 one-sided-synchronization guidelines use: a doorbell (MMIO
+  // write posting the work request), the wire/NIC round trip, and the
+  // completion (CQE write + poll). The compositions below reproduce the
+  // calibrated 1.7 us one-sided / 2.6 us two-sided totals exactly; the
+  // split is what lets a chained post with selective signaling amortize
+  // the doorbell + completion across a whole batch (DESIGN.md §12).
+  uint64_t DoorbellNs() const { return 600; }    // WR post + MMIO doorbell
+  uint64_t CompletionNs() const { return 300; }  // CQE write + poll
+  // Wire + NIC processing for `bytes` of payload: FDR-like ~6.8 GB/s.
+  uint64_t RdmaWireNs(uint64_t bytes) const { return 800 + bytes * 147 / 1000; }
+  // Extra PCIe round trip the RNIC pays to execute a masked atomic
+  // (CAS / fetch-add) against host memory.
+  uint64_t AtomicRmwNs() const { return 250; }
+  // One-sided RDMA read round trip for `bytes` of payload (1.7 us base).
   uint64_t RdmaReadNs(uint64_t bytes) const {
-    return 1700 + bytes * 147 / 1000;
+    return DoorbellNs() + RdmaWireNs(bytes) + CompletionNs();
+  }
+  // One-sided RDMA atomic on an 8-byte word (CAS / fetch-add).
+  uint64_t RdmaAtomicNs() const {
+    return RdmaReadNs(sizeof(uint64_t)) + AtomicRmwNs();
+  }
+  // Chained post of `wrs` work requests carrying `total_bytes` overall with
+  // selective signaling: one doorbell rings the whole chain and only the
+  // last WR generates a completion, so the per-verb overhead is paid once
+  // while every WR still pays its wire leg. `atomics` of the WRs are
+  // masked-atomic verbs (each adds the RMW round trip).
+  uint64_t RdmaBatchNs(uint64_t wrs, uint64_t total_bytes,
+                       uint64_t atomics = 0) const {
+    return DoorbellNs() + wrs * RdmaWireNs(0) + total_bytes * 147 / 1000 +
+           atomics * AtomicRmwNs() + CompletionNs();
   }
   // Send/Recv RPC round trip carrying `bytes` of payload (the larger
-  // direction). Two-sided adds ~0.9 us of doorbell + CPU wakeup.
-  uint64_t RpcNs(uint64_t bytes) const { return 2600 + bytes * 147 / 1000; }
+  // direction). Two-sided adds ~0.9 us: the responder's own doorbell +
+  // completion on the reply leg (the same calibrated constants as above —
+  // no more magic 2600 composite).
+  uint64_t RpcNs(uint64_t bytes) const {
+    return RdmaReadNs(bytes) + DoorbellNs() + CompletionNs();
+  }
   // TCP/IP over IPoIB on the same link (paper: 17 us) — reference only.
   uint64_t TcpNs(uint64_t bytes) const { return 17000 + bytes * 400 / 1000; }
 

@@ -1,0 +1,147 @@
+// RDMA-CAS test-and-set spinlock (DESIGN.md §12, scheme `cas_spinlock`).
+//
+// One packed word per slot: {held, owner, generation}. Acquire CASes the
+// free word to {held=1, us, gen+1}; every attempt is RetryState-bounded
+// (exponential backoff + deadline — rule 8 of the project lint applies to
+// this file, so no raw spin loops). A waiter that watches the *same* held
+// word for `lease_ns` of wall-clock declares the holder crashed (fault
+// site sync.holder_crash models exactly that) and steals the slot with a
+// generation-bumping CAS. Because the generation moved, the dead — or
+// merely slow — holder's eventual release CAS compares against a word that
+// no longer exists and fails harmlessly; the guidelines paper's cure for
+// the unlock-after-steal race. A slow holder stolen from loses only its
+// lock-scheme courtesy, never data: the object seqlock underneath still
+// orders the bytes.
+
+#include "sim/fault_injector.h"
+#include "sim/latency_model.h"
+#include "sync/scheme_internal.h"
+
+namespace corm::sync {
+namespace {
+
+class CasSpinlockScheme final : public RemoteSyncScheme {
+ public:
+  CasSpinlockScheme(SyncMedium* medium, const LockTableCoords& table,
+            const SchemeOptions& options, uint16_t owner_id)
+      : RemoteSyncScheme(medium, table, options, owner_id) {}
+
+  SchemeKind kind() const override { return SchemeKind::kCasSpinlock; }
+
+  Status GuardedRead(const core::GlobalAddr& addr, void* buf,
+                     size_t size) override {
+    // Exclusive-lock readers: serialize against scheme-abiding writers,
+    // then take the validated snapshot. Validation stays on — a
+    // non-scheme writer (server-side compaction, a crashed holder's
+    // in-flight RPC) can still move bytes under us.
+    CORM_RETURN_NOT_OK(AcquireSlot(addr));
+    Status read = medium_->SnapshotRead(addr, buf, size);
+    Status release = ReleaseSlot(addr);
+    return read.ok() ? release : read;
+  }
+
+  Status AcquireWrite(const core::GlobalAddr& addr) override {
+    return AcquireSlot(addr);
+  }
+
+  Status ReleaseWrite(const core::GlobalAddr& addr) override {
+    // Fault site sync.holder_crash: the holder dies between its write and
+    // its unlock. The slot stays marked held until a waiter's lease
+    // expires and it steals the generation.
+    if (auto* inj = sim::GlobalFaultInjector();
+        inj != nullptr && inj->ShouldFire(sim::fault_sites::kSyncHolderCrash)) {
+      return Status::OK();
+    }
+    return ReleaseSlot(addr);
+  }
+
+ private:
+  Status AcquireSlot(const core::GlobalAddr& addr) {
+    const sim::VAddr lock_addr = LockWordAddr(addr);
+    RetryState retry(options_.lock_retry, medium_->SyncJitterSeed());
+    // The word we will CAS from: starts as the pristine free word; every
+    // failed CAS teaches us the word's real contents.
+    uint64_t expected_free = CasLockWord{}.Pack();
+    uint64_t watched = 0;  // last held word observed (lease tracking)
+    Deadline lease(options_.lease_ns);
+    bool lease_armed = false;
+    while (retry.NextAttempt()) {
+      const CasLockWord want{/*held=*/true, owner_id_,
+                             CasLockWord::Unpack(expected_free).gen + 1};
+      uint64_t prior = 0;
+      CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr,
+                                          expected_free, want.Pack(), &prior));
+      if (prior == expected_free) {
+        held_word_ = want.Pack();
+        medium_->CountSyncEvent(SyncEvent::kLockAcquire);
+        return Status::OK();
+      }
+      const CasLockWord seen = CasLockWord::Unpack(prior);
+      if (!seen.held) {
+        // Free, but at a generation we hadn't seen: retry right away with
+        // the learned word.
+        expected_free = prior;
+        continue;
+      }
+      medium_->CountSyncEvent(SyncEvent::kLockConflict);
+      if (!lease_armed || prior != watched) {
+        // New (or changed) holder: restart its lease clock.
+        watched = prior;
+        lease = Deadline(options_.lease_ns);
+        lease_armed = true;
+      } else if (lease.Expired()) {
+        // Holder froze for a whole lease: presume it crashed and steal.
+        const CasLockWord steal{/*held=*/true, owner_id_, seen.gen + 1};
+        uint64_t stolen_prior = 0;
+        CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr, prior,
+                                            steal.Pack(), &stolen_prior));
+        if (stolen_prior == prior) {
+          held_word_ = steal.Pack();
+          medium_->CountSyncEvent(SyncEvent::kLockSteal);
+          medium_->CountSyncEvent(SyncEvent::kLockAcquire);
+          return Status::OK();
+        }
+        // The word moved after all (live holder, or a racing thief won):
+        // restart the lease on whatever is there now.
+        watched = stolen_prior;
+        lease = Deadline(options_.lease_ns);
+        if (!CasLockWord::Unpack(stolen_prior).held) {
+          expected_free = stolen_prior;
+        }
+      }
+      sim::Pace(retry.BackoffNs());
+    }
+    medium_->CountSyncEvent(SyncEvent::kLockTimeout);
+    return Status::Timeout("cas_spinlock acquire: retry budget expired");
+  }
+
+  Status ReleaseSlot(const core::GlobalAddr& addr) {
+    const sim::VAddr lock_addr = LockWordAddr(addr);
+    const CasLockWord held = CasLockWord::Unpack(held_word_);
+    // Release keeps our generation so the next acquirer's gen+1 continues
+    // the stream.
+    const CasLockWord free_word{/*held=*/false, /*owner=*/0, held.gen};
+    uint64_t prior = 0;
+    CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr, held_word_,
+                                        free_word.Pack(), &prior));
+    // prior != held_word_ => a lease thief took the slot from us while we
+    // dawdled; the stale release correctly did nothing.
+    return Status::OK();
+  }
+
+  // The word we hold (a context has at most one write lock outstanding).
+  uint64_t held_word_ = 0;
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<RemoteSyncScheme> MakeCasSpinlockScheme(
+    SyncMedium* medium, const LockTableCoords& table,
+    const SchemeOptions& options, uint16_t owner_id) {
+  return std::make_unique<CasSpinlockScheme>(medium, table, options, owner_id);
+}
+
+}  // namespace internal
+}  // namespace corm::sync

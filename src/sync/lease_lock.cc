@@ -1,0 +1,213 @@
+// Lease/epoch reader-writer lock (DESIGN.md §12, scheme `lease_rw`).
+//
+// One packed word per slot: {epoch, writer, readers}. Readers enter with a
+// single FETCH_ADD(+1) — if the returned word shows no writer they are
+// admitted (one RTT, like the guidelines paper's reader-optimized locks) —
+// and leave with FETCH_ADD(-1). Writers CAS the word from
+// {epoch, writer=0, readers=0} to {epoch, us, 0}.
+//
+// The epoch half reuses the PR-7 seal machinery: word 0 of the lock table
+// is the node's sync epoch, bumped whenever a failover seal record is
+// applied (CormNode::SealSyncEpoch). A writer preflights with a *chained*
+// read of [epoch word, lock word] — one doorbell, one completion — and a
+// lock word stamped with an older epoch is fenced: whatever holder it
+// names predates the seal, so its lease is void and the word is CAS-reset
+// to the current epoch. The fenced holder's own release then observes the
+// epoch moved and backs off without touching the word. This is exactly the
+// stale-epoch rejection the replicated log applies to log records, ported
+// to lock words.
+//
+// Liveness against crashes mirrors cas_lock.cc: a waiter that watches an
+// unchanged owner for `lease_ns` steals the slot (readers and writer
+// alike — a wedged reader count is indistinguishable from a crashed
+// reader). Correctness never rides on the lease: the object seqlock
+// beneath still validates every snapshot.
+
+#include "sim/fault_injector.h"
+#include "sim/latency_model.h"
+#include "sync/scheme_internal.h"
+
+namespace corm::sync {
+namespace {
+
+class LeaseRwScheme final : public RemoteSyncScheme {
+ public:
+  LeaseRwScheme(SyncMedium* medium, const LockTableCoords& table,
+        const SchemeOptions& options, uint16_t owner_id)
+      : RemoteSyncScheme(medium, table, options, owner_id) {}
+
+  SchemeKind kind() const override { return SchemeKind::kLeaseRw; }
+
+  Status GuardedRead(const core::GlobalAddr& addr, void* buf,
+                     size_t size) override {
+    const sim::VAddr lock_addr = LockWordAddr(addr);
+    RetryState retry(options_.lock_retry, medium_->SyncJitterSeed());
+    uint16_t watched_writer = 0;
+    Deadline lease(options_.lease_ns);
+    bool lease_armed = false;
+    while (retry.NextAttempt()) {
+      uint64_t prior = 0;
+      CORM_RETURN_NOT_OK(
+          medium_->LockFetchAdd(table_.r_key, lock_addr, 1, &prior));
+      const RwLockWord seen = RwLockWord::Unpack(prior);
+      if (seen.writer == 0) {
+        // Admitted. (Readers ignore the epoch field: a stale-epoch word
+        // only mis-admits us alongside a fenced holder, and the snapshot
+        // validation below rejects any bytes that holder tears.)
+        medium_->CountSyncEvent(SyncEvent::kLockAcquire);
+        Status read = medium_->SnapshotRead(addr, buf, size);
+        uint64_t exit_prior = 0;
+        // Our own +1 is still in the count, so -1 cannot underflow into
+        // the writer field.
+        Status exit = medium_->LockFetchAdd(table_.r_key, lock_addr,
+                                            ~uint64_t{0}, &exit_prior);
+        return read.ok() ? exit : read;
+      }
+      // Writer present: undo the speculative entry and back off.
+      uint64_t undo_prior = 0;
+      CORM_RETURN_NOT_OK(medium_->LockFetchAdd(table_.r_key, lock_addr,
+                                               ~uint64_t{0}, &undo_prior));
+      medium_->CountSyncEvent(SyncEvent::kLockConflict);
+      if (!lease_armed || seen.writer != watched_writer) {
+        watched_writer = seen.writer;
+        lease = Deadline(options_.lease_ns);
+        lease_armed = true;
+      } else if (lease.Expired()) {
+        // Writer froze for a whole lease: presume crash, clear it. Keep
+        // the reader count (live readers may be present); the CAS target
+        // is the word as we last saw it post-undo.
+        const uint64_t word_now = undo_prior - 1;
+        RwLockWord cleared = RwLockWord::Unpack(word_now);
+        cleared.writer = 0;
+        uint64_t steal_prior = 0;
+        CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr, word_now,
+                                            cleared.Pack(), &steal_prior));
+        if (steal_prior == word_now) {
+          medium_->CountSyncEvent(SyncEvent::kLockSteal);
+          continue;  // next attempt re-enters
+        }
+        lease = Deadline(options_.lease_ns);
+      }
+      sim::Pace(retry.BackoffNs());
+    }
+    medium_->CountSyncEvent(SyncEvent::kLockTimeout);
+    return Status::Timeout("lease_rw read admission: retry budget expired");
+  }
+
+  Status AcquireWrite(const core::GlobalAddr& addr) override {
+    const sim::VAddr lock_addr = LockWordAddr(addr);
+    RetryState retry(options_.lock_retry, medium_->SyncJitterSeed());
+    uint64_t watched = 0;
+    Deadline lease(options_.lease_ns);
+    bool lease_armed = false;
+    while (retry.NextAttempt()) {
+      // Chained preflight: epoch word + lock word in one doorbell.
+      uint64_t epoch_word = 0;
+      uint64_t lock_word = 0;
+      CORM_RETURN_NOT_OK(medium_->LockReadPair(table_.r_key, EpochWordAddr(),
+                                               lock_addr, &epoch_word,
+                                               &lock_word));
+      const uint16_t cur_epoch = static_cast<uint16_t>(epoch_word);
+      const RwLockWord seen = RwLockWord::Unpack(lock_word);
+      if (seen.epoch != cur_epoch) {
+        // Stale-epoch word: every lease minted under the old epoch died
+        // with the seal (PR-7 fencing). Reset and grab in one CAS.
+        const RwLockWord fenced{cur_epoch, owner_id_, /*readers=*/0};
+        uint64_t prior = 0;
+        CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr,
+                                            lock_word, fenced.Pack(), &prior));
+        if (prior == lock_word) {
+          medium_->CountSyncEvent(SyncEvent::kEpochFence);
+          medium_->CountSyncEvent(SyncEvent::kLockAcquire);
+          held_epoch_ = cur_epoch;
+          return Status::OK();
+        }
+        continue;  // someone else fenced first; re-read
+      }
+      if (seen.writer == 0 && seen.readers == 0) {
+        const RwLockWord want{cur_epoch, owner_id_, /*readers=*/0};
+        uint64_t prior = 0;
+        CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr,
+                                            lock_word, want.Pack(), &prior));
+        if (prior == lock_word) {
+          medium_->CountSyncEvent(SyncEvent::kLockAcquire);
+          held_epoch_ = cur_epoch;
+          return Status::OK();
+        }
+        continue;  // lost the race; re-read without backoff
+      }
+      medium_->CountSyncEvent(SyncEvent::kLockConflict);
+      if (!lease_armed || lock_word != watched) {
+        watched = lock_word;
+        lease = Deadline(options_.lease_ns);
+        lease_armed = true;
+      } else if (lease.Expired()) {
+        // The whole word (writer and reader count) froze for a lease:
+        // crashed holder(s). Take the slot under the current epoch.
+        const RwLockWord steal{cur_epoch, owner_id_, /*readers=*/0};
+        uint64_t prior = 0;
+        CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr,
+                                            lock_word, steal.Pack(), &prior));
+        if (prior == lock_word) {
+          medium_->CountSyncEvent(SyncEvent::kLockSteal);
+          medium_->CountSyncEvent(SyncEvent::kLockAcquire);
+          held_epoch_ = cur_epoch;
+          return Status::OK();
+        }
+        lease = Deadline(options_.lease_ns);
+      }
+      sim::Pace(retry.BackoffNs());
+    }
+    medium_->CountSyncEvent(SyncEvent::kLockTimeout);
+    return Status::Timeout("lease_rw write acquire: retry budget expired");
+  }
+
+  Status ReleaseWrite(const core::GlobalAddr& addr) override {
+    if (auto* inj = sim::GlobalFaultInjector();
+        inj != nullptr && inj->ShouldFire(sim::fault_sites::kSyncHolderCrash)) {
+      return Status::OK();
+    }
+    const sim::VAddr lock_addr = LockWordAddr(addr);
+    RetryState retry(options_.lock_retry, medium_->SyncJitterSeed());
+    while (retry.NextAttempt()) {
+      uint64_t lock_word = 0;
+      CORM_RETURN_NOT_OK(
+          medium_->LockRead(table_.r_key, lock_addr, &lock_word));
+      const RwLockWord seen = RwLockWord::Unpack(lock_word);
+      if (seen.writer != owner_id_ || seen.epoch != held_epoch_) {
+        // Fenced by a seal or stolen after a lease: the slot is no longer
+        // ours to release. Backing off IS the correct release — touching
+        // the word now would clobber its new owner.
+        medium_->CountSyncEvent(SyncEvent::kEpochFence);
+        return Status::OK();
+      }
+      RwLockWord cleared = seen;
+      cleared.writer = 0;
+      uint64_t prior = 0;
+      CORM_RETURN_NOT_OK(medium_->LockCas(table_.r_key, lock_addr, lock_word,
+                                          cleared.Pack(), &prior));
+      if (prior == lock_word) return Status::OK();
+      // A reader bounced through between read and CAS; re-read (bounded by
+      // the retry deadline).
+      sim::Pace(retry.BackoffNs());
+    }
+    medium_->CountSyncEvent(SyncEvent::kLockTimeout);
+    return Status::Timeout("lease_rw release: retry budget expired");
+  }
+
+ private:
+  uint16_t held_epoch_ = 0;  // epoch our current write lock was minted under
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<RemoteSyncScheme> MakeLeaseRwScheme(
+    SyncMedium* medium, const LockTableCoords& table,
+    const SchemeOptions& options, uint16_t owner_id) {
+  return std::make_unique<LeaseRwScheme>(medium, table, options, owner_id);
+}
+
+}  // namespace internal
+}  // namespace corm::sync

@@ -1,0 +1,46 @@
+// Baseline scheme: CoRM's native lock-free versioned read (paper §3.2).
+// No lock traffic at all — the FaRM-style snapshot validation inside
+// SnapshotRead is the entire protocol, and write conflicts surface as
+// torn/locked statuses the caller's retry loop absorbs.
+
+#include "sync/scheme_internal.h"
+
+namespace corm::sync {
+namespace {
+
+class OptimisticScheme final : public RemoteSyncScheme {
+ public:
+  OptimisticScheme(SyncMedium* medium, const LockTableCoords& table,
+           const SchemeOptions& options, uint16_t owner_id)
+      : RemoteSyncScheme(medium, table, options, owner_id) {}
+
+  SchemeKind kind() const override { return SchemeKind::kOptimistic; }
+
+  Status GuardedRead(const core::GlobalAddr& addr, void* buf,
+                     size_t size) override {
+    return medium_->SnapshotRead(addr, buf, size);
+  }
+
+  Status AcquireWrite(const core::GlobalAddr&) override {
+    // The server-side object seqlock (header lock state) serializes
+    // writers; the client adds nothing.
+    return Status::OK();
+  }
+
+  Status ReleaseWrite(const core::GlobalAddr&) override {
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<RemoteSyncScheme> MakeOptimisticScheme(
+    SyncMedium* medium, const LockTableCoords& table,
+    const SchemeOptions& options, uint16_t owner_id) {
+  return std::make_unique<OptimisticScheme>(medium, table, options, owner_id);
+}
+
+}  // namespace internal
+}  // namespace corm::sync

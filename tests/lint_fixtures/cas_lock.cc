@@ -1,0 +1,32 @@
+// Rule-8 strict-mode fixture for the remote sync schemes. The file NAME is
+// the trigger: corm-tidy treats any path containing cas_lock.cc (or
+// src/sync/) as strict — a CAS spinlock spinning on a crashed holder's lock
+// word is exactly the hang rule 8 bans, so every wait must run under a
+// RetryPolicy budget and a lease Deadline. Stop flags do not bound strict
+// waits, sleeps are banned, and NOLINT is not honored.
+// EXPECT-LINE 19: corm-unbounded-wait
+// EXPECT-LINE 24: corm-unbounded-wait
+// EXPECT-LINE 25: corm-unbounded-wait
+// EXPECT-LINE 31: corm-unbounded-wait
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+void SpinUntilFree(std::atomic<unsigned long>& lock_word) {
+  std::atomic<bool> stop_requested{false};  // stop flags don't bound strict
+  // A crashed holder never clears the held bit: this loop spins forever
+  // instead of stealing via the lease path.
+  while (lock_word.load() != 0 && !stop_requested.load()) {  // fires: strict
+  }
+}
+
+void SpinSuppressed(std::atomic<bool>& held) {
+  // Attempted escape; strict mode flags the marker itself. NOLINT(corm-unbounded-wait)
+  while (held.load()) {
+  }
+}
+
+void BackoffSleep() {
+  // Lock backoff must go through sim::Pace, never a real sleep.
+  std::this_thread::sleep_for(std::chrono::microseconds(10));
+}

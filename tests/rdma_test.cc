@@ -246,6 +246,156 @@ TEST_F(RnicTest, RdmaWrite) {
   EXPECT_EQ(cpu, value);
 }
 
+// --- Doorbell/completion batching (DESIGN.md §12) ---------------------------
+
+TEST_F(RnicTest, PostBatchChainsReadsForOneDoorbell) {
+  constexpr size_t kWrs = 8;
+  constexpr size_t kSlot = 64;
+  VAddr base = MapPages(1);
+  std::vector<uint8_t> data(kWrs * kSlot);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(space_.WriteVirtual(base, data.data(), data.size()).ok());
+  auto keys = rnic_.RegisterMemory(base, 1, false);
+  ASSERT_TRUE(keys.ok());
+
+  QueuePair qp(&rnic_);
+  std::vector<uint8_t> out(kWrs * kSlot);
+  // Warm the MTT cache so the chain's cost is pure verb overhead.
+  ASSERT_TRUE(qp.Read(keys->r_key, base, out.data(), out.size()).ok());
+  WorkRequest wrs[kWrs];
+  for (size_t i = 0; i < kWrs; ++i) {
+    wrs[i].op = WorkRequest::Op::kRead;
+    wrs[i].r_key = keys->r_key;
+    wrs[i].addr = base + i * kSlot;
+    wrs[i].buf = out.data() + i * kSlot;
+    wrs[i].len = kSlot;
+  }
+  auto total = qp.PostBatch(wrs, kWrs);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(out, data);
+  for (const WorkRequest& wr : wrs) EXPECT_TRUE(wr.status.ok());
+
+  // The chain pays exactly one doorbell + one completion (selective
+  // signaling): the RdmaBatchNs shape, ≥1.5x cheaper than n round trips.
+  // Per-WR integer rounding of the byte leg can undershoot the aggregate
+  // formula by at most 1 ns per WR.
+  const LatencyModel& model = qp.model();
+  EXPECT_GE(*total, model.RdmaBatchNs(kWrs, kWrs * kSlot, 0) - kWrs);
+  EXPECT_LE(*total, model.RdmaBatchNs(kWrs, kWrs * kSlot, 0));
+  EXPECT_GE(kWrs * model.RdmaReadNs(kSlot), *total * 3 / 2);
+  EXPECT_EQ(qp.batches_posted(), 1u);
+  EXPECT_EQ(qp.batched_wrs(), kWrs);
+}
+
+TEST_F(RnicTest, PostBatchAtomicsCoherentWithCpu) {
+  VAddr base = MapPages(1);
+  const uint64_t initial = 40;
+  ASSERT_TRUE(space_.WriteVirtual(base, &initial, 8).ok());
+  auto keys = rnic_.RegisterMemory(base, 1, false);
+  ASSERT_TRUE(keys.ok());
+  QueuePair qp(&rnic_);
+  uint64_t warm = 0;
+  ASSERT_TRUE(qp.Read(keys->r_key, base, &warm, 8).ok());  // warm the MTT
+
+  // FETCH_ADD then CAS on the same word, chained; old_value is the per-WR
+  // CQE payload, so the CAS sees the FETCH_ADD's result.
+  WorkRequest wrs[2];
+  wrs[0].op = WorkRequest::Op::kFetchAdd;
+  wrs[0].r_key = keys->r_key;
+  wrs[0].addr = base;
+  wrs[0].operand = 2;
+  wrs[1].op = WorkRequest::Op::kCas;
+  wrs[1].r_key = keys->r_key;
+  wrs[1].addr = base;
+  wrs[1].compare = 42;
+  wrs[1].operand = 99;
+  auto total = qp.PostBatch(wrs, 2);
+  ASSERT_TRUE(total.ok());
+  EXPECT_TRUE(wrs[0].status.ok());
+  EXPECT_TRUE(wrs[1].status.ok());
+  EXPECT_EQ(wrs[0].old_value, 40u);
+  EXPECT_EQ(wrs[1].old_value, 42u);  // CAS matched
+  // Atomics ride an 8-byte wire leg each; the aggregate formula charges the
+  // bytes once, so the chain lands between the 0-byte and 16-byte shapes.
+  EXPECT_GE(*total, qp.model().RdmaBatchNs(2, 0, 2));
+  EXPECT_LE(*total, qp.model().RdmaBatchNs(2, 16, 2));
+
+  uint64_t cpu = 0;
+  ASSERT_TRUE(space_.ReadVirtual(base, &cpu, 8).ok());
+  EXPECT_EQ(cpu, 99u);
+
+  // The single-WR verbs agree with the chain's end state.
+  uint64_t prior = 0;
+  ASSERT_TRUE(qp.CompareSwap(keys->r_key, base, 99, 7, &prior).ok());
+  EXPECT_EQ(prior, 99u);
+  ASSERT_TRUE(qp.FetchAdd(keys->r_key, base, 1, &prior).ok());
+  EXPECT_EQ(prior, 7u);
+  ASSERT_TRUE(space_.ReadVirtual(base, &cpu, 8).ok());
+  EXPECT_EQ(cpu, 8u);
+}
+
+TEST_F(RnicTest, PostBatchFlushesRemainingWrsOnBreak) {
+  VAddr base = MapPages(1);
+  auto keys = rnic_.RegisterMemory(base, 1, false);
+  ASSERT_TRUE(keys.ok());
+  QueuePair qp(&rnic_);
+
+  uint64_t words[3] = {0, 0, 0};
+  WorkRequest wrs[3];
+  for (int i = 0; i < 3; ++i) {
+    wrs[i].op = WorkRequest::Op::kRead;
+    wrs[i].r_key = keys->r_key;
+    wrs[i].addr = base + i * 8;
+    wrs[i].buf = &words[i];
+    wrs[i].len = 8;
+  }
+  wrs[1].r_key = 999;  // breaks the QP mid-chain
+
+  // IB flush semantics: the bad WR errors, later WRs on the same QP flush
+  // with kQpBroken, but the chain as a whole still completes.
+  auto total = qp.PostBatch(wrs, 3);
+  ASSERT_TRUE(total.ok());
+  EXPECT_TRUE(wrs[0].status.ok());
+  EXPECT_TRUE(wrs[1].status.IsQpBroken());
+  EXPECT_TRUE(wrs[2].status.IsQpBroken());
+  EXPECT_EQ(qp.state(), QueuePair::State::kError);
+
+  // A chain against an already-broken QP fails outright.
+  EXPECT_TRUE(qp.PostBatch(wrs, 3).status().IsQpBroken());
+}
+
+TEST_F(RnicTest, PostBatchSharedSurvivesOneBrokenQp) {
+  VAddr base = MapPages(1);
+  const uint64_t seeded = 0x5151515151515151ULL;
+  ASSERT_TRUE(space_.WriteVirtual(base, &seeded, 8).ok());
+  auto keys = rnic_.RegisterMemory(base, 1, false);
+  ASSERT_TRUE(keys.ok());
+  QueuePair good(&rnic_);
+  QueuePair bad(&rnic_);
+
+  uint64_t words[2] = {0, 0};
+  QueuePair* qps[2] = {&bad, &good};
+  WorkRequest wrs[2];
+  for (int i = 0; i < 2; ++i) {
+    wrs[i].op = WorkRequest::Op::kRead;
+    wrs[i].r_key = keys->r_key;
+    wrs[i].addr = base;
+    wrs[i].buf = &words[i];
+    wrs[i].len = 8;
+  }
+  wrs[0].r_key = 999;  // only the first QP breaks
+
+  auto total = PostBatchShared(qps, wrs, 2);
+  ASSERT_TRUE(total.ok());
+  EXPECT_TRUE(wrs[0].status.IsQpBroken());
+  EXPECT_TRUE(wrs[1].status.ok());
+  EXPECT_EQ(words[1], seeded);
+  EXPECT_EQ(bad.state(), QueuePair::State::kError);
+  EXPECT_EQ(good.state(), QueuePair::State::kConnected);
+  // The shared chain is one doorbell charge, counted on the lead QP.
+  EXPECT_EQ(bad.batches_posted() + good.batches_posted(), 1u);
+}
+
 // --- RPC transport -----------------------------------------------------------
 
 TEST(RpcTransportTest, RequestResponseRoundTrip) {
