@@ -10,7 +10,10 @@
 #include "common/logging.h"
 #include "core/object_layout.h"
 #include "core/rpc_protocol.h"
+#include "index/index_layout.h"
+#include "sim/fault_injector.h"
 #include "sim/latency_model.h"
+#include "sync/remote_seq.h"
 
 namespace corm::core {
 
@@ -489,6 +492,253 @@ Status Context::ReadWithRecovery(GlobalAddr* addr, void* buf, size_t size,
   stats_.timeouts++;
   return Status::Timeout("read recovery deadline expired (object stayed "
                          "locked, torn, or unreachable)");
+}
+
+// ---------------------------------------------------------------------------
+// Keyed access layer (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+Status Context::ProbeBuckets(uint64_t key, GlobalAddr* addr) {
+  const index::IndexTableCoords table = node_->index_table();
+  if (table.buckets == 0) return Status::NotFound("index table absent");
+  const uint64_t b1 = index::BucketOf(key, table.buckets);
+  const uint64_t b2 = index::AltBucketOf(key, table.buckets);
+
+  // Snapshot the epoch word and both candidate buckets, then re-read each
+  // bucket's seq word. The chain executes in order, so an unchanged, even
+  // seq across (snapshot, re-read) proves no writer touched the bucket in
+  // between — sync::SeqSnapshotConsistent, the bucket-sized twin of the
+  // object seqlock validation.
+  uint64_t epoch = 0;
+  index::IndexBucket snap[2];
+  uint64_t reseq[2] = {0, 0};
+  if (options_.local || !node_->config().doorbell_batching) {
+    CORM_RETURN_NOT_OK(RawRead(table.r_key, table.base, &epoch, sizeof(epoch)));
+    CORM_RETURN_NOT_OK(
+        RawRead(table.r_key, table.BucketAddr(b1), &snap[0], sizeof(snap[0])));
+    CORM_RETURN_NOT_OK(
+        RawRead(table.r_key, table.BucketAddr(b2), &snap[1], sizeof(snap[1])));
+    CORM_RETURN_NOT_OK(RawRead(table.r_key, table.BucketAddr(b1), &reseq[0],
+                               sizeof(uint64_t)));
+    CORM_RETURN_NOT_OK(RawRead(table.r_key, table.BucketAddr(b2), &reseq[1],
+                               sizeof(uint64_t)));
+  } else {
+    rdma::WorkRequest wrs[5];
+    for (auto& wr : wrs) {
+      wr = rdma::WorkRequest{};
+      wr.op = rdma::WorkRequest::Op::kRead;
+      wr.r_key = table.r_key;
+    }
+    wrs[0].addr = table.base;
+    wrs[0].buf = &epoch;
+    wrs[0].len = sizeof(epoch);
+    wrs[1].addr = table.BucketAddr(b1);
+    wrs[1].buf = &snap[0];
+    wrs[1].len = sizeof(snap[0]);
+    wrs[2].addr = table.BucketAddr(b2);
+    wrs[2].buf = &snap[1];
+    wrs[2].len = sizeof(snap[1]);
+    wrs[3].addr = table.BucketAddr(b1);
+    wrs[3].buf = &reseq[0];
+    wrs[3].len = sizeof(uint64_t);
+    wrs[4].addr = table.BucketAddr(b2);
+    wrs[4].buf = &reseq[1];
+    wrs[4].len = sizeof(uint64_t);
+    auto ns = qp_.PostBatch(wrs, 5);
+    if (!ns.ok()) {
+      if (qp_.state() == rdma::QueuePair::State::kError) {
+        stats_.qp_reconnects++;
+        qp_.Reconnect();
+      }
+      return ns.status();
+    }
+    stats_.modeled_ns_total += *ns;
+    NodeStatShard& shard = node_->client_stat_shard();
+    ++shard.doorbell_batches;
+    shard.doorbell_batched_wrs += 5;
+    for (const auto& wr : wrs) {
+      CORM_RETURN_NOT_OK(wr.status);
+    }
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    if (!sync::SeqSnapshotConsistent(snap[i].seq, reseq[i])) {
+      return Status::TornRead("index bucket snapshot torn");
+    }
+  }
+  for (const index::IndexBucket& bucket : snap) {
+    for (const index::IndexEntry& e : bucket.entries) {
+      if (!e.Live() || e.key != key) continue;
+      if (e.fence_epoch != static_cast<uint16_t>(epoch)) {
+        // Sealed-out entry (failover re-home): only the RPC path may
+        // vouch for it — and it re-mints the entry under the new epoch.
+        return Status::StalePointer("index entry fenced by epoch seal");
+      }
+      *addr = e.addr;
+      return Status::OK();
+    }
+  }
+  // Absence is only a hint too: a concurrent insert may be mid-publish, so
+  // the caller confirms through the authoritative RPC lookup.
+  return Status::NotFound("key not in index buckets");
+}
+
+Status Context::IndexLookupRpc(uint64_t key, GlobalAddr* addr) {
+  stats_.index_rpc_fallbacks++;
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
+  EncodeRequest(RpcOp::kIndexLookup, IndexLookupRequest{key}, &msg->request);
+  CORM_RETURN_NOT_OK(RpcCallPooled(&msg, ring_));
+  IndexLookupResponse resp;
+  DecodeResponse(msg->response, &resp);
+  msg->Unref();
+  *addr = resp.addr;
+  return Status::OK();
+}
+
+Status Context::Get(uint64_t key, void* buf, size_t size) {
+  OpTimer timer(this);
+  NodeStatShard& shard = node_->client_stat_shard();
+  stats_.index_lookups++;
+  ++shard.index_lookups;
+
+  // Fault site: pretend every one-sided resolution step came back stale,
+  // driving the op straight down the RPC fallback path.
+  bool force_rpc = false;
+  uint64_t delay_ns = 0;
+  if (auto* inj = sim::GlobalFaultInjector();
+      inj != nullptr &&
+      inj->ShouldFire(sim::fault_sites::kIndexStaleHint, &delay_ns)) {
+    if (delay_ns > 0) sim::Pace(delay_ns);
+    force_rpc = true;
+  }
+
+  GlobalAddr addr;
+  if (!force_rpc) {
+    // 1. Cached hint: the steady state is this single validated read.
+    auto it = hint_cache_.find(key);
+    if (it != hint_cache_.end()) {
+      Status st = DirectRead(it->second, buf, size);
+      if (st.ok()) {
+        stats_.index_one_sided_hits++;
+        ++shard.index_one_sided_hits;
+        return st;
+      }
+      hint_cache_.erase(it);
+    }
+    // 2. One-sided bucket probe, then the validated read on its hint.
+    Status st = ProbeBuckets(key, &addr);
+    if (st.ok()) {
+      st = DirectRead(addr, buf, size);
+      if (st.ok()) {
+        stats_.index_one_sided_hits++;
+        ++shard.index_one_sided_hits;
+        hint_cache_[key] = addr;
+        return st;
+      }
+    }
+  }
+  // 3. Authoritative RPC lookup (self-heals the bucket entry server-side),
+  // then a recovering read that rides out compaction locks and moves.
+  CORM_RETURN_NOT_OK(IndexLookupRpc(key, &addr));
+  Status st = ReadWithRecovery(&addr, buf, size, MovedFallback::kRpcRead);
+  if (st.ok()) {
+    hint_cache_[key] = addr;
+  } else {
+    hint_cache_.erase(key);
+  }
+  return st;
+}
+
+Result<GlobalAddr> Context::Put(uint64_t key, const void* buf, size_t size) {
+  OpTimer timer(this);
+  NodeStatShard& shard = node_->client_stat_shard();
+  stats_.index_lookups++;
+  ++shard.index_lookups;
+
+  // Fast path: a cached pointer goes straight to the scheme-bracketed
+  // write RPC, whose server-side resolution corrects stale hints anyway.
+  auto it = hint_cache_.find(key);
+  if (it != hint_cache_.end()) {
+    GlobalAddr addr = it->second;
+    Status st = Write(&addr, buf, size);
+    if (st.ok()) {
+      stats_.index_one_sided_hits++;
+      ++shard.index_one_sided_hits;
+      hint_cache_[key] = addr;
+      return addr;
+    }
+    hint_cache_.erase(key);
+    if (!st.IsStalePointer() && !st.IsObjectMoved() && !st.IsNotFound()) {
+      return st;
+    }
+  }
+
+  // Authoritative lookup; write in place when the key exists.
+  GlobalAddr addr;
+  Status lookup = IndexLookupRpc(key, &addr);
+  if (lookup.ok()) {
+    CORM_RETURN_NOT_OK(Write(&addr, buf, size));
+    hint_cache_[key] = addr;
+    return addr;
+  }
+  if (!lookup.IsNotFound()) return lookup;
+
+  // Fresh key: allocate and fill the object *before* publishing it, so a
+  // concurrent Get observes either NotFound or the complete value — never
+  // a half-written object behind a live entry.
+  auto fresh = Alloc(size);
+  CORM_RETURN_NOT_OK(fresh.status());
+  GlobalAddr obj = *fresh;
+  Status wst = Write(&obj, buf, size);
+  if (!wst.ok()) {
+    Free(&obj).ok();  // best effort: the value never became visible
+    return wst;
+  }
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
+  EncodeRequest(RpcOp::kIndexInsert, IndexInsertRequest{key, obj},
+                &msg->request);
+  Status ist = RpcCallPooled(&msg, ring_);
+  if (!ist.ok()) {
+    // The insert may or may not have landed (e.g. timeout after apply);
+    // leave the object allocated — an orphan is recoverable, a dangling
+    // entry to freed memory is not.
+    return ist;
+  }
+  IndexInsertResponse resp;
+  DecodeResponse(msg->response, &resp);
+  msg->Unref();
+  if (resp.existed != 0) {
+    // Lost the publish race: write through the winner's object and retire
+    // ours.
+    Free(&obj).ok();
+    GlobalAddr winner = resp.addr;
+    CORM_RETURN_NOT_OK(Write(&winner, buf, size));
+    hint_cache_[key] = winner;
+    return winner;
+  }
+  hint_cache_[key] = resp.addr;
+  return resp.addr;
+}
+
+Status Context::Del(uint64_t key) {
+  OpTimer timer(this);
+  NodeStatShard& shard = node_->client_stat_shard();
+  stats_.index_lookups++;
+  ++shard.index_lookups;
+  hint_cache_.erase(key);
+
+  rdma::RpcMessage* msg = rdma::RpcMessagePool::Acquire();
+  EncodeRequest(RpcOp::kIndexRemove, IndexRemoveRequest{key}, &msg->request);
+  CORM_RETURN_NOT_OK(RpcCallPooled(&msg, ring_));
+  IndexRemoveResponse resp;
+  DecodeResponse(msg->response, &resp);
+  msg->Unref();
+  // The unlink happens before the free: a concurrent keyed lookup sees
+  // NotFound rather than a pointer into freed memory. The response pointer
+  // carries the owner hint, so this Free lands on the owning worker's ring
+  // without the forward hop.
+  GlobalAddr addr = resp.addr;
+  return Free(&addr);
 }
 
 }  // namespace corm::core

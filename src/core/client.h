@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -55,6 +56,11 @@ struct ClientStats {
   uint64_t sync_lock_timeouts = 0;
   uint64_t sync_epoch_fences = 0;
   uint64_t direct_read_batches = 0;  // chained multi-slot posts issued
+  // Keyed access layer (DESIGN.md §13); the same events also land on the
+  // node's index_* shard counters for cluster-wide aggregation.
+  uint64_t index_lookups = 0;         // keyed lookups started (Get/Put/Del)
+  uint64_t index_one_sided_hits = 0;  // resolved without an RPC fallback
+  uint64_t index_rpc_fallbacks = 0;   // keyed ops that took the RPC lookup
   // Modeled nanoseconds: network round trips + RNIC faults + charged
   // server-side processing. Benchmarks derive latency/throughput figures
   // from these instead of wall clock (see DESIGN.md §2 on pacing).
@@ -108,6 +114,24 @@ class Context : public sync::SyncMedium {
   // config.doorbell_batching is off (the bench A/B lever).
   Status DirectReadBatch(const GlobalAddr* addrs, size_t n, void* bufs,
                          size_t size, Status* statuses);
+
+  // --- Keyed access layer (DESIGN.md §13). -------------------------------
+  // The default client surface: objects are addressed by 64-bit key through
+  // the node's registered bucket table instead of raw pointers. Get runs
+  // one-sided in the steady state — a cached (or bucket-probed) pointer
+  // hint followed by a FaRM-style validated read — and falls back to the
+  // authoritative kIndexLookup RPC when the hint is stale, torn, or fenced.
+  // The pointer API above remains available; both views name the same
+  // objects.
+  //
+  // Inserts or overwrites the value for `key`; returns the object's
+  // pointer (also usable with the pointer API).
+  Result<GlobalAddr> Put(uint64_t key, const void* buf, size_t size);
+  // Reads the value for `key` into `buf`.
+  Status Get(uint64_t key, void* buf, size_t size);
+  // Unlinks `key` and frees its object. The free is routed by the owner
+  // hint the kIndexRemove response stamps into the pointer's flag bits.
+  Status Del(uint64_t key);
 
   // --- Recovery policy helper (client behaviour in §4.3.2). --------------
   enum class MovedFallback { kScanRead, kRpcRead };
@@ -166,6 +190,16 @@ class Context : public sync::SyncMedium {
   // else this client's home ring.
   int RingHintFor(const GlobalAddr& addr) const;
 
+  // --- Keyed lookup internals (DESIGN.md §13). ---------------------------
+  // One-sided probe of the key's two candidate buckets (plus the table
+  // epoch word), validated against each bucket's seq word via a chained
+  // re-read. OK + *addr on a live, unfenced entry; NotFound / TornRead /
+  // StalePointer otherwise — all of which the caller converts into the
+  // RPC fallback.
+  Status ProbeBuckets(uint64_t key, GlobalAddr* addr);
+  // Authoritative kIndexLookup RPC (counts index_rpc_fallbacks).
+  Status IndexLookupRpc(uint64_t key, GlobalAddr* addr);
+
   CormNode* const node_;
   const Options options_;
   rdma::QueuePair qp_;
@@ -181,6 +215,11 @@ class Context : public sync::SyncMedium {
   // here so the batch path never allocates).
   std::vector<uint8_t> batch_scratch_;
   uint64_t retry_seq_ = 0;        // deterministic jitter stream position
+  // Private key→pointer hint cache: makes the steady-state Get a single
+  // validated read (one round trip). Entries are hints, never truth — a
+  // failed validation drops the entry and re-resolves through the bucket
+  // probe / RPC fallback chain.
+  std::unordered_map<uint64_t, GlobalAddr> hint_cache_;
   // The configured synchronization scheme (config.sync_scheme), driving
   // DirectRead guards and Write brackets through this context as medium.
   // Declared last: it captures `this`.

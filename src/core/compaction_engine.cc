@@ -14,8 +14,11 @@
 #include "common/logging.h"
 #include "common/sanitizer.h"
 #include "common/thread_annotations.h"
+#include "core/addr.h"
 #include "core/object_layout.h"
 #include "core/probability.h"
+#include "index/index_table.h"
+#include "sim/fault_injector.h"
 #include "sim/latency_model.h"
 
 namespace corm::core {
@@ -134,6 +137,9 @@ void CompactionEngine::RunPhaseSlice() {
       break;
     case CompactionPhase::kCopy:
       StepCopy();
+      break;
+    case CompactionPhase::kIndexRepair:
+      StepIndexRepair();
       break;
     case CompactionPhase::kRemap:
       StepRemap();
@@ -315,6 +321,9 @@ void CompactionEngine::BeginPair(size_t src_idx, size_t dst_idx) {
   }
   copy_cursor_ = 0;
   copied_.clear();
+  index_repair_cursor_ = 0;
+  index_repair_targets_.clear();
+  index_repaired_.clear();
   pair_moved_ = pair_relocated_ = pair_offset_preserved_ = 0;
   pair_bytes_copied_ = 0;
   SetPhase(CompactionPhase::kCopy);
@@ -324,7 +333,61 @@ void CompactionEngine::StepCopy() {
   const size_t budget =
       std::max<size_t>(node_->config().compaction_slice_objects, 1);
   if (!CopyObjects(budget)) return;  // pair aborted; phase already changed
-  if (copy_cursor_ >= live_slots_.size()) SetPhase(CompactionPhase::kRemap);
+  if (copy_cursor_ >= live_slots_.size()) {
+    // Every object of the pair now has a valid destination copy (written
+    // kFree) while the sources hold kCompacting: exactly the window the
+    // IndexRepair sub-phase needs to retarget keyed hints safely.
+    index_repair_cursor_ = 0;
+    index_repair_targets_.clear();
+    index_repair_targets_.reserve(copied_.size());
+    for (const CopiedObject& obj : copied_) {
+      index_repair_targets_.emplace(obj.obj_id, obj.dst_slot);
+    }
+    SetPhase(CompactionPhase::kIndexRepair);
+  }
+}
+
+// --- IndexRepair: retarget keyed hints at the destination copies. ----------
+
+void CompactionEngine::StepIndexRepair() {
+  // Fault site: widen the src-coordinates window before each repair slice
+  // so the lookup-during-compaction tests can race against it.
+  uint64_t delay_ns = 0;
+  if (auto* inj = sim::GlobalFaultInjector();
+      inj != nullptr &&
+      inj->ShouldFire(sim::fault_sites::kIndexRepairDelay, &delay_ns)) {
+    if (delay_ns > 0) sim::Pace(delay_ns);
+  }
+
+  alloc::Block* src = pool_[src_idx_].get();
+  alloc::Block* dst = pool_[dst_idx_].get();
+  const size_t block_bytes = node_->block_bytes();
+  index::IndexTable* table = node_->index_view();
+  // Bucket budget per slice: the walk holds one bucket seqlock at a time,
+  // so the data plane interleaves between slices like every other phase.
+  const size_t budget =
+      std::max<size_t>(node_->config().compaction_slice_objects, 1);
+  const size_t repaired = table->RepairScan(
+      &index_repair_cursor_, budget, [&](index::IndexEntry* e) {
+        if (e->addr.class_idx != req_->class_idx) return false;
+        // The entry's hint may reference the source block through any of
+        // its client-visible bases (canonical or ghost alias): resolve
+        // through the directory, exactly like the RPC path does.
+        const sim::VAddr base = BlockBaseOf(e->addr.vaddr, block_bytes);
+        if (worker_->LookupBlockCached(base).block != src) return false;
+        const auto it = index_repair_targets_.find(e->addr.obj_id);
+        if (it == index_repair_targets_.end()) return false;
+        index_repaired_.push_back({e->key, e->addr});
+        e->addr.vaddr = dst->SlotAddr(it->second);
+        e->addr.r_key = dst->keys().r_key;
+        e->addr.flags = 0;
+        e->addr.SetOwnerHint(dst->owner_thread());
+        return true;
+      });
+  stats_.index_repairs += repaired;
+  if (index_repair_cursor_ >= table->buckets()) {
+    SetPhase(CompactionPhase::kRemap);
+  }
 }
 
 // Escape: lock hand-off during the object copy — per-object kCompacting
@@ -400,6 +463,16 @@ bool CompactionEngine::CopyObjects(size_t budget) NO_THREAD_SAFETY_ANALYSIS {
 void CompactionEngine::AbortPair(Status why) {
   alloc::Block* src = pool_[src_idx_].get();
   alloc::Block* dst = pool_[dst_idx_].get();
+  // First undo any keyed-index repairs (newest first): the destination
+  // slots are about to be freed, and a repaired entry must never outlive
+  // the copy it points at. The sources are still kCompacting here, so a
+  // concurrent lookup bounces and retries — it cannot observe the window.
+  for (auto it = index_repaired_.rbegin(); it != index_repaired_.rend();
+       ++it) {
+    node_->index_view()->Repair(it->key, it->prev);
+  }
+  index_repaired_.clear();
+  index_repair_targets_.clear();
   // Undo the copies: release the destination slots and IDs, then unlock the
   // source objects (kCompacting → kFree, the pre-copy state). Readers that
   // bounced off kCompacting simply retry against the unchanged source.
@@ -462,6 +535,8 @@ void CompactionEngine::StepFixup() {
     worker_->allocator()->AdoptBlock(std::move(pool_[dst_idx_]));
   }
   src_idx_ = dst_idx_ = SIZE_MAX;
+  index_repaired_.clear();  // the pair committed; the undo log is dead
+  index_repair_targets_.clear();
   SetPhase(CompactionPhase::kConflictCheck);
 }
 
@@ -503,7 +578,12 @@ void CompactionEngine::ReapZombies() {
 
 void CompactionEngine::Shutdown() {
   if (req_ != nullptr) {
-    if (phase_ == CompactionPhase::kCopy && !copied_.empty()) {
+    if ((phase_ == CompactionPhase::kCopy ||
+         phase_ == CompactionPhase::kIndexRepair) &&
+        !copied_.empty()) {
+      // A pair stopped mid-copy or mid-repair rolls back the same way:
+      // AbortPair restores any repaired index entries before it frees the
+      // destination copies they pointed at.
       AbortPair(Status::Internal("node stopped during compaction"));
     }
     for (auto& block : pool_) {

@@ -6,7 +6,8 @@
 // engine re-expresses the same two-stage protocol as an explicit state
 // machine,
 //
-//   Select → Collect → ConflictCheck → Copy → Remap → Fixup → Reclaim
+//   Select → Collect → ConflictCheck → Copy → IndexRepair → Remap → Fixup
+//     → Reclaim
 //
 // stepped one *slice* at a time from the leader's run loop. Each slice is
 // bounded by a budget (CormConfig::compaction_slice_objects /
@@ -32,6 +33,13 @@
 //                 destination, offset-preserving when possible. Budget:
 //                 slice_objects per slice; a lock that stays write-held past
 //                 a bounded deadline rolls the pair back and aborts.
+//   IndexRepair   budgeted walk of the keyed index (DESIGN.md §13):
+//                 entries hinting at the pair's moved objects are rewritten
+//                 to the destination copies while the source objects still
+//                 sit under their kCompacting locks, so a concurrent
+//                 one-sided lookup resolves either the (locked, retried)
+//                 source or the valid destination copy — never a dangling
+//                 hint. Undone entry-by-entry if the pair aborts.
 //   Remap         one batched MTT repair epoch retargets src's vaddr (and
 //                 chained ghosts) onto dst's frames.
 //   Fixup         retire src to the graveyard, audit dst, commit per-pair
@@ -54,6 +62,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/block.h"
@@ -112,6 +121,7 @@ class CompactionEngine {
   void StepCollect();
   void StepConflictCheck();
   void StepCopy();
+  void StepIndexRepair();
   void StepRemap();
   void StepFixup();
   void StepReclaim();
@@ -160,12 +170,23 @@ class CompactionEngine {
   std::vector<alloc::MergeCandidate> plan_;
   size_t plan_cursor_ = 0;
 
-  // Active pair (kCopy/kRemap/kFixup).
+  // Active pair (kCopy/kIndexRepair/kRemap/kFixup).
   size_t src_idx_ = SIZE_MAX;
   size_t dst_idx_ = SIZE_MAX;
   std::vector<uint32_t> live_slots_;
   size_t copy_cursor_ = 0;
   std::vector<CopiedObject> copied_;
+  // IndexRepair sub-phase state: the bucket-walk cursor, the pair's moved
+  // objects by ID (obj_id → dst slot; IDs are pair-unique by the
+  // ConflictCheck disjointness guarantee), and the undo log a pair abort
+  // replays so no repaired entry outlives its destination copy.
+  struct RepairedEntry {
+    uint64_t key = 0;
+    GlobalAddr prev;
+  };
+  uint64_t index_repair_cursor_ = 0;
+  std::unordered_map<uint16_t, uint32_t> index_repair_targets_;
+  std::vector<RepairedEntry> index_repaired_;
   // Pair-local counters, committed into the report/shard only at Fixup so
   // an aborted pair leaves the totals untouched.
   size_t pair_moved_ = 0;

@@ -64,6 +64,31 @@ CormNode::CormNode(CormConfig config)
   CORM_CHECK(sync_keys.ok());
   sync_table_keys_ = *sync_keys;
 
+  // Keyed index table (DESIGN.md §13): 64-byte header (word 0 = index fence
+  // epoch) + 4-way seqlocked buckets, mapped fresh (all-zero: epoch 0,
+  // every entry kEmpty) and registered ODP so clients can snapshot buckets
+  // one-sided.
+  index_buckets_ =
+      static_cast<uint32_t>(std::max<size_t>(config_.index_buckets, 1));
+  const size_t index_bytes = index::TableBytes(index_buckets_);
+  index_table_pages_ = (index_bytes + sim::kVPageSize - 1) / sim::kVPageSize;
+  index_table_pages_ =
+      (index_table_pages_ + config_.block_pages - 1) / config_.block_pages *
+      config_.block_pages;
+  index_table_base_ = space_->ReserveRange(index_table_pages_);
+  // Contiguous: the server-side IndexTable view walks the bucket array
+  // through one TranslatePtr(base) pointer, so the backing pages must be
+  // one linear slab (unlike the sync table, which is only ever touched a
+  // word at a time).
+  CORM_CHECK(
+      space_->MapFreshContiguous(index_table_base_, index_table_pages_).ok());
+  auto index_keys = rnic_->RegisterMemory(index_table_base_,
+                                          index_table_pages_, /*odp=*/true);
+  CORM_CHECK(index_keys.ok());
+  index_table_keys_ = *index_keys;
+  index_view_ = std::make_unique<index::IndexTable>(
+      space_->TranslatePtr(index_table_base_), index_buckets_);
+
   repl_ingress_.resize(kMaxReplIngress);  // fixed capacity, never reallocates
 
   workers_.reserve(config_.num_workers);
@@ -96,6 +121,12 @@ CormNode::~CormNode() {
     space_->Unmap(sync_table_base_, sync_table_pages_).ok();
     space_->ReleaseRange(sync_table_base_, sync_table_pages_);
   }
+  if (index_table_base_ != 0) {
+    index_view_.reset();
+    rnic_->DeregisterMemory(index_table_keys_.r_key).ok();
+    space_->Unmap(index_table_base_, index_table_pages_).ok();
+    space_->ReleaseRange(index_table_base_, index_table_pages_);
+  }
 }
 
 uint64_t CormNode::SyncEpoch() const {
@@ -111,6 +142,14 @@ void CormNode::SealSyncEpoch() {
   uint8_t* p = space_->TranslatePtr(sync_table_base_);
   std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(p))
       .fetch_add(1, std::memory_order_acq_rel);
+}
+
+uint64_t CormNode::IndexEpoch() const { return index_view_->Epoch(); }
+
+void CormNode::SealIndexEpoch() {
+  uint64_t fenced = 0;
+  index_view_->SealEpoch(&fenced);
+  client_stat_shard().index_fenced_entries.Add(fenced);
 }
 
 // ---------------------------------------------------------------------------
@@ -304,6 +343,12 @@ NodeStats CormNode::stats() const {
     out.sync_epoch_fences += s.sync_epoch_fences.Load();
     out.doorbell_batches += s.doorbell_batches.Load();
     out.doorbell_batched_wrs += s.doorbell_batched_wrs.Load();
+    out.index_lookups += s.index_lookups.Load();
+    out.index_one_sided_hits += s.index_one_sided_hits.Load();
+    out.index_rpc_fallbacks += s.index_rpc_fallbacks.Load();
+    out.index_repairs += s.index_repairs.Load();
+    out.index_fenced_entries += s.index_fenced_entries.Load();
+    out.index_rehomes += s.index_rehomes.Load();
   });
   return out;
 }
@@ -557,10 +602,11 @@ std::string CormNode::DebugReport() {
 }
 
 uint64_t CormNode::ActiveMemoryBytes() const {
-  // The always-mapped sync-lock table is fixed infrastructure, not object
-  // memory: exclude it so placement and the Fig. 17 memory curves keep
-  // measuring data, and an empty node still reports zero.
-  return (phys_->live_frames() - sync_table_pages_) * sim::kFrameSize;
+  // The always-mapped sync-lock and index tables are fixed infrastructure,
+  // not object memory: exclude them so placement and the Fig. 17 memory
+  // curves keep measuring data, and an empty node still reports zero.
+  return (phys_->live_frames() - sync_table_pages_ - index_table_pages_) *
+         sim::kFrameSize;
 }
 
 uint64_t CormNode::VirtualMemoryBytes() const {

@@ -32,6 +32,7 @@
 #include "core/block_directory.h"
 #include "core/object_layout.h"
 #include "core/vaddr_tracker.h"
+#include "index/index_table.h"
 #include "rdma/rnic.h"
 #include "rdma/rpc_transport.h"
 #include "rdma/write_ring.h"
@@ -53,6 +54,7 @@ enum class CompactionPhase : uint8_t {
   kCollect,        // gather donated blocks (deadline-bounded, §3.1.4)
   kConflictCheck,  // pick the next probability-ranked disjoint pair (§3.1.2)
   kCopy,           // lock + copy objects of the current pair, budgeted
+  kIndexRepair,    // rewrite moved objects' index entries (DESIGN.md §13)
   kRemap,          // virtual-address remap + batched MTT repair (§3.5)
   kFixup,          // retire src, audit dst, re-enter ConflictCheck
   kReclaim,        // return leftover blocks, publish the report
@@ -149,6 +151,14 @@ struct CormConfig {
   // completion per chain.
   bool doorbell_batching = true;
 
+  // --- Keyed index (DESIGN.md §13). --------------------------------------
+  // Buckets in this node's registered index table (4-way buckets, two
+  // candidate buckets per key — capacity 8×buckets/2 keys at worst case,
+  // ~3×buckets keys comfortably). The table is the authoritative
+  // key→pointer map, so a full bucket pair rejects the insert rather than
+  // evicting.
+  size_t index_buckets = 512;
+
   sim::LatencyModel MakeLatencyModel() const {
     return sim::LatencyModel{rnic_model, cpu_model};
   }
@@ -212,6 +222,16 @@ struct NodeStatShard {
   StatCounter sync_epoch_fences;     // stale-epoch lock words fenced
   StatCounter doorbell_batches;      // chained posts (one doorbell each)
   StatCounter doorbell_batched_wrs;  // WRs those chains carried
+  // Keyed-index instrumentation (DESIGN.md §13). Lookup-side counters are
+  // incremented from the client threads driving contexts against this node
+  // (overflow shard via client_stat_shard()); repair/fallback counters are
+  // incremented by the worker or engine that served them.
+  StatCounter index_lookups;          // keyed lookups started (Get/Put/Del)
+  StatCounter index_one_sided_hits;   // resolved without an RPC fallback
+  StatCounter index_rpc_fallbacks;    // lookups that fell back to the RPC op
+  StatCounter index_repairs;          // bucket entries rewritten after moves
+  StatCounter index_fenced_entries;   // live entries fenced by an epoch seal
+  StatCounter index_rehomes;          // key ranges re-homed after a failover
 };
 
 // Aggregated snapshot of the sharded counters (CormNode::stats()). A read
@@ -262,6 +282,12 @@ struct NodeStats {
   uint64_t sync_epoch_fences = 0;
   uint64_t doorbell_batches = 0;
   uint64_t doorbell_batched_wrs = 0;
+  uint64_t index_lookups = 0;
+  uint64_t index_one_sided_hits = 0;
+  uint64_t index_rpc_fallbacks = 0;
+  uint64_t index_repairs = 0;
+  uint64_t index_fenced_entries = 0;
+  uint64_t index_rehomes = 0;
 };
 
 // Result of one compaction run.
@@ -429,6 +455,30 @@ class CormNode {
   // lock state. Public for tests.
   void SealSyncEpoch();
 
+  // --- Keyed index table (DESIGN.md §13). --------------------------------
+  // Remote-access coordinates of this node's index bucket table: word 0 is
+  // the index fence epoch, buckets follow the 64-byte header. Registered
+  // (ODP) at construction like the sync-lock table.
+  index::IndexTableCoords index_table() const {
+    index::IndexTableCoords coords;
+    coords.base = index_table_base_;
+    coords.r_key = index_table_keys_.r_key;
+    coords.buckets = index_buckets_;
+    return coords;
+  }
+  // Node-side seqlocked view over the same memory (workers, the compaction
+  // engine's IndexRepair sub-phase, and the DSM re-home path go through
+  // it).
+  index::IndexTable* index_view() { return index_view_.get(); }
+  // Current index fence epoch (word 0 of the table).
+  uint64_t IndexEpoch() const;
+  // Bumps the index epoch, instantly fencing every earlier entry: a
+  // one-sided lookup that matches a fenced entry must revalidate through
+  // the RPC path, which re-mints the entry under the new epoch. Invoked by
+  // the DSM layer when a re-homed node revives holding pre-crash entries.
+  // Counts the newly fenced live entries into index_fenced_entries.
+  void SealIndexEpoch();
+
  private:
   friend class Worker;
   friend class CompactionEngine;
@@ -527,6 +577,13 @@ class CormNode {
   size_t sync_table_pages_ = 0;
   rdma::MrKeys sync_table_keys_;
   uint32_t sync_table_slots_ = 0;
+
+  // Keyed index table backing state (same lifecycle as the sync table).
+  sim::VAddr index_table_base_ = 0;
+  size_t index_table_pages_ = 0;
+  rdma::MrKeys index_table_keys_;
+  uint32_t index_buckets_ = 0;
+  std::unique_ptr<index::IndexTable> index_view_;
 
   // Background scheduler (DESIGN.md §9, generalized in §11): one
   // duty-cycled thread that runs the compaction pass (when

@@ -22,6 +22,12 @@ enum class RpcOp : uint8_t {
   kRead = 3,
   kWrite = 4,
   kReleasePtr = 5,
+  // Keyed index operations (DESIGN.md §13). Lookup is the authoritative
+  // fallback behind the one-sided bucket probe; Insert/Remove are the
+  // node-side mutation path (bucket seqlock writers).
+  kIndexLookup = 6,
+  kIndexInsert = 7,
+  kIndexRemove = 8,
 };
 
 struct AllocRequest {
@@ -67,6 +73,38 @@ struct ReleasePtrRequest {
 
 struct ReleasePtrResponse {
   GlobalAddr addr;  // re-homed pointer (now canonical in the current block)
+};
+
+struct IndexLookupRequest {
+  uint64_t key;
+};
+
+struct IndexLookupResponse {
+  // Corrected, owner-hint-stamped pointer. The handler self-heals the
+  // bucket entry when the stored hint was stale or fenced, so a lookup
+  // that fell back to RPC leaves the one-sided path healthy again.
+  GlobalAddr addr;
+};
+
+struct IndexInsertRequest {
+  uint64_t key;
+  GlobalAddr addr;
+};
+
+struct IndexInsertResponse {
+  GlobalAddr addr;     // canonical pointer the entry was minted with
+  uint8_t existed;     // 1: the key was already live; `addr` is the winner's
+};
+
+struct IndexRemoveRequest {
+  uint64_t key;
+};
+
+struct IndexRemoveResponse {
+  // The unlinked object, corrected and stamped with the owning worker's
+  // ring hint (GlobalAddr flags bits 7..4): the client's follow-up Free
+  // lands directly on the owner's ring instead of taking the forward hop.
+  GlobalAddr addr;
 };
 
 // --- Encoding helpers. -----------------------------------------------------

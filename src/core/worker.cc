@@ -234,6 +234,15 @@ void Worker::HandleRpc(rdma::RpcMessage* rpc, bool forwarded) {
     case RpcOp::kReleasePtr:
       HandleReleasePtr(rpc);
       break;
+    case RpcOp::kIndexLookup:
+      HandleIndexLookup(rpc);
+      break;
+    case RpcOp::kIndexInsert:
+      HandleIndexInsert(rpc);
+      break;
+    case RpcOp::kIndexRemove:
+      HandleIndexRemove(rpc);
+      break;
     default:
       Complete(rpc, Status::InvalidArgument("unknown RPC opcode"));
   }
@@ -936,6 +945,99 @@ void Worker::HandleReleasePtr(rdma::RpcMessage* rpc) {
   EncodeResponse(resp, &rpc->response);
   // Paper §4.1: the release itself adds ~0.3 us on top of the RPC.
   Charge(rpc, 300);
+  Complete(rpc, Status::OK());
+}
+
+// ---------------------------------------------------------------------------
+// Keyed index operations (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+void Worker::HandleIndexLookup(rdma::RpcMessage* rpc) {
+  IndexLookupRequest req;
+  DecodeRequest(rpc->request, &req);
+  // Every kIndexLookup is, by construction, a one-sided probe that gave up
+  // (stale hint, torn bucket, fenced entry, or a cold cache): count it as
+  // the fallback it is.
+  ++stats_.index_rpc_fallbacks;
+
+  index::IndexEntry entry;
+  if (!node_->index_view()->Lookup(req.key, &entry)) {
+    Complete(rpc, Status::NotFound("key not in index"));
+    return;
+  }
+  auto resolved = ResolveObject(entry.addr);
+  if (!resolved.ok()) {
+    // The entry outlived its object (block released under it). Unlink it so
+    // later one-sided probes stop chasing the dangling hint.
+    if (node_->index_view()->Remove(req.key)) ++stats_.index_repairs;
+    Complete(rpc, Status::NotFound("index entry outlived its object"));
+    return;
+  }
+  const GlobalAddr canonical =
+      CorrectedAddr(entry.addr, *resolved, resolved->block->slot_size());
+  const bool fenced =
+      entry.fence_epoch != static_cast<uint16_t>(node_->index_view()->Epoch());
+  if (fenced || canonical.vaddr != entry.addr.vaddr ||
+      canonical.flags != entry.addr.flags) {
+    // Self-healing repair: re-mint the entry with the corrected pointer,
+    // the live owner hint, and the current epoch, so the next one-sided
+    // probe hits without falling back here again.
+    if (node_->index_view()->Repair(req.key, canonical)) {
+      ++stats_.index_repairs;
+    }
+  }
+  EncodeResponse(IndexLookupResponse{canonical}, &rpc->response);
+  Complete(rpc, Status::OK());
+}
+
+void Worker::HandleIndexInsert(rdma::RpcMessage* rpc) {
+  IndexInsertRequest req;
+  DecodeRequest(rpc->request, &req);
+
+  auto resolved = ResolveObject(req.addr);
+  if (!resolved.ok()) {
+    Complete(rpc, resolved.status());
+    return;
+  }
+  const GlobalAddr canonical =
+      CorrectedAddr(req.addr, *resolved, resolved->block->slot_size());
+  IndexInsertResponse resp;
+  GlobalAddr existing;
+  Status st = node_->index_view()->Insert(req.key, canonical, &existing);
+  if (st.code() == StatusCode::kAlreadyExists) {
+    // Publish race: the entry is live and points at the winner's object.
+    resp.addr = existing;
+    resp.existed = 1;
+  } else if (st.ok()) {
+    resp.addr = canonical;
+    resp.existed = 0;
+  } else {
+    Complete(rpc, st);  // bucket pair full or lock timeout
+    return;
+  }
+  EncodeResponse(resp, &rpc->response);
+  Complete(rpc, Status::OK());
+}
+
+void Worker::HandleIndexRemove(rdma::RpcMessage* rpc) {
+  IndexRemoveRequest req;
+  DecodeRequest(rpc->request, &req);
+
+  index::IndexEntry entry;
+  if (!node_->index_view()->Lookup(req.key, &entry)) {
+    Complete(rpc, Status::NotFound("key not in index"));
+    return;
+  }
+  // Correct the pointer before unlinking so the response carries the owning
+  // worker's ring hint (GlobalAddr flags bits 7..4) and the client's
+  // follow-up Free routes straight to the owner's ring. A failed resolve
+  // still unlinks: the entry is dead weight either way.
+  GlobalAddr out = entry.addr;
+  if (auto resolved = ResolveObject(entry.addr); resolved.ok()) {
+    out = CorrectedAddr(entry.addr, *resolved, resolved->block->slot_size());
+  }
+  node_->index_view()->Remove(req.key);
+  EncodeResponse(IndexRemoveResponse{out}, &rpc->response);
   Complete(rpc, Status::OK());
 }
 

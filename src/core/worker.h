@@ -151,6 +151,15 @@ class Worker {
   void HandleWrite(rdma::RpcMessage* rpc);
   void HandleReleasePtr(rdma::RpcMessage* rpc);
 
+  // --- Keyed index operations (DESIGN.md §13). ----------------------------
+  // Authoritative lookup behind the one-sided bucket probe. Resolves the
+  // stored hint through ResolveObject and self-heals the bucket entry
+  // (fresh pointer + owner hint + current epoch) when it was stale or
+  // fenced, so RPC fallbacks repair the one-sided path as a side effect.
+  void HandleIndexLookup(rdma::RpcMessage* rpc);
+  void HandleIndexInsert(rdma::RpcMessage* rpc);
+  void HandleIndexRemove(rdma::RpcMessage* rpc);
+
   // --- Replicated-log apply path (DESIGN.md §11). ------------------------
   // Drains up to kReplApplyBatch in-sequence records from every ingress
   // ring this worker owns (ring id % num_workers == id_). Returns the

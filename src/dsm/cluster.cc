@@ -15,7 +15,46 @@ Cluster::Cluster(ClusterConfig config)
     node_config.seed = config_.node_config.seed + static_cast<uint64_t>(i);
     nodes_.push_back(std::make_unique<core::CormNode>(node_config));
     dead_.push_back(std::make_unique<std::atomic<bool>>(false));
+    needs_index_seal_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
+  home_.reserve(kKeyRanges);
+  for (int r = 0; r < kKeyRanges; ++r) {
+    home_.push_back(
+        std::make_unique<std::atomic<int>>(r % config_.num_nodes));
+  }
+}
+
+int Cluster::RehomeDeadNode(int dead) {
+  CORM_CHECK_GE(dead, 0);
+  CORM_CHECK_LT(dead, num_nodes());
+  // Successor scan from the dead node: first node the detector still
+  // trusts inherits the range. With every other node dead too there is
+  // nowhere to go — the ranges stay put and keep erroring transiently.
+  int successor = -1;
+  for (int step = 1; step < num_nodes(); ++step) {
+    const int candidate = (dead + step) % num_nodes();
+    if (!IsDead(candidate) && detector_.MaybeServing(candidate)) {
+      successor = candidate;
+      break;
+    }
+  }
+  if (successor < 0) return 0;
+  int moved = 0;
+  for (int r = 0; r < kKeyRanges; ++r) {
+    int cur = dead;
+    if (home_[r]->compare_exchange_strong(cur, successor,
+                                          std::memory_order_acq_rel)) {
+      ++moved;
+      // The rehome lands on the inheriting node's books.
+      nodes_[successor]->client_stat_shard().index_rehomes.Add(1);
+    }
+  }
+  if (moved > 0) {
+    // The dead node may revive holding pre-crash bucket entries for ranges
+    // it no longer owns: fence them at restart via an index epoch seal.
+    needs_index_seal_[dead]->store(true, std::memory_order_release);
+  }
+  return moved;
 }
 
 int Cluster::PickNode() {
@@ -111,6 +150,14 @@ void Cluster::RestartNode(int idx) {
     stale->Unref();
   }
   nodes_[idx]->ResumeService();
+  if (needs_index_seal_[idx]->exchange(false, std::memory_order_acq_rel)) {
+    // The node lost key ranges while it was down (RehomeDeadNode): seal its
+    // index epoch so every surviving bucket entry is fenced — a one-sided
+    // probe that matches one must revalidate through the RPC lookup, which
+    // re-mints it under the new epoch (PR-7 seal machinery applied to the
+    // keyed lookup path).
+    nodes_[idx]->SealIndexEpoch();
+  }
   dead_[idx]->store(false, std::memory_order_release);
   // Deliberately no detector_.Reset: the node rejoins via lease renewal on
   // the next Heartbeat round.

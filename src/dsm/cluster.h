@@ -26,6 +26,7 @@
 
 #include "common/result.h"
 #include "core/corm_node.h"
+#include "index/index_layout.h"
 
 namespace corm::dsm {
 
@@ -39,6 +40,16 @@ inline int NodeOf(const core::GlobalAddr& addr) { return addr.flags >> 1; }
 inline void SetNode(core::GlobalAddr* addr, int node) {
   addr->flags = static_cast<uint8_t>((addr->flags & 0x1) |
                                      (static_cast<uint8_t>(node) << 1));
+}
+
+// Hash ranges the keyed address space is partitioned into (DESIGN.md §13).
+// Each range has one sticky home node; a key's range never changes, and a
+// range moves only through an explicit RehomeDeadNode — never silently on a
+// failed probe, because moving a live range abandons its acked data.
+inline constexpr int kKeyRanges = 64;
+
+inline int KeyRangeOf(uint64_t key) {
+  return static_cast<int>(index::MixKey(key) % kKeyRanges);
 }
 
 // Object placement policy for new allocations.
@@ -149,6 +160,22 @@ class Cluster {
   // failure detector distrusts are skipped.
   int PickNode();
 
+  // --- Keyed routing (DESIGN.md §13). ------------------------------------
+  // Home node of `key`'s hash range. Sticky: a dead home keeps the range
+  // (keyed ops answer with transient kNetworkError) until RehomeDeadNode
+  // explicitly moves it — auto-rehoming on suspicion would silently strand
+  // the acked writes living on a node that was merely slow.
+  int KeyOwner(uint64_t key) const {
+    return home_[KeyRangeOf(key)]->load(std::memory_order_acquire);
+  }
+  // Control-plane failover: reassigns every range homed on `dead` to the
+  // next trusted node (successor scan), counting one index_rehomes per
+  // moved range on its new home. Also arms the seal-on-revive flag: when
+  // `dead` later restarts, its index epoch is sealed so every pre-crash
+  // bucket entry is fenced and must re-mint through the RPC lookup path.
+  // Returns the number of ranges moved.
+  int RehomeDeadNode(int dead);
+
   // --- Failure detection. ------------------------------------------------
   FailureDetector* failure_detector() { return &detector_; }
   const FailureDetector& failure_detector() const { return detector_; }
@@ -212,6 +239,10 @@ class Cluster {
   std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
   FailureDetector detector_;
   std::atomic<uint64_t> rr_{0};
+  // Keyed hash-range homes (kKeyRanges entries, init range % num_nodes)
+  // and the per-node seal-on-revive flags RehomeDeadNode arms.
+  std::vector<std::unique_ptr<std::atomic<int>>> home_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> needs_index_seal_;
 };
 
 }  // namespace corm::dsm

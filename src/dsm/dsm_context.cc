@@ -139,6 +139,46 @@ Status DsmContext::ReleasePtr(core::GlobalAddr* addr) {
   return st;
 }
 
+// Keyed ops route by the key's hash-range home, not by pointer bits. The
+// shared IsDead/Observe discipline still applies: a dead home is a
+// transient kNetworkError (plus a detector demerit) until the control
+// plane explicitly rehomes the range.
+Result<core::Context*> DsmContext::RouteKey(uint64_t key, int* node_out) {
+  const int node = cluster_->KeyOwner(key);
+  *node_out = node;
+  if (cluster_->IsDead(node)) {
+    cluster_->failure_detector()->ReportFailure(node);
+    return Status::NetworkError("key home node " + std::to_string(node) +
+                                " unreachable");
+  }
+  return contexts_[node].get();
+}
+
+Result<core::GlobalAddr> DsmContext::Put(uint64_t key, const void* buf,
+                                         size_t size) {
+  int node = -1;
+  auto ctx = RouteKey(key, &node);
+  CORM_RETURN_NOT_OK(ctx.status());
+  auto addr = (*ctx)->Put(key, buf, size);
+  CORM_RETURN_NOT_OK(Observe(node, addr.status()));
+  SetNode(&*addr, node);
+  return *addr;
+}
+
+Status DsmContext::Get(uint64_t key, void* buf, size_t size) {
+  int node = -1;
+  auto ctx = RouteKey(key, &node);
+  CORM_RETURN_NOT_OK(ctx.status());
+  return Observe(node, (*ctx)->Get(key, buf, size));
+}
+
+Status DsmContext::Del(uint64_t key) {
+  int node = -1;
+  auto ctx = RouteKey(key, &node);
+  CORM_RETURN_NOT_OK(ctx.status());
+  return Observe(node, (*ctx)->Del(key));
+}
+
 Status DsmContext::ReadWithRecovery(core::GlobalAddr* addr, void* buf,
                                     size_t size,
                                     core::Context::MovedFallback fallback) {

@@ -47,6 +47,17 @@ class DsmContext {
       core::Context::MovedFallback fallback =
           core::Context::MovedFallback::kScanRead);
 
+  // --- Keyed API (DESIGN.md §13). ----------------------------------------
+  // Routed by Cluster::KeyOwner(key) — the key's hash-range home — instead
+  // of pointer bits. A dead home answers with transient kNetworkError;
+  // the range moves only via Cluster::RehomeDeadNode, never implicitly
+  // here (a silent rehome would strand the acked writes on the old home).
+  // Put returns the object's DSM pointer (node id stamped), so keyed and
+  // pointer callers name the same object.
+  Result<core::GlobalAddr> Put(uint64_t key, const void* buf, size_t size);
+  Status Get(uint64_t key, void* buf, size_t size);
+  Status Del(uint64_t key);
+
   Cluster* cluster() { return cluster_; }
   // The per-node client (stats inspection in tests/benches).
   core::Context* context(int node) { return contexts_[node].get(); }
@@ -54,6 +65,9 @@ class DsmContext {
  private:
   // Validates the target node and returns its context, or kNetworkError.
   Result<core::Context*> Route(const core::GlobalAddr& addr);
+  // Same, for keyed ops: resolves the key's home node (written to
+  // *node_out even on failure, for Observe attribution).
+  Result<core::Context*> RouteKey(uint64_t key, int* node_out);
 
   // Passive failure detection: operation outcomes double as probes. A
   // network error or timeout against `node` counts as a missed heartbeat;

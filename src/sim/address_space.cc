@@ -64,6 +64,23 @@ Status AddressSpace::MapFresh(VAddr base, size_t npages) {
   return Status::OK();
 }
 
+Status AddressSpace::MapFreshContiguous(VAddr base, size_t npages) {
+  if (PageOffset(base) != 0) {
+    return Status::InvalidArgument(
+        "MapFreshContiguous: base not page aligned");
+  }
+  auto frames = phys_->AllocContiguousFrames(npages);
+  if (!frames.ok()) return frames.status();
+  LockGuard<Mutex> lock(mu_);
+  for (size_t i = 0; i < npages; ++i) {
+    VAddr page = base + i * kVPageSize;
+    CORM_CHECK(page_table_.find(page) == page_table_.end())
+        << "MapFreshContiguous over an existing mapping at " << page;
+    page_table_[page] = (*frames)[i];  // the alloc ref becomes the PT ref
+  }
+  return Status::OK();
+}
+
 Status AddressSpace::MapFrames(VAddr base, const std::vector<FrameId>& frames) {
   if (PageOffset(base) != 0) {
     return Status::InvalidArgument("MapFrames: base not page aligned");

@@ -69,6 +69,13 @@ class AddressSpace {
   // each frame.
   Status MapFresh(VAddr base, size_t npages);
 
+  // MapFresh, but backed by ONE contiguous slab (a linear memfd extent):
+  // the bytes of page i+1 directly follow page i in host memory, so a
+  // CPU-side consumer may hold a single TranslatePtr(base) pointer across
+  // the whole range. The keyed index table needs this — its server-side
+  // view walks buckets linearly (index/index_table.h).
+  Status MapFreshContiguous(VAddr base, size_t npages);
+
   // Maps pages at `base` to explicit frames (shared mapping of an existing
   // memfd region). Takes a reference on each frame.
   Status MapFrames(VAddr base, const std::vector<FrameId>& frames);

@@ -55,6 +55,15 @@ inline constexpr const char* kReplSealRace = "repl.seal_race";
 // spinlock: generation-bumping steal; lease/epoch RW lock: lease steal or
 // an epoch fence) instead of spinning on a dead owner forever.
 inline constexpr const char* kSyncHolderCrash = "sync.holder_crash";
+// Forces a keyed lookup to treat its one-sided bucket snapshot as stale,
+// driving the kIndexLookup RPC fallback path (DESIGN.md §13): the client
+// discards the snapshot exactly as if validation had failed.
+inline constexpr const char* kIndexStaleHint = "index.stale_hint";
+// Stalls the compaction IndexRepair sub-phase before each repair slice
+// (delay_ns), widening the window where bucket entries still hold src
+// coordinates while objects sit kCompacting — the interleave the
+// lookup-during-compaction tests race against.
+inline constexpr const char* kIndexRepairDelay = "index.repair_delay";
 }  // namespace fault_sites
 
 // When a site fires. All three triggers compose (any match fires).

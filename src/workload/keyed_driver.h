@@ -1,0 +1,163 @@
+// Keyed YCSB driver (DESIGN.md §13): drives the Put/Get/Del key-value
+// surface instead of raw 128-bit pointers. This is the default client-side
+// workload shape now that the keyed API is the primary surface — the
+// pointer-based figure benches keep their own drivers for the paper's
+// pointer-path reproductions.
+//
+// Templated on the context type so the same driver runs against a single
+// node (core::Context) and a cluster (dsm::DsmContext): both expose the
+// identical keyed signatures, only the routing underneath differs.
+//
+// Verification: every key's value is a pure function of the key (FillValue
+// below), so a Get that returns the wrong object's bytes — a dangling or
+// misdirected index hint — is caught immediately, under any concurrency.
+// Transient errors (dead home node, retry budget exhausted mid-chaos) are
+// counted, not fatal: chaos runs keep driving ops through kill/restart
+// storms and judge the counters afterwards.
+
+#ifndef CORM_WORKLOAD_KEYED_DRIVER_H_
+#define CORM_WORKLOAD_KEYED_DRIVER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/ycsb.h"
+
+namespace corm::workload {
+
+// Deterministic per-key value bytes (SplitMix64 stream seeded by the key).
+inline void FillValue(uint64_t key, uint8_t* buf, size_t n) {
+  uint64_t x = key * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL;
+  for (size_t i = 0; i < n; ++i) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    buf[i] = static_cast<uint8_t>(x >> 56);
+  }
+}
+
+inline bool CheckValue(uint64_t key, const uint8_t* buf, size_t n) {
+  std::vector<uint8_t> expect(n);
+  FillValue(key, expect.data(), n);
+  return std::memcmp(expect.data(), buf, n) == 0;
+}
+
+struct KeyedDriverConfig {
+  YcsbConfig ycsb;
+  size_t value_size = 24;
+  // Fraction of *write* ops issued as Del-then-Put (exercises the
+  // unlink-before-free path while keeping the key set fully loaded).
+  double delete_fraction = 0.0;
+  // Added to every generated key. Concurrent drivers get disjoint key
+  // spaces this way: the keyed contract makes object reuse after Del the
+  // application's problem, exactly as for raw pointers (DESIGN.md §13), so
+  // cross-thread Del/Put on one key is deliberately out of scope here.
+  uint64_t key_offset = 0;
+};
+
+struct KeyedDriverReport {
+  uint64_t ops = 0;
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t dels = 0;
+  // A Get/Del that found no entry. Under a pure update workload every key
+  // is loaded, so steady-state runs expect zero; chaos runs tolerate them
+  // for keys whose home node is mid-restart.
+  uint64_t not_found = 0;
+  // kNetworkError / kTimeout — the key's home was dead or the retry budget
+  // ran out. Transient by contract (the op was never acked).
+  uint64_t transient = 0;
+  uint64_t failures = 0;  // any other non-OK outcome (a real bug)
+  // Gets that returned bytes not matching FillValue(key): a misdirected
+  // read through a dangling hint. Must be zero, always.
+  uint64_t corruptions = 0;
+};
+
+template <typename Ctx>
+class KeyedDriver {
+ public:
+  KeyedDriver(Ctx* ctx, KeyedDriverConfig config)
+      : ctx_(ctx), config_(config), gen_(config.ycsb) {}
+
+  // Loads every key so the run phase's Gets hit. Fails hard: the load
+  // phase runs before any chaos is armed.
+  Status Load() {
+    std::vector<uint8_t> buf(config_.value_size);
+    for (uint64_t i = 0; i < config_.ycsb.num_keys; ++i) {
+      const uint64_t k = config_.key_offset + i;
+      FillValue(k, buf.data(), buf.size());
+      auto addr = ctx_->Put(k, buf.data(), buf.size());
+      CORM_RETURN_NOT_OK(addr.status());
+    }
+    return Status::OK();
+  }
+
+  // Drives n ops from the YCSB generator through the keyed API,
+  // classifying every outcome into the report.
+  KeyedDriverReport Run(size_t n) {
+    KeyedDriverReport r;
+    std::vector<uint8_t> buf(config_.value_size);
+    Rng del_rng(config_.ycsb.seed ^ 0x94d049bb133111ebULL);
+    for (size_t i = 0; i < n; ++i) {
+      const YcsbGenerator::Op op = gen_.Next();
+      const uint64_t key = config_.key_offset + op.key;
+      ++r.ops;
+      if (op.is_read) {
+        ++r.gets;
+        const Status st = ctx_->Get(key, buf.data(), buf.size());
+        if (st.ok()) {
+          if (!CheckValue(key, buf.data(), buf.size())) ++r.corruptions;
+        } else {
+          Classify(st, &r);
+        }
+      } else if (config_.delete_fraction > 0.0 &&
+                 del_rng.NextDouble() < config_.delete_fraction) {
+        ++r.dels;
+        Classify(ctx_->Del(key), &r);
+        // Reload immediately so the key set stays stable for later Gets.
+        ++r.puts;
+        FillValue(key, buf.data(), buf.size());
+        Classify(ctx_->Put(key, buf.data(), buf.size()).status(), &r);
+      } else {
+        ++r.puts;
+        FillValue(key, buf.data(), buf.size());
+        Classify(ctx_->Put(key, buf.data(), buf.size()).status(), &r);
+      }
+    }
+    return r;
+  }
+
+  const KeyedDriverConfig& config() const { return config_; }
+
+ private:
+  static void Classify(const Status& st, KeyedDriverReport* r) {
+    if (st.ok()) return;
+    switch (st.code()) {
+      case StatusCode::kNotFound:
+        ++r->not_found;
+        break;
+      case StatusCode::kNetworkError:
+      case StatusCode::kTimeout:
+      case StatusCode::kObjectLocked:
+      case StatusCode::kObjectMoved:
+      case StatusCode::kTornRead:
+      case StatusCode::kStalePointer:
+      case StatusCode::kQpBroken:
+        ++r->transient;
+        break;
+      default:
+        ++r->failures;
+        break;
+    }
+  }
+
+  Ctx* const ctx_;
+  const KeyedDriverConfig config_;
+  YcsbGenerator gen_;
+};
+
+}  // namespace corm::workload
+
+#endif  // CORM_WORKLOAD_KEYED_DRIVER_H_

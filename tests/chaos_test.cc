@@ -585,5 +585,291 @@ TEST(ChaosTest, ReplicaAndPrimaryKillsLoseNoAckedWrites) {
       static_cast<unsigned long long>(ctx.anti_entropy_repairs()));
 }
 
+// --- Keyed path under the storm: zero lost or misdirected acked ops. -------
+// The keyed client surface (Put/Get/Del through the RDMA hash index) runs
+// through the same kill/restart storm as the pointer harness above, with
+// background compaction rewriting bucket hints mid-flight and the
+// index-specific fault sites armed. Values are globally unique patterns, so
+// a Get that lands on the wrong object is flagged as a corruption rather
+// than passing by coincidence. Rules:
+//   - An acked Put stays readable until a Del that may have applied: a Get
+//     may return the committed value or a timed-out Put's value (its insert
+//     may land late), never anything else.
+//   - A timed-out Del is uncertain forever: NotFound stays acceptable for
+//     the key from then on (the queued remove may still apply — or the
+//     remove landed but the trailing Free timed out), and so do the
+//     accepted values (it may never apply).
+//   - Keyed data is unreplicated, so the storm never re-homes key ranges:
+//     a crashed home answers transiently until it restarts with its memory
+//     (and its index, unsealed) intact.
+
+struct KeyedState {
+  bool exists = false;        // an acked Put not yet followed by an acked Del
+  bool maybe_deleted = false; // a Del timed out: NotFound acceptable forever
+  bool poisoned = false;      // accept set grew unverifiable: retired
+  uint64_t committed = 0;
+  std::vector<uint64_t> uncertain;  // timed-out Puts: may apply late
+};
+
+struct KeyedThreadReport {
+  std::vector<KeyedState> keys;
+  uint64_t ops = 0;
+  uint64_t uncertain_puts = 0;
+  uint64_t uncertain_dels = 0;
+  std::vector<std::string> hard_errors;
+};
+
+// The index lookup path additionally surfaces kStalePointer (a fenced or
+// torn bucket hint) and resolves it by RPC; under short chaos deadlines the
+// retry budget can expire with that status in hand.
+bool TransientKeyed(const Status& st) {
+  return Transient(st) || st.code() == StatusCode::kStalePointer;
+}
+
+bool KeyedMatches(const KeyedState& k, const uint8_t* buf) {
+  if (k.exists && core::PatternCheck(k.committed, buf, kObjectSize)) {
+    return true;
+  }
+  for (const uint64_t pid : k.uncertain) {
+    if (core::PatternCheck(pid, buf, kObjectSize)) return true;
+  }
+  return false;
+}
+
+// Thread-disjoint key space: the keyed API has no cross-client conflict
+// story beyond what raw pointers offer, so each thread owns its keys.
+uint64_t KeyedKey(int thread_id, uint64_t k) {
+  return (static_cast<uint64_t>(thread_id + 1) << 40) | k;
+}
+
+void RunKeyedWorkload(Cluster* cluster, int thread_id, uint64_t seed,
+                      KeyedThreadReport* rep) {
+  dsm::DsmContext ctx(cluster, ChaosClientOptions());
+  Rng rng(seed);
+  rep->keys.resize(kKeysPerThread);
+  std::vector<uint8_t> buf(kObjectSize), out(kObjectSize);
+  uint64_t seq = 0;
+
+  auto hard_error = [&](const char* what, const Status& st, uint64_t key) {
+    rep->hard_errors.push_back(std::string(what) + " key " +
+                               std::to_string(key) + ": " + st.ToString());
+  };
+
+  const int ops = kOpsPerThread * 2 / 3;  // keyed ops RPC more: keep runtime flat
+  for (int i = 0; i < ops; ++i) {
+    const uint64_t k = rng.Uniform(kKeysPerThread);
+    KeyedState& ks = rep->keys[k];
+    if (ks.poisoned) continue;
+    ++rep->ops;
+    const uint64_t dice = rng.Uniform(100);
+
+    if (dice < 50) {  // Get
+      Status st = ctx.Get(KeyedKey(thread_id, k), out.data(), kObjectSize);
+      if (st.ok()) {
+        if (!KeyedMatches(ks, out.data())) {
+          rep->hard_errors.push_back("misdirected/stale read at key " +
+                                     std::to_string(k));
+        }
+      } else if (st.code() == StatusCode::kNotFound) {
+        if (ks.exists && !ks.maybe_deleted) {
+          rep->hard_errors.push_back("acked Put lost at key " +
+                                     std::to_string(k));
+        }
+      } else if (!TransientKeyed(st)) {
+        hard_error("get", st, k);
+      }
+    } else if (dice < 90) {  // Put
+      const uint64_t pid = PatternId(thread_id, k, ++seq);
+      core::PatternFill(pid, buf.data(), kObjectSize);
+      auto addr = ctx.Put(KeyedKey(thread_id, k), buf.data(), kObjectSize);
+      if (addr.ok()) {
+        ks.exists = true;
+        ks.committed = pid;
+      } else if (TransientKeyed(addr.status())) {
+        ++rep->uncertain_puts;
+        ks.uncertain.push_back(pid);  // the insert may still land late
+      } else {
+        hard_error("put", addr.status(), k);
+      }
+    } else {  // Del
+      Status st = ctx.Del(KeyedKey(thread_id, k));
+      if (st.ok()) {
+        ks.exists = false;
+      } else if (st.code() == StatusCode::kNotFound) {
+        if (ks.exists && !ks.maybe_deleted) {
+          rep->hard_errors.push_back("live key vanished at key " +
+                                     std::to_string(k));
+        }
+        ks.exists = false;  // a pending uncertain Del has now applied
+      } else if (TransientKeyed(st)) {
+        ++rep->uncertain_dels;
+        ks.maybe_deleted = true;  // sticky: the remove may apply any time
+      } else {
+        hard_error("del", st, k);
+      }
+    }
+    if (ks.uncertain.size() > 24) ks.poisoned = true;  // unverifiable: retire
+  }
+}
+
+TEST(ChaosTest, KeyedOpsSurviveKillRestartStorm) {
+  uint64_t seed = 0x1DE75EED;
+  if (const char* env = std::getenv("CORM_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 0) ^ 0x1DE7;
+  }
+  SCOPED_TRACE("derived seed=" + std::to_string(seed));
+
+  sim::FaultInjector injector(seed);
+  auto arm = [&](const char* site, double p, uint64_t delay_ns = 0) {
+    sim::FaultSchedule s;
+    s.probability = p;
+    s.delay_ns = delay_ns;
+    injector.Arm(site, s);
+  };
+  arm(sim::fault_sites::kRpcDelay, 0.02, 4000);
+  arm(sim::fault_sites::kRpcDropRequest, 0.008);
+  arm(sim::fault_sites::kRpcDropResponse, 0.004);
+  arm(sim::fault_sites::kRpcDupCompletion, 0.01);
+  arm(sim::fault_sites::kQpBreak, 0.004);
+  arm(sim::fault_sites::kTornWrite, 0.01, 3000);
+  arm(sim::fault_sites::kNodeCrash, 0.08);
+  // Index-specific sites (DESIGN.md §6.2): stale bucket hints force the RPC
+  // fallback; repair delays widen the window where a one-sided probe races
+  // the compaction engine's IndexRepair pass.
+  arm(sim::fault_sites::kIndexStaleHint, 0.05);
+  arm(sim::fault_sites::kIndexRepairDelay, 0.1, 2000);
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.node_config.num_workers = 2;
+  cfg.node_config.seed = seed;
+  cfg.node_config.background_compaction = true;
+  cfg.node_config.compaction_check_interval_us = 3000;
+  Cluster cluster(cfg);
+
+  std::vector<KeyedThreadReport> reports(kThreads);
+  {
+    sim::ScopedFaultInjector install(&injector);
+
+    std::atomic<bool> stop{false};
+    std::thread driver([&] {
+      Rng rng(seed ^ 0xD21CEULL);
+      int crashed = -1;
+      int restart_in = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        cluster.Heartbeat();
+        if (crashed < 0) {
+          if (injector.ShouldFire(sim::fault_sites::kNodeCrash)) {
+            crashed = static_cast<int>(rng.Uniform(cfg.num_nodes));
+            cluster.CrashNode(crashed);
+            restart_in = 2 + static_cast<int>(rng.Uniform(4));
+          }
+        } else if (--restart_in <= 0) {
+          // No RehomeDeadNode here on purpose: keyed data is unreplicated,
+          // so re-homing a range would strand every acked object behind it.
+          // The crashed node restarts with memory and index intact.
+          cluster.RestartNode(crashed);
+          crashed = -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (crashed >= 0) cluster.RestartNode(crashed);
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back(RunKeyedWorkload, &cluster, t, seed + t,
+                           &reports[t]);
+    }
+    for (auto& w : workers) w.join();
+    stop.store(true, std::memory_order_release);
+    driver.join();
+  }  // fault injector uninstalled: verification runs on a clean fabric
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 4; ++i) cluster.Heartbeat();
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    ASSERT_EQ(cluster.failure_detector()->health(n), NodeHealth::kAlive)
+        << "node " << n << " did not recover";
+  }
+  cluster.StopBackgroundCompaction();
+
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    Status audit = cluster.node(n)->Audit();
+    EXPECT_TRUE(audit.ok()) << "node " << n << ": " << audit.ToString();
+  }
+
+  uint64_t total_ops = 0, uncertain_puts = 0, uncertain_dels = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_ops += reports[t].ops;
+    uncertain_puts += reports[t].uncertain_puts;
+    uncertain_dels += reports[t].uncertain_dels;
+    for (const auto& err : reports[t].hard_errors) {
+      ADD_FAILURE() << "thread " << t << ": " << err;
+    }
+  }
+  EXPECT_GT(total_ops, 0u);
+
+  // Final sweep on the healed cluster with full deadlines: every key must
+  // serve an accepted value or be legitimately absent — nothing acked was
+  // lost or misdirected by any kill, repair race, or stale hint.
+  dsm::DsmContext verify(&cluster, core::Context::Options{});
+  std::vector<uint8_t> out(kObjectSize);
+  uint64_t verified = 0, lost = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t k = 0; k < reports[t].keys.size(); ++k) {
+      KeyedState& ks = reports[t].keys[k];
+      if (ks.poisoned) continue;
+      Status st = verify.Get(KeyedKey(t, k), out.data(), kObjectSize);
+      if (st.ok()) {
+        EXPECT_TRUE(KeyedMatches(ks, out.data()))
+            << "thread " << t << " key " << k << " holds an unknown value";
+        ++verified;
+        EXPECT_TRUE(verify.Del(KeyedKey(t, k)).ok())
+            << "thread " << t << " key " << k;
+      } else if (st.code() == StatusCode::kNotFound) {
+        if (ks.exists && !ks.maybe_deleted) {
+          ++lost;
+          ADD_FAILURE() << "thread " << t << " key " << k
+                        << " lost its acked Put";
+        }
+      } else {
+        ADD_FAILURE() << "thread " << t << " key " << k << ": "
+                      << st.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(lost, 0u);
+  EXPECT_GT(verified, 0u);  // the storm must leave something to verify
+
+  core::NodeStats agg;
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    const core::NodeStats s = cluster.node(n)->stats();
+    agg.index_lookups += s.index_lookups;
+    agg.index_one_sided_hits += s.index_one_sided_hits;
+    agg.index_rpc_fallbacks += s.index_rpc_fallbacks;
+    agg.index_repairs += s.index_repairs;
+    agg.index_fenced_entries += s.index_fenced_entries;
+  }
+  EXPECT_GT(agg.index_lookups, 0u);
+  std::printf(
+      "keyed-chaos: seed=%#llx ops=%llu verified=%llu uncertain_puts=%llu "
+      "uncertain_dels=%llu crashes=%llu lookups=%llu hits=%llu "
+      "fallbacks=%llu repairs=%llu fenced=%llu\n",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(total_ops),
+      static_cast<unsigned long long>(verified),
+      static_cast<unsigned long long>(uncertain_puts),
+      static_cast<unsigned long long>(uncertain_dels),
+      static_cast<unsigned long long>(
+          injector.FiredCount(sim::fault_sites::kNodeCrash)),
+      static_cast<unsigned long long>(agg.index_lookups),
+      static_cast<unsigned long long>(agg.index_one_sided_hits),
+      static_cast<unsigned long long>(agg.index_rpc_fallbacks),
+      static_cast<unsigned long long>(agg.index_repairs),
+      static_cast<unsigned long long>(agg.index_fenced_entries));
+}
+
 }  // namespace
 }  // namespace corm

@@ -35,6 +35,7 @@ const char* PhaseName(CompactionPhase p) {
     case CompactionPhase::kCollect: return "Collect";
     case CompactionPhase::kConflictCheck: return "ConflictCheck";
     case CompactionPhase::kCopy: return "Copy";
+    case CompactionPhase::kIndexRepair: return "IndexRepair";
     case CompactionPhase::kRemap: return "Remap";
     case CompactionPhase::kFixup: return "Fixup";
     case CompactionPhase::kReclaim: return "Reclaim";
@@ -57,7 +58,14 @@ bool ValidTransition(CompactionPhase from, CompactionPhase to) {
     case CompactionPhase::kConflictCheck:
       return to == CompactionPhase::kCopy || to == CompactionPhase::kReclaim;
     case CompactionPhase::kCopy:
-      return to == CompactionPhase::kRemap || to == CompactionPhase::kReclaim;
+      return to == CompactionPhase::kIndexRepair ||
+             to == CompactionPhase::kReclaim;
+    case CompactionPhase::kIndexRepair:
+      // Entered only after a successful copy; aborts drain through the
+      // copy phase, so the only exits are forward into Remap or a Reclaim
+      // wind-down when the run is cancelled.
+      return to == CompactionPhase::kRemap ||
+             to == CompactionPhase::kReclaim;
     case CompactionPhase::kRemap:
       return to == CompactionPhase::kFixup ||
              to == CompactionPhase::kReclaim;

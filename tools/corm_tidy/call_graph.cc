@@ -127,7 +127,8 @@ bool ContainsRevalidation(const std::vector<Token>& toks, size_t begin,
 
 bool CallGraph::IsRemapRootName(const std::string& s) {
   return s == "Step" || s == "RunCompaction" || s == "RunPhaseSlice" ||
-         s == "StepRemap" || s == "HandleInbox" || s == "HandleRpc" ||
+         s == "StepRemap" || s == "StepIndexRepair" || s == "HandleInbox" ||
+         s == "HandleRpc" ||
          s == "ReapZombies" || s == "BackgroundCompactionLoop" ||
          s == "DrainInbox" || s == "PollInbox" || s == "DrainReplIngress" ||
          s == "RunAntiEntropySweep";

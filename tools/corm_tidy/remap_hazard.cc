@@ -40,6 +40,12 @@ struct TrackedVar {
 
 void CheckRemapHazard(const SourceFile& f, const CallGraph* cg,
                       DiagSink* sink) {
+  // Strict set: inside src/index/ the check honors no NOLINT. The bucket
+  // table is the one structure a remap can invalidate *while a remote
+  // client is mid-probe*, so a suppressed hazard here silently breaks the
+  // keyed lookup contract (DESIGN.md §13) — same footing as rule 8's
+  // strict-wait files.
+  const bool strict = f.path().find("src/index/") != std::string::npos;
   const auto& toks = f.tokens();
   std::vector<TrackedVar> vars;
   int depth = 0;
@@ -147,15 +153,22 @@ void CheckRemapHazard(const SourceFile& f, const CallGraph* cg,
       if (assign < e && j == assign - 1) continue;  // the LHS target
       TrackedVar* v = find_var(toks[j].text);
       if (v == nullptr || !v->hazardous) continue;
-      sink->Report(
-          f, kCheckRemapHazard, toks[j].line, toks[j].col,
+      std::string msg =
           "`" + v->name + "` (from a block/object lookup, line " +
-              std::to_string(v->taint_line) + ") is used after `" +
-              v->remap_callee + "()` (line " +
-              std::to_string(v->remap_line) +
-              ") which may advance compaction and remap the block; "
-              "re-lookup, validate the directory epoch, or pin the object "
-              "(kCompacting) before reusing it");
+          std::to_string(v->taint_line) + ") is used after `" +
+          v->remap_callee + "()` (line " + std::to_string(v->remap_line) +
+          ") which may advance compaction and remap the block; "
+          "re-lookup, validate the directory epoch, or pin the object "
+          "(kCompacting) before reusing it";
+      if (strict) {
+        // No suppression window inside src/index/: append directly.
+        sink->diags->push_back(
+            {f.path(), toks[j].line, toks[j].col, kCheckRemapHazard,
+             std::move(msg)});
+      } else {
+        sink->Report(f, kCheckRemapHazard, toks[j].line, toks[j].col,
+                     std::move(msg));
+      }
       v->hazardous = false;  // one diagnostic per stale region
     }
 
@@ -226,6 +239,20 @@ void CheckRemapHazard(const SourceFile& f, const CallGraph* cg,
       }
     }
     stmt_start = i + 1;
+  }
+
+  // The escape marker itself is banned in the strict set, mirroring the
+  // rule-8 treatment of strict-wait files: a NOLINT that is never honored
+  // only misleads the next reader.
+  if (strict) {
+    for (int line : f.NolintLines()) {
+      if (f.NolintsOn(line).count(kCheckRemapHazard)) {
+        sink->diags->push_back(
+            {f.path(), line, 1, kCheckRemapHazard,
+             "remap-hazard NOLINT marker inside src/index/; the strict set "
+             "grants no escape here — restructure the access instead"});
+      }
+    }
   }
 }
 

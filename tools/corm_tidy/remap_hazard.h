@@ -43,6 +43,12 @@
 //
 // False-negative bias is accepted (this is a linter, not a verifier); the
 // value is that the three-line pattern becomes mechanically visible.
+//
+// Strict set: files under src/index/ get no NOLINT escape (and the marker
+// itself is flagged there), mirroring the rule-8 strict-wait treatment —
+// the bucket table is what a remote client probes one-sided mid-remap, so
+// a suppressed hazard there voids the keyed lookup contract (DESIGN.md
+// §13).
 
 #ifndef CORM_TIDY_REMAP_HAZARD_H_
 #define CORM_TIDY_REMAP_HAZARD_H_
